@@ -1,0 +1,25 @@
+// Experiment C2 (SIGMOD 2011 evaluation design): RSTkNN query cost vs alpha.
+// Higher alpha = more spatial preference = tighter tree bounds (the R-tree
+// groups spatially), so branch-and-bound costs drop; the clustered variants
+// matter most at low alpha where text dominates.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  CoreParams params;
+  PrintTitle("C2: RSTkNN query cost vs alpha  (|D|=" +
+             std::to_string(params.num_objects) +
+             ", k=" + std::to_string(params.k) + ")");
+  PrintHeader({"alpha", "IUR_ms", "CIUR_ms", "CIUROE_ms", "CIURTE_ms",
+               "IUR_io", "CIUR_io", "CIURTE_io", "|ans|"});
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    params.alpha = alpha;
+    const CorePoint p = RunCorePoint(params, /*run_baseline=*/false);
+    PrintRow({Fmt(alpha, 1), Fmt(p.iur.query_ms), Fmt(p.ciur.query_ms),
+              Fmt(p.ciur_oe.query_ms), Fmt(p.ciur_te.query_ms),
+              Fmt(p.iur.io, 0), Fmt(p.ciur.io, 0), Fmt(p.ciur_te.io, 0),
+              FmtInt(p.answer_size)});
+  }
+  return 0;
+}

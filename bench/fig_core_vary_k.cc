@@ -1,0 +1,29 @@
+// Experiment C1 (SIGMOD 2011 evaluation design): RSTkNN query cost vs k.
+// Compares the precompute baseline against branch-and-bound on the IUR-tree
+// and the clustered variants (CIUR, CIUR+OE, CIUR+TE). Reports mean query
+// runtime and mean simulated I/O per query.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  CoreParams params;
+  PrintTitle("C1: RSTkNN query cost vs k  (|D|=" +
+             std::to_string(params.num_objects) +
+             ", alpha=" + Fmt(params.alpha, 1) + ", GeoNames-like)");
+  PrintHeader({"k", "B_ms", "IUR_ms", "CIUR_ms", "CIUROE_ms", "CIURTE_ms",
+               "B_io", "IUR_io", "CIUR_io", "CIURTE_io", "|ans|"});
+  for (size_t k : {1, 5, 10, 20, 50}) {
+    params.k = k;
+    const CorePoint p = RunCorePoint(params);
+    PrintRow({FmtInt(k), Fmt(p.baseline.query_ms), Fmt(p.iur.query_ms),
+              Fmt(p.ciur.query_ms), Fmt(p.ciur_oe.query_ms),
+              Fmt(p.ciur_te.query_ms), Fmt(p.baseline.io, 0),
+              Fmt(p.iur.io, 0), Fmt(p.ciur.io, 0), Fmt(p.ciur_te.io, 0),
+              FmtInt(p.answer_size)});
+  }
+  std::printf(
+      "\nNote: B (baseline) additionally pays a per-k precompute pass of the\n"
+      "whole collection (reported in tbl_core_index_build).\n");
+  return 0;
+}

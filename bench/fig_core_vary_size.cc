@@ -1,0 +1,29 @@
+// Experiment C3 (SIGMOD 2011 evaluation design): RSTkNN scalability in |D|.
+// The branch-and-bound variants should scale sub-linearly (whole subtrees
+// prune/report), while the baseline's scan-based query grows linearly (and
+// its precompute pass, reported separately, is far worse).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  CoreParams base;
+  const size_t unit = base.num_objects / 4;  // 5k ladder at the default 20k
+  PrintTitle("C3: RSTkNN scalability vs |D|");
+  PrintHeader({"|D|", "B_ms", "IUR_ms", "CIUR_ms", "CIURTE_ms", "B_io",
+               "IUR_io", "CIUR_io", "|ans|"});
+  for (size_t mult : {1, 2, 4, 8}) {
+    CoreParams params = base;
+    params.num_objects = unit * mult;
+    // The baseline precompute is quadratic-ish; cap it at the smaller sizes.
+    const bool run_baseline = mult <= 4;
+    const CorePoint p = RunCorePoint(params, run_baseline);
+    PrintRow({FmtInt(params.num_objects),
+              run_baseline ? Fmt(p.baseline.query_ms) : "-",
+              Fmt(p.iur.query_ms), Fmt(p.ciur.query_ms),
+              Fmt(p.ciur_te.query_ms),
+              run_baseline ? Fmt(p.baseline.io, 0) : "-", Fmt(p.iur.io, 0),
+              Fmt(p.ciur.io, 0), FmtInt(p.answer_size)});
+  }
+  return 0;
+}

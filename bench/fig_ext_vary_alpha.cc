@@ -1,0 +1,24 @@
+// Experiment E2 (2016 paper, Figure 6): effect of the spatial/textual
+// preference parameter alpha on both phases. Joint-processing cost should
+// stay nearly flat (super-user MBR and keyword union do not change), while
+// the baseline benefits from higher alpha (the tree groups spatially).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  ExtParams params;
+  PrintTitle("E2/Fig6: vary alpha  (|O|=" + std::to_string(params.num_objects) +
+             ", k=" + std::to_string(params.k) + ")");
+  PrintHeader({"alpha", "B_MRPU_ms", "J_MRPU_ms", "B_MIOCPU", "J_MIOCPU",
+               "selE_ms", "selA_ms", "ratio", "cover"});
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    params.alpha = alpha;
+    const ExtPoint p = RunExtPoint(params);
+    PrintRow({Fmt(alpha, 1), Fmt(p.baseline_mrpu_ms, 3),
+              Fmt(p.joint_mrpu_ms, 3), Fmt(p.baseline_miocpu, 0),
+              Fmt(p.joint_miocpu, 0), Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms),
+              Fmt(p.ratio), Fmt(p.exact_coverage, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Experiment E1 (2016 paper, Figure 5): effect of k on (a) the top-k phase —
+// per-user baseline (B) vs joint processing (J), runtime and simulated I/O —
+// and (b) candidate selection — exact (E) vs approximate (A) runtime and the
+// approximation ratio. Reported for all three text relevance measures.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  struct MeasureRow {
+    const char* name;
+    rst::Weighting weighting;
+  };
+  const MeasureRow measures[] = {
+      {"LM", rst::Weighting::kLanguageModel},
+      {"TFIDF", rst::Weighting::kTfIdf},
+      {"KO", rst::Weighting::kBinary},
+  };
+  for (const MeasureRow& m : measures) {
+    ExtParams params;
+    params.weighting = m.weighting;
+    PrintTitle(std::string("E1/Fig5 (") + m.name +
+               "): vary k  (|O|=" + std::to_string(params.num_objects) +
+               ", |U|=" + std::to_string(params.num_users) + ")");
+    PrintHeader({"k", "B_MRPU_ms", "J_MRPU_ms", "B_MIOCPU", "J_MIOCPU",
+                 "selE_ms", "selA_ms", "ratio", "cover"});
+    for (size_t k : {5, 10, 20, 50, 100}) {
+      params.k = k;
+      const ExtPoint p = RunExtPoint(params);
+      PrintRow({FmtInt(k), Fmt(p.baseline_mrpu_ms, 3), Fmt(p.joint_mrpu_ms, 3),
+                Fmt(p.baseline_miocpu, 0), Fmt(p.joint_miocpu, 0),
+                Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms), Fmt(p.ratio),
+                Fmt(p.exact_coverage, 1)});
+    }
+  }
+  return 0;
+}

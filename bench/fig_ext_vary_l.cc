@@ -1,0 +1,21 @@
+// Experiment E6 (2016 paper, Figure 10): effect of the number of candidate
+// locations |L|. The top-k phase is |L|-independent, so only the candidate
+// selection methods are reported; runtime grows roughly linearly with |L|
+// for both, and the approximation improves slightly with more locations.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  ExtParams params;
+  PrintTitle("E6/Fig10: vary |L| (candidate locations)  (|O|=" +
+             std::to_string(params.num_objects) + ")");
+  PrintHeader({"|L|", "selE_ms", "selA_ms", "ratio", "cover"});
+  for (size_t v : {1, 20, 50, 100, 300}) {
+    params.num_locations = v;
+    const ExtPoint p = RunExtPoint(params);
+    PrintRow({FmtInt(v), Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms),
+              Fmt(p.ratio), Fmt(p.exact_coverage, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Experiment E8 (2016 paper, Figure 12): scalability in the number of users.
+// The baseline's cost grows linearly with |U| (a full top-k search each);
+// joint processing shares the single traversal, so its per-user cost drops.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  ExtParams params;
+  PrintTitle("E8/Fig12: vary |U| (number of users)  (|O|=" +
+             std::to_string(params.num_objects) + ")");
+  PrintHeader({"|U|", "B_MRPU_ms", "J_MRPU_ms", "B_MIOCPU", "J_MIOCPU",
+               "selE_ms", "selA_ms", "ratio", "cover"});
+  for (size_t v : {100, 500, 1000, 2000, 4000}) {
+    params.num_users = v;
+    // Wider areas are needed to find enough distinct object locations.
+    params.area = v <= 500 ? 5.0 : 20.0;
+    const ExtPoint p = RunExtPoint(params);
+    PrintRow({FmtInt(v), Fmt(p.baseline_mrpu_ms, 3), Fmt(p.joint_mrpu_ms, 3),
+              Fmt(p.baseline_miocpu, 0), Fmt(p.joint_miocpu, 0),
+              Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms), Fmt(p.ratio),
+              Fmt(p.exact_coverage, 1)});
+  }
+  return 0;
+}

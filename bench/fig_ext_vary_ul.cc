@@ -1,0 +1,23 @@
+// Experiment E3 (2016 paper, Figure 7): effect of UL, the number of keywords
+// per user. Baseline cost grows with UL (more objects become relevant per
+// user); joint-processing I/O stays nearly constant (each node is read once).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  ExtParams params;
+  PrintTitle("E3/Fig7: vary UL (keywords per user)  (|O|=" +
+             std::to_string(params.num_objects) + ")");
+  PrintHeader({"UL", "B_MRPU_ms", "J_MRPU_ms", "B_MIOCPU", "J_MIOCPU",
+               "selE_ms", "selA_ms", "ratio", "cover"});
+  for (size_t v : {1, 2, 3, 4, 5, 6}) {
+    params.ul = v;
+    const ExtPoint p = RunExtPoint(params);
+    PrintRow({FmtInt(v), Fmt(p.baseline_mrpu_ms, 3), Fmt(p.joint_mrpu_ms, 3),
+              Fmt(p.baseline_miocpu, 0), Fmt(p.joint_miocpu, 0),
+              Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms), Fmt(p.ratio),
+              Fmt(p.exact_coverage, 1)});
+  }
+  return 0;
+}

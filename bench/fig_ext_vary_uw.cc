@@ -1,0 +1,25 @@
+// Experiment E4 (2016 paper, Figure 8): effect of UW, the number of unique
+// user keywords (which doubles as the candidate keyword set W). Lower UW =
+// more keyword sharing = bigger joint-processing benefit; selection runtime
+// grows with UW for both methods (larger combination space), and the
+// approximation ratio degrades gradually as UW grows.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  ExtParams params;
+  PrintTitle("E4/Fig8: vary UW (unique user keywords = |W|)  (|O|=" +
+             std::to_string(params.num_objects) + ")");
+  PrintHeader({"UW", "B_MRPU_ms", "J_MRPU_ms", "B_MIOCPU", "J_MIOCPU",
+               "selE_ms", "selA_ms", "ratio", "cover"});
+  for (size_t v : {5, 10, 20, 30, 40}) {
+    params.uw = v;
+    const ExtPoint p = RunExtPoint(params);
+    PrintRow({FmtInt(v), Fmt(p.baseline_mrpu_ms, 3), Fmt(p.joint_mrpu_ms, 3),
+              Fmt(p.baseline_miocpu, 0), Fmt(p.joint_miocpu, 0),
+              Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms), Fmt(p.ratio),
+              Fmt(p.exact_coverage, 1)});
+  }
+  return 0;
+}

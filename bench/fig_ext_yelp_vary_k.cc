@@ -1,0 +1,24 @@
+// Experiment E10 (2016 paper, Figure 14): the vary-k experiment on the
+// Yelp-like collection — far fewer but text-heavy objects (hundreds of
+// unique terms each, the long-document regime of the paper's Table 4). The
+// trends must be consistent with the Flickr-like results (Figure 5).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rst::bench;
+  ExtParams params;
+  params.yelp = true;
+  PrintTitle("E10/Fig14: vary k on the Yelp-like collection");
+  PrintHeader({"k", "B_MRPU_ms", "J_MRPU_ms", "B_MIOCPU", "J_MIOCPU",
+               "selE_ms", "selA_ms", "ratio", "cover"});
+  for (size_t k : {5, 10, 20, 50, 100}) {
+    params.k = k;
+    const ExtPoint p = RunExtPoint(params);
+    PrintRow({FmtInt(k), Fmt(p.baseline_mrpu_ms, 3), Fmt(p.joint_mrpu_ms, 3),
+              Fmt(p.baseline_miocpu, 0), Fmt(p.joint_miocpu, 0),
+              Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms), Fmt(p.ratio),
+              Fmt(p.exact_coverage, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks for the similarity kernels — the inner loops of every
+// query algorithm in the library.
+
+#include <benchmark/benchmark.h>
+
+#include "rst/common/rng.h"
+#include "rst/text/similarity.h"
+#include "rst/text/weighting.h"
+
+namespace rst {
+namespace {
+
+TermVector MakeDoc(Rng* rng, size_t terms, size_t vocab) {
+  std::vector<TermWeight> entries;
+  for (size_t pick : rng->SampleWithoutReplacement(vocab, terms)) {
+    entries.push_back({static_cast<TermId>(pick),
+                       static_cast<float>(rng->Uniform(0.05, 1.0))});
+  }
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+void BM_Dot(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const TermVector a = MakeDoc(&rng, n, n * 10);
+  const TermVector b = MakeDoc(&rng, n, n * 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExtendedJaccardSim(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const TermVector a = MakeDoc(&rng, n, n * 10);
+  const TermVector b = MakeDoc(&rng, n, n * 10);
+  TextSimilarity sim(TextMeasure::kExtendedJaccard);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Sim(a, b));
+  }
+}
+BENCHMARK(BM_ExtendedJaccardSim)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExtendedJaccardBounds(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  TextSummary a = TextSummary::FromDoc(MakeDoc(&rng, n, n * 10));
+  TextSummary b = TextSummary::FromDoc(MakeDoc(&rng, n, n * 10));
+  for (int i = 0; i < 8; ++i) {
+    a = TextSummary::Merge(a, TextSummary::FromDoc(MakeDoc(&rng, n, n * 10)));
+    b = TextSummary::Merge(b, TextSummary::FromDoc(MakeDoc(&rng, n, n * 10)));
+  }
+  TextSimilarity sim(TextMeasure::kExtendedJaccard);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.MaxSim(a, b));
+    benchmark::DoNotOptimize(sim.MinSim(a, b));
+  }
+}
+BENCHMARK(BM_ExtendedJaccardBounds)->Arg(8)->Arg(64);
+
+void BM_SumMeasureBounds(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<TermVector> docs;
+  for (int i = 0; i < 8; ++i) docs.push_back(MakeDoc(&rng, n, n * 10));
+  const std::vector<float> cmax = ComputeCorpusMaxWeights(docs, n * 10);
+  TextSummary object;
+  for (const TermVector& d : docs) {
+    object = TextSummary::Merge(object, TextSummary::FromDoc(d));
+  }
+  TextSummary user;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<TermId> terms;
+    for (size_t pick : rng.SampleWithoutReplacement(n * 10, 3)) {
+      terms.push_back(static_cast<TermId>(pick));
+    }
+    user = TextSummary::Merge(
+        user, TextSummary::FromDoc(TermVector::FromTerms(terms)));
+  }
+  TextSimilarity sim(TextMeasure::kSum, &cmax);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.MaxSim(object, user));
+    benchmark::DoNotOptimize(sim.MinSim(object, user));
+  }
+}
+BENCHMARK(BM_SumMeasureBounds)->Arg(8)->Arg(64);
+
+void BM_UnionMaxIntersectMin(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const TermVector a = MakeDoc(&rng, n, n * 4);
+  const TermVector b = MakeDoc(&rng, n, n * 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TermVector::UnionMax(a, b));
+    benchmark::DoNotOptimize(TermVector::IntersectMin(a, b));
+  }
+}
+BENCHMARK(BM_UnionMaxIntersectMin)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StScore(benchmark::State& state) {
+  Rng rng(6);
+  const TermVector a = MakeDoc(&rng, 8, 100);
+  const TermVector b = MakeDoc(&rng, 8, 100);
+  TextSimilarity sim(TextMeasure::kExtendedJaccard);
+  StScorer scorer(&sim, {0.5, 100.0});
+  const Point pa{1, 2}, pb{30, 40};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Score(pa, a, pb, b));
+  }
+}
+BENCHMARK(BM_StScore);
+
+}  // namespace
+}  // namespace rst

@@ -1,0 +1,57 @@
+#include "rst/common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rst {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t universe, size_t n) {
+  assert(n <= universe);
+  // Floyd's algorithm would be O(n) but needs a set; for the library's use
+  // (small n or n close to universe) a partial Fisher–Yates is simpler.
+  if (n * 4 >= universe) {
+    std::vector<size_t> all(universe);
+    for (size_t i = 0; i < universe; ++i) all[i] = i;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = i + static_cast<size_t>(UniformInt(universe - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(n);
+    return all;
+  }
+  std::vector<size_t> picked;
+  picked.reserve(n);
+  while (picked.size() < n) {
+    const size_t candidate = static_cast<size_t>(UniformInt(universe));
+    if (std::find(picked.begin(), picked.end(), candidate) == picked.end()) {
+      picked.push_back(candidate);
+    }
+  }
+  return picked;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent)
+    : exponent_(exponent), norm_(0.0) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent_);
+    cdf_[i] = total;
+  }
+  norm_ = total;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t i) const {
+  return 1.0 / std::pow(static_cast<double>(i + 1), exponent_) / norm_;
+}
+
+}  // namespace rst

@@ -1,0 +1,106 @@
+#ifndef RST_COMMON_RNG_H_
+#define RST_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rst {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Every randomized component of the
+/// library (generators, clustering seeds, workloads) takes an explicit seed so
+/// experiments and tests are exactly reproducible across platforms — the C++
+/// standard distributions are implementation-defined, so we implement our own.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires hi >= lo.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal variate (Box–Muller).
+  double Gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(6.283185307179586 * u2);
+    has_spare_ = true;
+    return mag * std::cos(6.283185307179586 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `n` distinct indices from [0, universe) (n <= universe).
+  std::vector<size_t> SampleWithoutReplacement(size_t universe, size_t n);
+
+ private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf(s) sampler over ranks {0, 1, ..., n-1}: P(rank i) ∝ 1/(i+1)^s.
+/// Inverse-CDF over a precomputed table; O(log n) per sample. Term and tag
+/// frequencies in web collections (Flickr tags, reviews) are Zipf-like, which
+/// is what the dataset substitutions in DESIGN.md rely on.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const;
+  size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank i.
+  double Pmf(size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  double exponent_;
+  double norm_;
+};
+
+}  // namespace rst
+
+#endif  // RST_COMMON_RNG_H_

@@ -1,0 +1,154 @@
+#include "rst/data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rst {
+
+namespace {
+
+Status ParsePoint(const std::string& xs, const std::string& ys, Point* p) {
+  char* end = nullptr;
+  p->x = std::strtod(xs.c_str(), &end);
+  if (end == xs.c_str()) return Status::Corruption("bad x: " + xs);
+  p->y = std::strtod(ys.c_str(), &end);
+  if (end == ys.c_str()) return Status::Corruption("bad y: " + ys);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Dataset> LoadDatasetTsv(const std::string& path, Vocabulary* vocab,
+                               const WeightingOptions& weighting) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Dataset dataset;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t tab1 = line.find('\t');
+    const size_t tab2 = tab1 == std::string::npos ? std::string::npos
+                                                  : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected 'x<TAB>y<TAB>text'");
+    }
+    Point p;
+    Status s = ParsePoint(line.substr(0, tab1),
+                          line.substr(tab1 + 1, tab2 - tab1 - 1), &p);
+    if (!s.ok()) return s;
+    const auto tokens = vocab->TokenizeAndAdd(line.substr(tab2 + 1));
+    dataset.Add(p, RawDocument::FromTokens(tokens));
+  }
+  dataset.Finalize(weighting);
+  return dataset;
+}
+
+Status SaveDatasetIds(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  for (const StObject& obj : dataset.objects()) {
+    out << obj.loc.x << ',' << obj.loc.y << ',';
+    bool first = true;
+    for (const auto& [term, count] : obj.raw.term_counts) {
+      if (!first) out << ' ';
+      out << term << ':' << count;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::Ok() : Status::Internal("write failed");
+}
+
+Result<Dataset> LoadDatasetIds(const std::string& path,
+                               const WeightingOptions& weighting) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Dataset dataset;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t c1 = line.find(',');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : line.find(',', c1 + 1);
+    if (c2 == std::string::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected 'x,y,terms'");
+    }
+    Point p;
+    Status s =
+        ParsePoint(line.substr(0, c1), line.substr(c1 + 1, c2 - c1 - 1), &p);
+    if (!s.ok()) return s;
+    RawDocument doc;
+    std::istringstream terms(line.substr(c2 + 1));
+    std::string tok;
+    while (terms >> tok) {
+      const size_t colon = tok.find(':');
+      if (colon == std::string::npos) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": expected term:count, got " + tok);
+      }
+      doc.term_counts.push_back(
+          {static_cast<TermId>(std::stoul(tok.substr(0, colon))),
+           static_cast<uint32_t>(std::stoul(tok.substr(colon + 1)))});
+    }
+    std::sort(doc.term_counts.begin(), doc.term_counts.end());
+    dataset.Add(p, std::move(doc));
+  }
+  dataset.Finalize(weighting);
+  return dataset;
+}
+
+Status SaveUsersIds(const std::vector<StUser>& users, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  for (const StUser& u : users) {
+    out << u.loc.x << ',' << u.loc.y << ',';
+    bool first = true;
+    for (const TermWeight& e : u.keywords.entries()) {
+      if (!first) out << ' ';
+      out << e.term;
+      first = false;
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::Ok() : Status::Internal("write failed");
+}
+
+Result<std::vector<StUser>> LoadUsersIds(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<StUser> users;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t c1 = line.find(',');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : line.find(',', c1 + 1);
+    if (c2 == std::string::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected 'x,y,terms'");
+    }
+    StUser user;
+    user.id = static_cast<uint32_t>(users.size());
+    Status s = ParsePoint(line.substr(0, c1), line.substr(c1 + 1, c2 - c1 - 1),
+                          &user.loc);
+    if (!s.ok()) return s;
+    std::istringstream terms(line.substr(c2 + 1));
+    std::vector<TermId> ids;
+    std::string tok;
+    while (terms >> tok) ids.push_back(static_cast<TermId>(std::stoul(tok)));
+    user.keywords = TermVector::FromTerms(ids);
+    users.push_back(std::move(user));
+  }
+  return users;
+}
+
+}  // namespace rst

@@ -1,0 +1,31 @@
+#ifndef RST_DATA_CSV_H_
+#define RST_DATA_CSV_H_
+
+#include <string>
+
+#include "rst/common/status.h"
+#include "rst/data/dataset.h"
+#include "rst/text/vocabulary.h"
+
+namespace rst {
+
+/// Plain-text interchange for user-supplied collections (e.g. real POI or
+/// tweet dumps), so the library is usable beyond the synthetic generators.
+
+/// Tab-separated `x <TAB> y <TAB> free text` lines. Text is tokenized and
+/// interned into `vocab`. The returned dataset is finalized with `weighting`.
+Result<Dataset> LoadDatasetTsv(const std::string& path, Vocabulary* vocab,
+                               const WeightingOptions& weighting);
+
+/// Id-encoded round-trippable format: `x,y,term:count term:count ...`.
+Status SaveDatasetIds(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDatasetIds(const std::string& path,
+                               const WeightingOptions& weighting);
+
+/// Users: `x,y,term term ...` (keyword ids).
+Status SaveUsersIds(const std::vector<StUser>& users, const std::string& path);
+Result<std::vector<StUser>> LoadUsersIds(const std::string& path);
+
+}  // namespace rst
+
+#endif  // RST_DATA_CSV_H_

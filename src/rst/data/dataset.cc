@@ -1,0 +1,59 @@
+#include "rst/data/dataset.h"
+
+#include <cassert>
+
+namespace rst {
+
+void Dataset::Add(Point loc, RawDocument raw) {
+  assert(!finalized_);
+  StObject obj;
+  obj.id = static_cast<ObjectId>(objects_.size());
+  obj.loc = loc;
+  obj.raw = std::move(raw);
+  objects_.push_back(std::move(obj));
+}
+
+void Dataset::Finalize(const WeightingOptions& weighting) {
+  assert(!finalized_);
+  weighting_ = weighting;
+  for (const StObject& obj : objects_) {
+    stats_.AddDocument(obj.raw);
+    bounds_.Extend(obj.loc);
+  }
+  std::vector<TermVector> docs;
+  docs.reserve(objects_.size());
+  for (StObject& obj : objects_) {
+    obj.doc = BuildWeightedVector(obj.raw, stats_, weighting_);
+    docs.push_back(obj.doc);
+  }
+  corpus_max_ = ComputeCorpusMaxWeights(docs, stats_.vocab_size());
+  max_dist_ = bounds_.empty()
+                  ? 1.0
+                  : Distance(Point{bounds_.min_x, bounds_.min_y},
+                             Point{bounds_.max_x, bounds_.max_y});
+  if (max_dist_ <= 0.0) max_dist_ = 1.0;
+  finalized_ = true;
+}
+
+DatasetStatsRow ComputeDatasetStats(const Dataset& dataset) {
+  DatasetStatsRow row;
+  row.total_objects = dataset.size();
+  row.total_unique_terms = 0;
+  for (size_t t = 0; t < dataset.stats().vocab_size(); ++t) {
+    if (dataset.stats().DocFreq(static_cast<TermId>(t)) > 0) {
+      ++row.total_unique_terms;
+    }
+  }
+  uint64_t unique_sum = 0;
+  for (const StObject& obj : dataset.objects()) {
+    unique_sum += obj.raw.term_counts.size();
+    row.total_terms += obj.raw.Length();
+  }
+  row.avg_unique_terms_per_object =
+      dataset.size() == 0
+          ? 0.0
+          : static_cast<double>(unique_sum) / static_cast<double>(dataset.size());
+  return row;
+}
+
+}  // namespace rst

@@ -1,0 +1,282 @@
+#include "rst/data/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "rst/common/rng.h"
+
+namespace rst {
+
+namespace {
+
+/// Clamps a point into the square [0, extent]².
+Point ClampToWorld(Point p, double extent) {
+  p.x = std::clamp(p.x, 0.0, extent);
+  p.y = std::clamp(p.y, 0.0, extent);
+  return p;
+}
+
+/// Shared document generator: `unique_terms` distinct terms, each drawn from
+/// the local topic block with probability `locality` (Zipf within the block)
+/// and from the global Zipf otherwise. Term counts follow a short geometric
+/// tail controlled by `repeat_p`.
+RawDocument GenDoc(Rng* rng, const ZipfSampler& global_zipf,
+                   const ZipfSampler& block_zipf, size_t block_offset,
+                   size_t vocab_size, double locality, size_t unique_terms,
+                   double repeat_p) {
+  std::vector<TermId> terms;
+  terms.reserve(unique_terms * 2);
+  size_t guard = 0;
+  std::vector<bool> used(vocab_size, false);
+  size_t distinct = 0;
+  while (distinct < unique_terms && guard++ < unique_terms * 30) {
+    TermId t;
+    if (rng->Bernoulli(locality)) {
+      t = static_cast<TermId>((block_offset + block_zipf.Sample(rng)) %
+                              vocab_size);
+    } else {
+      t = static_cast<TermId>(global_zipf.Sample(rng));
+    }
+    if (used[t]) continue;
+    used[t] = true;
+    ++distinct;
+    terms.push_back(t);
+    while (rng->Bernoulli(repeat_p)) terms.push_back(t);  // tf > 1 tail
+  }
+  return RawDocument::FromTokens(terms);
+}
+
+size_t DocLength(Rng* rng, double mean) {
+  // Uniform in [0.5 * mean, 1.5 * mean], at least 1 term.
+  const double len = rng->Uniform(0.5 * mean, 1.5 * mean);
+  return std::max<size_t>(1, static_cast<size_t>(std::lround(len)));
+}
+
+struct Hotspot {
+  Point center;
+  size_t block_offset;
+};
+
+std::vector<Hotspot> MakeHotspots(Rng* rng, size_t count, double extent,
+                                  size_t vocab_size) {
+  std::vector<Hotspot> spots(count);
+  const size_t block = count == 0 ? vocab_size : vocab_size / count;
+  for (size_t i = 0; i < count; ++i) {
+    spots[i].center = Point{rng->Uniform(0, extent), rng->Uniform(0, extent)};
+    spots[i].block_offset = i * block;
+  }
+  return spots;
+}
+
+}  // namespace
+
+Dataset GenFlickrLike(const FlickrLikeConfig& config,
+                      const WeightingOptions& weighting) {
+  Rng rng(config.seed);
+  Dataset dataset;
+  const ZipfSampler global_zipf(config.vocab_size, config.zipf_exponent);
+  const size_t block =
+      std::max<size_t>(16, config.vocab_size / std::max<size_t>(1, config.num_hotspots));
+  const ZipfSampler block_zipf(block, config.zipf_exponent);
+  const auto hotspots =
+      MakeHotspots(&rng, config.num_hotspots, config.world_extent,
+                   config.vocab_size);
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    const Hotspot& spot = hotspots[rng.UniformInt(hotspots.size())];
+    const Point loc = ClampToWorld(
+        Point{rng.Gaussian(spot.center.x, config.hotspot_stddev),
+              rng.Gaussian(spot.center.y, config.hotspot_stddev)},
+        config.world_extent);
+    dataset.Add(loc, GenDoc(&rng, global_zipf, block_zipf, spot.block_offset,
+                            config.vocab_size, config.topic_locality,
+                            DocLength(&rng, config.terms_per_object),
+                            /*repeat_p=*/0.05));
+  }
+  dataset.Finalize(weighting);
+  return dataset;
+}
+
+Dataset GenYelpLike(const YelpLikeConfig& config,
+                    const WeightingOptions& weighting) {
+  Rng rng(config.seed);
+  Dataset dataset;
+  const ZipfSampler global_zipf(config.vocab_size, config.zipf_exponent);
+  const size_t block =
+      std::max<size_t>(16, config.vocab_size / std::max<size_t>(1, config.num_hotspots));
+  const ZipfSampler block_zipf(block, config.zipf_exponent);
+  const auto hotspots =
+      MakeHotspots(&rng, config.num_hotspots, config.world_extent,
+                   config.vocab_size);
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    const Hotspot& spot = hotspots[rng.UniformInt(hotspots.size())];
+    const Point loc = ClampToWorld(
+        Point{rng.Gaussian(spot.center.x, config.hotspot_stddev),
+              rng.Gaussian(spot.center.y, config.hotspot_stddev)},
+        config.world_extent);
+    // Long review-like documents with repeated terms.
+    dataset.Add(loc, GenDoc(&rng, global_zipf, block_zipf, spot.block_offset,
+                            config.vocab_size, config.topic_locality,
+                            DocLength(&rng, config.terms_per_object),
+                            /*repeat_p=*/0.4));
+  }
+  dataset.Finalize(weighting);
+  return dataset;
+}
+
+Dataset GenGeoNamesLike(const GeoNamesLikeConfig& config,
+                        const WeightingOptions& weighting) {
+  Rng rng(config.seed);
+  Dataset dataset;
+  const ZipfSampler global_zipf(config.vocab_size, config.zipf_exponent);
+  const size_t block =
+      std::max<size_t>(16, config.vocab_size / std::max<size_t>(1, config.num_hotspots));
+  const ZipfSampler block_zipf(block, config.zipf_exponent);
+  const auto hotspots =
+      MakeHotspots(&rng, config.num_hotspots, config.world_extent,
+                   config.vocab_size);
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    Point loc;
+    size_t block_offset = 0;
+    if (rng.Bernoulli(config.uniform_fraction) || hotspots.empty()) {
+      loc = Point{rng.Uniform(0, config.world_extent),
+                  rng.Uniform(0, config.world_extent)};
+      block_offset =
+          hotspots.empty() ? 0 : hotspots[rng.UniformInt(hotspots.size())].block_offset;
+    } else {
+      const Hotspot& spot = hotspots[rng.UniformInt(hotspots.size())];
+      loc = ClampToWorld(Point{rng.Gaussian(spot.center.x, 3.0),
+                               rng.Gaussian(spot.center.y, 3.0)},
+                         config.world_extent);
+      block_offset = spot.block_offset;
+    }
+    dataset.Add(loc, GenDoc(&rng, global_zipf, block_zipf, block_offset,
+                            config.vocab_size, config.topic_locality,
+                            DocLength(&rng, config.terms_per_object),
+                            /*repeat_p=*/0.02));
+  }
+  dataset.Finalize(weighting);
+  return dataset;
+}
+
+GeneratedUsers GenUsers(const Dataset& dataset, const UserGenConfig& config) {
+  assert(dataset.finalized());
+  Rng rng(config.seed);
+  GeneratedUsers out;
+
+  const Rect world = dataset.bounds();
+  double side = config.area_extent;
+  // Pick an area center; grow the area if it contains too few objects.
+  std::vector<ObjectId> in_area;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Point center{rng.Uniform(world.min_x, world.max_x),
+                       rng.Uniform(world.min_y, world.max_y)};
+    out.area = Rect::FromCorners(center.x - side / 2, center.y - side / 2,
+                                 center.x + side / 2, center.y + side / 2);
+    in_area.clear();
+    for (const StObject& obj : dataset.objects()) {
+      if (out.area.Contains(obj.loc)) in_area.push_back(obj.id);
+    }
+    if (in_area.size() >= config.num_users) break;
+    side *= 1.5;  // sparse spot: grow (documented deviation for tiny worlds)
+  }
+  assert(!in_area.empty());
+
+  // Sample |U| object locations as user locations.
+  const size_t take = std::min(config.num_users, in_area.size());
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(in_area.size(), take);
+  std::vector<ObjectId> chosen;
+  chosen.reserve(config.num_users);
+  for (size_t p : picks) chosen.push_back(in_area[p]);
+  while (chosen.size() < config.num_users) {
+    // More users than distinct objects in the area: reuse locations.
+    chosen.push_back(in_area[rng.UniformInt(in_area.size())]);
+  }
+
+  // Keyword pool: UW distinct terms drawn from the chosen objects' text,
+  // weighted by source frequency.
+  std::unordered_map<TermId, uint64_t> freq;
+  for (ObjectId id : chosen) {
+    for (const auto& [term, count] : dataset.object(id).raw.term_counts) {
+      freq[term] += count;
+    }
+  }
+  std::vector<std::pair<TermId, uint64_t>> freq_list(freq.begin(), freq.end());
+  std::sort(freq_list.begin(), freq_list.end());
+  uint64_t total = 0;
+  for (const auto& [t, c] : freq_list) total += c;
+
+  auto weighted_pick = [&](const std::vector<std::pair<TermId, uint64_t>>& list,
+                           uint64_t list_total) -> size_t {
+    uint64_t r = rng.UniformInt(list_total) + 1;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (r <= list[i].second) return i;
+      r -= list[i].second;
+    }
+    return list.size() - 1;
+  };
+
+  std::vector<std::pair<TermId, uint64_t>> pool_freq;
+  {
+    auto remaining = freq_list;
+    uint64_t remaining_total = total;
+    const size_t want = std::min(config.num_unique_keywords, remaining.size());
+    for (size_t i = 0; i < want; ++i) {
+      const size_t idx = weighted_pick(remaining, remaining_total);
+      pool_freq.push_back(remaining[idx]);
+      remaining_total -= remaining[idx].second;
+      remaining.erase(remaining.begin() + idx);
+    }
+  }
+  for (const auto& [t, c] : pool_freq) out.candidate_keywords.push_back(t);
+  std::sort(out.candidate_keywords.begin(), out.candidate_keywords.end());
+
+  // Distribute keywords: each user draws UL distinct keywords from the pool,
+  // weighted by the pool keywords' source frequencies.
+  uint64_t pool_total = 0;
+  for (const auto& [t, c] : pool_freq) pool_total += c;
+  for (size_t u = 0; u < config.num_users; ++u) {
+    StUser user;
+    user.id = static_cast<uint32_t>(u);
+    user.loc = dataset.object(chosen[u]).loc;
+    auto remaining = pool_freq;
+    uint64_t remaining_total = pool_total;
+    const size_t want = std::min(config.keywords_per_user, remaining.size());
+    std::vector<TermId> terms;
+    for (size_t i = 0; i < want; ++i) {
+      const size_t idx = weighted_pick(remaining, remaining_total);
+      terms.push_back(remaining[idx].first);
+      remaining_total -= remaining[idx].second;
+      remaining.erase(remaining.begin() + idx);
+    }
+    user.keywords = TermVector::FromTerms(terms);
+    out.users.push_back(std::move(user));
+  }
+  return out;
+}
+
+std::vector<Point> GenCandidateLocations(const Rect& area, size_t count,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(Point{rng.Uniform(area.min_x, area.max_x),
+                        rng.Uniform(area.min_y, area.max_y)});
+  }
+  return out;
+}
+
+std::vector<ObjectId> SampleQueryObjects(const Dataset& dataset, size_t count,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ObjectId> out;
+  const size_t take = std::min(count, dataset.size());
+  for (size_t pick : rng.SampleWithoutReplacement(dataset.size(), take)) {
+    out.push_back(static_cast<ObjectId>(pick));
+  }
+  return out;
+}
+
+}  // namespace rst

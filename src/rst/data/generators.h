@@ -1,0 +1,100 @@
+#ifndef RST_DATA_GENERATORS_H_
+#define RST_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rst/data/dataset.h"
+
+namespace rst {
+
+/// Deterministic synthetic dataset generators. They substitute for the
+/// papers' proprietary collections (Flickr geo-tags, Yelp reviews, GeoNames)
+/// while preserving the statistics the experiments depend on — spatial
+/// clustering, Zipf term skew, and document sparsity. See DESIGN.md §4.
+
+/// Flickr-like: strongly clustered photo locations (urban hotspots), short
+/// tag sets (~7 unique tags/object per the 2016 paper's Table 4), Zipf tag
+/// frequencies with spatially-correlated topics.
+struct FlickrLikeConfig {
+  size_t num_objects = 20000;
+  size_t vocab_size = 2000;
+  size_t num_hotspots = 24;
+  double world_extent = 100.0;     ///< side length of the square data space
+  double hotspot_stddev = 2.5;     ///< spatial spread of each hotspot
+  double terms_per_object = 7.0;   ///< mean unique tags per object
+  double zipf_exponent = 1.0;
+  double topic_locality = 0.7;     ///< fraction of tags drawn from the local
+                                   ///< hotspot's topic block
+  uint64_t seed = 1;
+};
+Dataset GenFlickrLike(const FlickrLikeConfig& config,
+                      const WeightingOptions& weighting);
+
+/// Yelp-like: fewer, text-heavy objects (reviews concatenated onto business
+/// attributes — hundreds of unique terms per object, Table 4's long-document
+/// regime), moderately clustered locations.
+struct YelpLikeConfig {
+  size_t num_objects = 2000;
+  size_t vocab_size = 6000;
+  size_t num_hotspots = 8;
+  double world_extent = 100.0;
+  double hotspot_stddev = 6.0;
+  double terms_per_object = 150.0;
+  double zipf_exponent = 0.9;
+  double topic_locality = 0.4;
+  uint64_t seed = 2;
+};
+Dataset GenYelpLike(const YelpLikeConfig& config,
+                    const WeightingOptions& weighting);
+
+/// GeoNames-like: near-uniform point field with mild hotspots and very short
+/// documents (4–8 terms) — the regime of the 2011 paper's gazetteer data.
+struct GeoNamesLikeConfig {
+  size_t num_objects = 20000;
+  size_t vocab_size = 3000;
+  size_t num_hotspots = 6;
+  double world_extent = 100.0;
+  double uniform_fraction = 0.6;  ///< objects placed uniformly (not clustered)
+  double terms_per_object = 5.0;
+  double topic_locality = 0.65;   ///< fraction of terms from the local topic
+  double zipf_exponent = 1.1;
+  uint64_t seed = 3;
+};
+Dataset GenGeoNamesLike(const GeoNamesLikeConfig& config,
+                        const WeightingOptions& weighting);
+
+/// User generation protocol of the 2016 paper (§8): pick a square area of a
+/// given side length, sample |U| objects inside it and reuse their locations
+/// as user locations; select UW distinct keywords from those objects' text
+/// and redistribute them among the users (UL keywords each) following the
+/// keywords' source frequency distribution. The UW keyword set doubles as
+/// the candidate keyword set W of the MaxBRSTkNN query.
+struct UserGenConfig {
+  size_t num_users = 100;          ///< |U|
+  size_t keywords_per_user = 3;    ///< UL
+  size_t num_unique_keywords = 20; ///< UW
+  double area_extent = 5.0;        ///< side length of the user area
+  uint64_t seed = 11;
+};
+
+struct GeneratedUsers {
+  std::vector<StUser> users;
+  std::vector<TermId> candidate_keywords;  ///< the UW keyword pool (= W)
+  Rect area;                               ///< the chosen user area
+};
+GeneratedUsers GenUsers(const Dataset& dataset, const UserGenConfig& config);
+
+/// Samples `count` candidate locations uniformly inside `area` (the 2016
+/// query's L).
+std::vector<Point> GenCandidateLocations(const Rect& area, size_t count,
+                                         uint64_t seed);
+
+/// Draws `count` query objects from the dataset for monochromatic RSTkNN
+/// workloads (returns object ids; deterministic).
+std::vector<ObjectId> SampleQueryObjects(const Dataset& dataset, size_t count,
+                                         uint64_t seed);
+
+}  // namespace rst
+
+#endif  // RST_DATA_GENERATORS_H_

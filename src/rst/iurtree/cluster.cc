@@ -1,0 +1,124 @@
+#include "rst/iurtree/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rst/common/rng.h"
+
+namespace rst {
+
+namespace {
+
+/// Dense centroid with cached norm.
+struct Centroid {
+  std::vector<double> weights;
+  double norm = 0.0;
+
+  void Clear() { std::fill(weights.begin(), weights.end(), 0.0); }
+  void Add(const TermVector& doc) {
+    for (const TermWeight& e : doc.entries()) {
+      if (e.term >= weights.size()) weights.resize(e.term + 1, 0.0);
+      weights[e.term] += e.weight;
+    }
+  }
+  void Normalize() {
+    double n2 = 0.0;
+    for (double w : weights) n2 += w * w;
+    norm = std::sqrt(n2);
+  }
+  double Cosine(const TermVector& doc) const {
+    if (norm <= 0.0 || doc.NormSquared() <= 0.0) return 0.0;
+    double dot = 0.0;
+    for (const TermWeight& e : doc.entries()) {
+      if (e.term < weights.size()) dot += weights[e.term] * e.weight;
+    }
+    return dot / (norm * std::sqrt(doc.NormSquared()));
+  }
+};
+
+}  // namespace
+
+ClusteringResult ClusterDocuments(const std::vector<TermVector>& docs,
+                                  const ClusteringOptions& options) {
+  ClusteringResult result;
+  result.assignment.assign(docs.size(), 0);
+  const uint32_t k =
+      std::min<uint32_t>(options.num_clusters,
+                         std::max<uint32_t>(1, static_cast<uint32_t>(docs.size())));
+  result.num_clusters = k;
+  if (docs.empty()) return result;
+
+  Rng rng(options.seed);
+  std::vector<Centroid> centroids(k);
+  // Seed centroids from distinct random documents.
+  const auto seeds = rng.SampleWithoutReplacement(docs.size(), k);
+  for (uint32_t c = 0; c < k; ++c) {
+    centroids[c].Add(docs[seeds[c]]);
+    centroids[c].Normalize();
+  }
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      uint32_t best = 0;
+      double best_sim = -1.0;
+      for (uint32_t c = 0; c < k; ++c) {
+        const double sim = centroids[c].Cosine(docs[i]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    for (Centroid& c : centroids) c.Clear();
+    for (size_t i = 0; i < docs.size(); ++i) {
+      centroids[result.assignment[i]].Add(docs[i]);
+    }
+    for (Centroid& c : centroids) c.Normalize();
+  }
+
+  // Intra-cluster similarity + optional outlier extraction.
+  std::vector<std::pair<double, size_t>> sims(docs.size());
+  double total_sim = 0.0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const double sim = centroids[result.assignment[i]].Cosine(docs[i]);
+    sims[i] = {sim, i};
+    total_sim += sim;
+  }
+  result.mean_intra_similarity = total_sim / static_cast<double>(docs.size());
+
+  if (options.outlier_threshold > 0.0 && k > 0) {
+    std::sort(sims.begin(), sims.end());
+    const size_t cap = static_cast<size_t>(
+        options.max_outlier_fraction * static_cast<double>(docs.size()));
+    const uint32_t outlier_cluster = k;
+    for (size_t rank = 0; rank < sims.size() && rank < cap; ++rank) {
+      if (sims[rank].first >= options.outlier_threshold) break;
+      result.assignment[sims[rank].second] = outlier_cluster;
+      ++result.num_outliers;
+    }
+    if (result.num_outliers > 0) result.num_clusters = k + 1;
+  }
+  return result;
+}
+
+double ClusterEntropy(const std::vector<uint32_t>& cluster_counts) {
+  uint64_t total = 0;
+  for (uint32_t c : cluster_counts) total += c;
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (uint32_t c : cluster_counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+}  // namespace rst

@@ -1,0 +1,50 @@
+#ifndef RST_IURTREE_CLUSTER_H_
+#define RST_IURTREE_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rst/text/term_vector.h"
+
+namespace rst {
+
+/// Text clustering for the CIUR-tree (the 2011 paper's cluster-enhanced
+/// IUR-tree). Objects are grouped by textual topic with spherical k-means
+/// (cosine similarity); nodes then keep per-cluster intersection/union
+/// summaries, which stay far tighter than one blended summary because
+/// min-weights no longer collapse to zero across unrelated topics.
+struct ClusteringOptions {
+  uint32_t num_clusters = 8;
+  uint32_t max_iterations = 12;
+  uint64_t seed = 101;
+  /// Outlier extraction (the OE enhancement): objects whose cosine
+  /// similarity to their centroid falls below this threshold are moved to a
+  /// dedicated outlier cluster so they do not dilute their cluster's
+  /// intersection vector. 0 disables extraction.
+  double outlier_threshold = 0.0;
+  /// At most this fraction of objects may be extracted as outliers.
+  double max_outlier_fraction = 0.1;
+};
+
+struct ClusteringResult {
+  /// Cluster id per input document. Ids are in [0, num_clusters]; the id
+  /// `num_clusters` is the outlier cluster (present only with OE).
+  std::vector<uint32_t> assignment;
+  uint32_t num_clusters = 0;  ///< including the outlier cluster if non-empty
+  uint32_t num_outliers = 0;
+  double mean_intra_similarity = 0.0;  ///< mean cos(doc, centroid)
+};
+
+/// Spherical k-means over weighted document vectors. Deterministic for a
+/// fixed seed. Empty documents are assigned to cluster 0.
+ClusteringResult ClusterDocuments(const std::vector<TermVector>& docs,
+                                  const ClusteringOptions& options);
+
+/// Shannon entropy (nats) of a cluster-count distribution — the TE
+/// (text-entropy) expansion priority of DESIGN.md §3.3: textually mixed
+/// nodes have high entropy and loose bounds, so they are expanded first.
+double ClusterEntropy(const std::vector<uint32_t>& cluster_counts);
+
+}  // namespace rst
+
+#endif  // RST_IURTREE_CLUSTER_H_

@@ -1,0 +1,611 @@
+#include "rst/iurtree/iurtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rst/iurtree/cluster.h"
+#include "rst/storage/varint.h"
+
+namespace rst {
+
+namespace {
+
+using ClusterList = std::vector<std::pair<uint32_t, TextSummary>>;
+
+ClusterList MergeClusterLists(const ClusterList& a, const ClusterList& b) {
+  ClusterList out;
+  out.reserve(a.size() + b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      out.push_back(*ia++);
+    } else if (ia == a.end() || ib->first < ia->first) {
+      out.push_back(*ib++);
+    } else {
+      out.push_back({ia->first, TextSummary::Merge(ia->second, ib->second)});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Rect IurTree::Node::ComputeMbr() const {
+  Rect mbr;
+  for (const Entry& e : entries) mbr.Extend(e.rect);
+  return mbr;
+}
+
+IurTree::IurTree(const IurTreeOptions& options)
+    : options_(options),
+      root_(std::make_unique<Node>()),
+      page_store_(std::make_unique<PageStore>()) {
+  assert(options_.max_entries >= 2 * options_.min_entries);
+}
+
+IurTree::Entry IurTree::MakeParentEntry(std::unique_ptr<Node> node) {
+  Entry parent;
+  parent.rect = node->ComputeMbr();
+  for (const Entry& e : node->entries) {
+    parent.summary = TextSummary::Merge(parent.summary, e.summary);
+    parent.clusters = MergeClusterLists(parent.clusters, e.clusters);
+  }
+  parent.child = std::move(node);
+  return parent;
+}
+
+IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
+                       const std::vector<uint32_t>* cluster_of) {
+  IurTree tree(options);
+  tree.clustered_ = cluster_of != nullptr;
+  tree.size_ = items.size();
+  if (items.empty()) {
+    tree.FinalizeStorage();
+    return tree;
+  }
+
+  const size_t cap = options.max_entries;
+
+  std::vector<Entry> level;
+  level.reserve(items.size());
+  for (const Item& item : items) {
+    Entry e;
+    e.rect = Rect::FromPoint(item.loc);
+    e.summary = TextSummary::FromDoc(*item.doc);
+    e.id = item.id;
+    if (cluster_of != nullptr) {
+      e.clusters.push_back({(*cluster_of)[item.id], e.summary});
+    }
+    level.push_back(std::move(e));
+  }
+
+  bool leaf_level = true;
+  while (level.size() > cap || leaf_level) {
+    const size_t n = level.size();
+    const size_t num_nodes = (n + cap - 1) / cap;
+    const size_t num_slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    const size_t slab_size = ((num_nodes + num_slabs - 1) / num_slabs) * cap;
+
+    std::sort(level.begin(), level.end(), [](const Entry& a, const Entry& b) {
+      return a.rect.Center().x < b.rect.Center().x;
+    });
+
+    std::vector<Entry> parents;
+    for (size_t slab_begin = 0; slab_begin < n; slab_begin += slab_size) {
+      const size_t slab_end = std::min(slab_begin + slab_size, n);
+      std::sort(level.begin() + slab_begin, level.begin() + slab_end,
+                [](const Entry& a, const Entry& b) {
+                  return a.rect.Center().y < b.rect.Center().y;
+                });
+      for (size_t begin = slab_begin; begin < slab_end; begin += cap) {
+        const size_t end = std::min(begin + cap, slab_end);
+        auto node = std::make_unique<Node>();
+        node->leaf = leaf_level;
+        node->entries.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          node->entries.push_back(std::move(level[i]));
+        }
+        parents.push_back(MakeParentEntry(std::move(node)));
+      }
+    }
+    level = std::move(parents);
+    leaf_level = false;
+    if (level.size() == 1) break;
+  }
+
+  if (level.size() == 1 && level.front().child) {
+    tree.root_ = std::move(level.front().child);
+  } else {
+    auto root = std::make_unique<Node>();
+    root->leaf = false;
+    for (Entry& e : level) root->entries.push_back(std::move(e));
+    tree.root_ = std::move(root);
+  }
+  tree.FinalizeStorage();
+  return tree;
+}
+
+IurTree IurTree::BuildFromDataset(const Dataset& dataset,
+                                  const IurTreeOptions& options,
+                                  const std::vector<uint32_t>* cluster_of) {
+  std::vector<Item> items;
+  items.reserve(dataset.size());
+  for (const StObject& obj : dataset.objects()) {
+    items.push_back({obj.id, obj.loc, &obj.doc});
+  }
+  return Build(std::move(items), options, cluster_of);
+}
+
+IurTree IurTree::BuildFromUsers(const std::vector<StUser>& users,
+                                const IurTreeOptions& options) {
+  std::vector<Item> items;
+  items.reserve(users.size());
+  for (const StUser& u : users) {
+    items.push_back({u.id, u.loc, &u.keywords});
+  }
+  return Build(std::move(items), options, nullptr);
+}
+
+void IurTree::SplitNode(Node* node, std::unique_ptr<Node>* split_off) const {
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+  *split_off = std::make_unique<Node>();
+  (*split_off)->leaf = node->leaf;
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst_waste = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = Union(entries[i].rect, entries[j].rect).Area() -
+                           entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node* group_a = node;
+  Node* group_b = split_off->get();
+  Rect mbr_a = entries[seed_a].rect;
+  Rect mbr_b = entries[seed_b].rect;
+  group_a->entries.push_back(std::move(entries[seed_a]));
+  group_b->entries.push_back(std::move(entries[seed_b]));
+  std::vector<bool> assigned(entries.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = entries.size() - 2;
+
+  while (remaining > 0) {
+    if (group_a->entries.size() + remaining == options_.min_entries ||
+        group_b->entries.size() + remaining == options_.min_entries) {
+      Node* needy = group_a->entries.size() + remaining == options_.min_entries
+                        ? group_a
+                        : group_b;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          needy->entries.push_back(std::move(entries[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    size_t pick = 0;
+    double best_diff = -1.0;
+    double pick_enl_a = 0.0, pick_enl_b = 0.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      const double enl_a = mbr_a.Enlargement(entries[i].rect);
+      const double enl_b = mbr_b.Enlargement(entries[i].rect);
+      if (std::abs(enl_a - enl_b) > best_diff) {
+        best_diff = std::abs(enl_a - enl_b);
+        pick = i;
+        pick_enl_a = enl_a;
+        pick_enl_b = enl_b;
+      }
+    }
+    Node* target;
+    if (pick_enl_a < pick_enl_b) {
+      target = group_a;
+    } else if (pick_enl_b < pick_enl_a) {
+      target = group_b;
+    } else {
+      target = group_a->entries.size() <= group_b->entries.size() ? group_a
+                                                                  : group_b;
+    }
+    (target == group_a ? mbr_a : mbr_b).Extend(entries[pick].rect);
+    target->entries.push_back(std::move(entries[pick]));
+    assigned[pick] = true;
+    --remaining;
+  }
+}
+
+struct IurTree::InsertResult {
+  std::unique_ptr<Node> split_off;
+};
+
+IurTree::InsertResult IurTree::InsertRec(Node* node, Entry entry,
+                                         size_t node_height) {
+  if (node->leaf) {
+    node->entries.push_back(std::move(entry));
+  } else {
+    // Choose the child needing the least enlargement.
+    size_t best = 0;
+    double best_enlargement = 0.0;
+    double best_area = 0.0;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      const double enl = node->entries[i].rect.Enlargement(entry.rect);
+      const double area = node->entries[i].rect.Area();
+      if (i == 0 || enl < best_enlargement ||
+          (enl == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enl;
+        best_area = area;
+      }
+    }
+    Entry& slot = node->entries[best];
+    InsertResult child_result =
+        InsertRec(slot.child.get(), std::move(entry), node_height - 1);
+    // Refresh the slot from its (possibly split) child.
+    std::unique_ptr<Node> child = std::move(slot.child);
+    Entry refreshed = MakeParentEntry(std::move(child));
+    refreshed.id = kNoObject;
+    node->entries[best] = std::move(refreshed);
+    if (child_result.split_off) {
+      node->entries.push_back(
+          MakeParentEntry(std::move(child_result.split_off)));
+    }
+  }
+  InsertResult result;
+  if (node->entries.size() > options_.max_entries) {
+    SplitNode(node, &result.split_off);
+  }
+  return result;
+}
+
+void IurTree::Insert(uint32_t id, Point loc, const TermVector* doc,
+                     uint32_t cluster) {
+  Entry e;
+  e.rect = Rect::FromPoint(loc);
+  e.summary = TextSummary::FromDoc(*doc);
+  e.id = id;
+  if (cluster != kNoCluster) {
+    e.clusters.push_back({cluster, e.summary});
+    clustered_ = true;
+  }
+  InsertResult result = InsertRec(root_.get(), std::move(e), height());
+  if (result.split_off) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->entries.push_back(MakeParentEntry(std::move(root_)));
+    new_root->entries.push_back(MakeParentEntry(std::move(result.split_off)));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  storage_dirty_ = true;
+}
+
+namespace {
+
+/// Recomputes a parent entry's rect/summary/clusters from its child node.
+void RefreshEntry(IurTree::Entry* e) {
+  e->rect = e->child->ComputeMbr();
+  e->summary = TextSummary();
+  e->clusters.clear();
+  for (const IurTree::Entry& ce : e->child->entries) {
+    e->summary = TextSummary::Merge(e->summary, ce.summary);
+    e->clusters = MergeClusterLists(e->clusters, ce.clusters);
+  }
+}
+
+/// Collects all object entries beneath `entry` (moving them out).
+void FlattenToObjects(IurTree::Entry entry,
+                      std::vector<IurTree::Entry>* out) {
+  if (entry.is_object()) {
+    out->push_back(std::move(entry));
+    return;
+  }
+  for (IurTree::Entry& ce : entry.child->entries) {
+    FlattenToObjects(std::move(ce), out);
+  }
+}
+
+}  // namespace
+
+bool IurTree::DeleteRec(Node* node, uint32_t id, const Rect& target,
+                        std::vector<Entry>* orphans) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id && node->entries[i].rect == target) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    Entry& e = node->entries[i];
+    if (!e.rect.Contains(target)) continue;
+    if (!DeleteRec(e.child.get(), id, target, orphans)) continue;
+    if (e.child->entries.size() < options_.min_entries) {
+      // Condense: re-home the survivors, drop the underfull node.
+      for (Entry& ce : e.child->entries) {
+        FlattenToObjects(std::move(ce), orphans);
+      }
+      node->entries.erase(node->entries.begin() + i);
+    } else {
+      RefreshEntry(&e);
+    }
+    return true;
+  }
+  return false;
+}
+
+Status IurTree::Delete(uint32_t id, Point loc) {
+  std::vector<Entry> orphans;
+  if (!DeleteRec(root_.get(), id, Rect::FromPoint(loc), &orphans)) {
+    return Status::NotFound("no such (id, location)");
+  }
+  --size_;
+  // Shrink an internal root down to its single child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    root_ = std::move(root_->entries.front().child);
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  for (Entry& orphan : orphans) {
+    InsertResult result =
+        InsertRec(root_.get(), std::move(orphan), height());
+    if (result.split_off) {
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->entries.push_back(MakeParentEntry(std::move(root_)));
+      new_root->entries.push_back(
+          MakeParentEntry(std::move(result.split_off)));
+      root_ = std::move(new_root);
+    }
+  }
+  storage_dirty_ = true;
+  return Status::Ok();
+}
+
+void IurTree::SerializeNode(Node* node) {
+  if (!node->leaf) {
+    for (Entry& e : node->entries) SerializeNode(e.child.get());
+  }
+  // Structural record: what an R-tree page would hold.
+  std::string record;
+  record.push_back(node->leaf ? 1 : 0);
+  PutVarint32(&record, static_cast<uint32_t>(node->entries.size()));
+  for (const Entry& e : node->entries) {
+    PutDouble(&record, e.rect.min_x);
+    PutDouble(&record, e.rect.min_y);
+    PutDouble(&record, e.rect.max_x);
+    PutDouble(&record, e.rect.max_y);
+    PutVarint32(&record, e.id == kNoObject ? 0 : e.id + 1);
+    PutVarint32(&record, e.count());
+  }
+  node->record_handle = page_store_->Write(record);
+
+  // Inverted file: per-term <child, maxw, minw> postings (the MIR-tree
+  // content), plus the per-cluster summaries when clustered.
+  InvertedFile file;
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    const Entry& e = node->entries[i];
+    for (const TermWeight& tw : e.summary.uni.entries()) {
+      file[tw.term].push_back(
+          {static_cast<uint32_t>(i), tw.weight, e.summary.intr.Get(tw.term)});
+    }
+  }
+  std::string payload;
+  EncodeInvertedFile(file, &payload);
+  if (clustered_) {
+    for (const Entry& e : node->entries) {
+      PutVarint32(&payload, static_cast<uint32_t>(e.clusters.size()));
+      for (const auto& [cluster_id, summary] : e.clusters) {
+        PutVarint32(&payload, cluster_id);
+        EncodeTextSummary(summary, &payload);
+      }
+    }
+  }
+  node->invfile_handle = page_store_->Write(payload);
+}
+
+void IurTree::FinalizeStorage() {
+  if (!options_.store_payloads) {
+    storage_dirty_ = false;
+    return;
+  }
+  page_store_ = std::make_unique<PageStore>();
+  SerializeNode(root_.get());
+  storage_dirty_ = false;
+}
+
+size_t IurTree::height() const {
+  size_t h = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->entries.front().child.get();
+    ++h;
+  }
+  return h;
+}
+
+size_t IurTree::NodeCount() const {
+  size_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!node->leaf) {
+      for (const Entry& e : node->entries) stack.push_back(e.child.get());
+    }
+  }
+  return count;
+}
+
+uint64_t IurTree::IndexBytes() const { return page_store_->PayloadBytes(); }
+
+void IurTree::ChargeAccess(const Node* node, IoStats* stats) const {
+  if (stats == nullptr) return;
+  stats->AddNodeRead();
+  if (!storage_dirty_ && node->invfile_handle.valid()) {
+    stats->AddPayloadRead(node->invfile_handle.bytes);
+  }
+}
+
+Status IurTree::ReadNodePayload(const Node* node, BufferPool* pool,
+                                IoStats* stats, InvertedFile* out) const {
+  if (storage_dirty_ || !node->invfile_handle.valid()) {
+    return Status::FailedPrecondition("storage not finalized");
+  }
+  stats->AddNodeRead();
+  auto payload = pool->Fetch(node->invfile_handle, stats);
+  if (!payload.ok()) return payload.status();
+  size_t offset = 0;
+  return DecodeInvertedFile(*payload.value(), &offset, out);
+}
+
+Status IurTree::CheckInvariants(
+    const std::function<const TermVector*(uint32_t)>& doc_of) const {
+  struct Frame {
+    const Node* node;
+    size_t depth;
+  };
+  size_t leaf_depth = SIZE_MAX;
+  uint64_t objects_seen = 0;
+  std::vector<Frame> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (node->entries.size() > options_.max_entries) {
+      return Status::Corruption("node overflow");
+    }
+    if (node->leaf) {
+      if (leaf_depth == SIZE_MAX) leaf_depth = depth;
+      if (depth != leaf_depth) return Status::Corruption("unequal leaf depth");
+      for (const Entry& e : node->entries) {
+        if (!e.is_object()) return Status::Corruption("leaf with child");
+        if (e.count() != 1) return Status::Corruption("leaf entry count != 1");
+        const TermVector* doc = doc_of(e.id);
+        if (doc == nullptr) return Status::Corruption("unknown object id");
+        if (!(e.summary.uni == *doc) || !(e.summary.intr == *doc)) {
+          return Status::Corruption("leaf summary != document");
+        }
+        if (clustered_ && e.clusters.size() != 1) {
+          return Status::Corruption("leaf cluster list size != 1");
+        }
+        ++objects_seen;
+      }
+      continue;
+    }
+    for (const Entry& e : node->entries) {
+      if (e.is_object()) return Status::Corruption("internal object entry");
+      const Node* child = e.child.get();
+      if (!(e.rect == child->ComputeMbr())) {
+        return Status::Corruption("stale MBR");
+      }
+      TextSummary expected;
+      ClusterList expected_clusters;
+      for (const Entry& ce : child->entries) {
+        expected = TextSummary::Merge(expected, ce.summary);
+        expected_clusters = MergeClusterLists(expected_clusters, ce.clusters);
+      }
+      if (!(expected.uni == e.summary.uni) ||
+          !(expected.intr == e.summary.intr) ||
+          expected.count != e.summary.count) {
+        return Status::Corruption("stale text summary");
+      }
+      if (expected_clusters.size() != e.clusters.size()) {
+        return Status::Corruption("stale cluster list");
+      }
+      uint32_t cluster_total = 0;
+      for (size_t i = 0; i < expected_clusters.size(); ++i) {
+        if (expected_clusters[i].first != e.clusters[i].first ||
+            !(expected_clusters[i].second.uni == e.clusters[i].second.uni) ||
+            !(expected_clusters[i].second.intr == e.clusters[i].second.intr) ||
+            expected_clusters[i].second.count != e.clusters[i].second.count) {
+          return Status::Corruption("stale cluster summary");
+        }
+        cluster_total += e.clusters[i].second.count;
+      }
+      if (clustered_ && cluster_total != e.count()) {
+        return Status::Corruption("cluster counts do not partition entry");
+      }
+      stack.push_back({child, depth + 1});
+    }
+  }
+  if (objects_seen != size_) return Status::Corruption("size mismatch");
+  return Status::Ok();
+}
+
+TextBounds EntryTextBounds(const IurTree::Entry& entry,
+                           const TextSummary& other,
+                           const TextSimilarity& sim) {
+  if (entry.clusters.empty()) {
+    return {sim.MinSim(entry.summary, other), sim.MaxSim(entry.summary, other)};
+  }
+  TextBounds bounds{1.0, 0.0};
+  for (const auto& [cluster_id, summary] : entry.clusters) {
+    bounds.min_sim = std::min(bounds.min_sim, sim.MinSim(summary, other));
+    bounds.max_sim = std::max(bounds.max_sim, sim.MaxSim(summary, other));
+  }
+  return bounds;
+}
+
+TextBounds EntryPairTextBounds(const IurTree::Entry& a, const IurTree::Entry& b,
+                               const TextSimilarity& sim) {
+  if (a.clusters.empty() && b.clusters.empty()) {
+    return {sim.MinSim(a.summary, b.summary), sim.MaxSim(a.summary, b.summary)};
+  }
+  // Treat an unclustered side as one blended cluster.
+  const std::vector<std::pair<uint32_t, TextSummary>> blended_a =
+      a.clusters.empty()
+          ? std::vector<std::pair<uint32_t, TextSummary>>{{0, a.summary}}
+          : a.clusters;
+  const std::vector<std::pair<uint32_t, TextSummary>> blended_b =
+      b.clusters.empty()
+          ? std::vector<std::pair<uint32_t, TextSummary>>{{0, b.summary}}
+          : b.clusters;
+  TextBounds bounds{1.0, 0.0};
+  for (const auto& [ca, sa] : blended_a) {
+    for (const auto& [cb, sb] : blended_b) {
+      bounds.min_sim = std::min(bounds.min_sim, sim.MinSim(sa, sb));
+      bounds.max_sim = std::max(bounds.max_sim, sim.MaxSim(sa, sb));
+    }
+  }
+  return bounds;
+}
+
+TextBounds EntryTextBoundsVsClusters(const TextSummary& a,
+                                     const IurTree::Entry& b,
+                                     const TextSimilarity& sim) {
+  if (b.clusters.empty()) {
+    return {sim.MinSim(a, b.summary), sim.MaxSim(a, b.summary)};
+  }
+  TextBounds bounds{1.0, 0.0};
+  for (const auto& [cluster_id, summary] : b.clusters) {
+    bounds.min_sim = std::min(bounds.min_sim, sim.MinSim(a, summary));
+    bounds.max_sim = std::max(bounds.max_sim, sim.MaxSim(a, summary));
+  }
+  return bounds;
+}
+
+double EntryClusterEntropy(const IurTree::Entry& entry) {
+  if (entry.clusters.empty()) return 0.0;
+  std::vector<uint32_t> counts;
+  counts.reserve(entry.clusters.size());
+  for (const auto& [cluster_id, summary] : entry.clusters) {
+    counts.push_back(summary.count);
+  }
+  return ClusterEntropy(counts);
+}
+
+}  // namespace rst

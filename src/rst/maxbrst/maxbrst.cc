@@ -1,0 +1,442 @@
+#include "rst/maxbrst/maxbrst.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace rst {
+
+namespace {
+
+/// Calls `fn(combo)` for every size-`ws` combination of `pool` (ascending,
+/// lexicographic order). `fn` returns false to stop enumeration.
+template <typename Fn>
+void ForEachCombination(const std::vector<TermId>& pool, size_t ws, Fn fn) {
+  if (ws == 0 || pool.size() < ws) return;
+  std::vector<size_t> idx(ws);
+  for (size_t i = 0; i < ws; ++i) idx[i] = i;
+  std::vector<TermId> combo(ws);
+  while (true) {
+    for (size_t i = 0; i < ws; ++i) combo[i] = pool[idx[i]];
+    if (!fn(combo)) return;
+    // Advance.
+    size_t i = ws;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + pool.size() - ws) {
+        ++idx[i];
+        for (size_t j = i + 1; j < ws; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+/// Keywords of `user` that appear in the candidate pool, sorted by their
+/// weight in `ctx.full_vec` (descending; ties by term id).
+std::vector<TermId> UserPoolKeywordsByWeight(const StUser& user,
+                                             const PlacementContext& ctx) {
+  std::vector<TermId> out;
+  for (TermId w : ctx.keywords) {
+    if (user.keywords.Contains(w)) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end(), [&ctx](TermId a, TermId b) {
+    const float wa = ctx.full_vec.Get(a);
+    const float wb = ctx.full_vec.Get(b);
+    return wa > wb || (wa == wb && a < b);
+  });
+  return out;
+}
+
+}  // namespace
+
+PlacementContext PlacementContext::Make(const Dataset& dataset,
+                                        const MaxBrstQuery& query) {
+  PlacementContext ctx;
+  ctx.keywords = query.keywords;
+  std::sort(ctx.keywords.begin(), ctx.keywords.end());
+  ctx.keywords.erase(std::unique(ctx.keywords.begin(), ctx.keywords.end()),
+                     ctx.keywords.end());
+
+  // Weight the document (existing ∪ W) once; candidate keywords enter with
+  // term frequency 1 (unless already present in the existing text). For the
+  // length-sensitive language model the effective document length is
+  // |existing| + w_s — the length of every size-w_s placement actually
+  // evaluated — so the fixed per-term weights are exact for those
+  // combinations (Lemma 3 stays exact; see header).
+  RawDocument full = query.existing_raw;
+  for (TermId w : ctx.keywords) {
+    bool present = false;
+    for (auto& [t, c] : full.term_counts) {
+      if (t == w) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) full.term_counts.push_back({w, 1});
+  }
+  std::sort(full.term_counts.begin(), full.term_counts.end());
+  const WeightingOptions& weighting = dataset.weighting();
+  if (weighting.scheme == Weighting::kLanguageModel) {
+    const double eff_len =
+        static_cast<double>(query.existing_raw.Length() +
+                            std::min(query.ws, ctx.keywords.size()));
+    std::vector<TermWeight> entries;
+    for (const auto& [term, count] : full.term_counts) {
+      const double w =
+          (1.0 - weighting.lambda) *
+              (eff_len > 0 ? static_cast<double>(count) / eff_len : 0.0) +
+          weighting.lambda * dataset.stats().CollectionProb(term);
+      if (w > 0.0) entries.push_back({term, static_cast<float>(w)});
+    }
+    ctx.full_vec = TermVector::FromUnsorted(std::move(entries));
+  } else {
+    ctx.full_vec = BuildWeightedVector(full, dataset.stats(), weighting);
+  }
+  // Clamp per-term weights to the corpus maxima: the placed object cannot be
+  // more relevant for a term than the most relevant organic object (this
+  // also keeps the kSum normalizers dominating every scored weight, and
+  // prevents a short ad document from saturating coverage under the
+  // length-normalized language model).
+  {
+    std::vector<TermWeight> clamped;
+    clamped.reserve(ctx.full_vec.size());
+    const std::vector<float>& cmax = dataset.corpus_max();
+    for (const TermWeight& e : ctx.full_vec.entries()) {
+      const float cap = e.term < cmax.size() ? cmax[e.term] : e.weight;
+      clamped.push_back({e.term, std::min(e.weight, cap)});
+    }
+    ctx.full_vec = TermVector::FromSorted(std::move(clamped));
+  }
+
+  std::vector<TermId> existing_terms;
+  for (const auto& [t, c] : query.existing_raw.term_counts) {
+    existing_terms.push_back(t);
+  }
+  ctx.existing_vec = ctx.full_vec.Restrict(TermVector::FromTerms(existing_terms));
+  return ctx;
+}
+
+TermVector PlacementContext::VecWith(const std::vector<TermId>& combo) const {
+  TermVector mask = TermVector::FromTerms(combo);
+  return TermVector::UnionMax(existing_vec, full_vec.Restrict(mask));
+}
+
+std::vector<uint32_t> EvaluatePlacement(const std::vector<StUser>& users,
+                                        const std::vector<uint32_t>& candidates,
+                                        const std::vector<double>& rsk,
+                                        const StScorer& scorer, Point loc,
+                                        const TermVector& vec,
+                                        MaxBrstStats* stats) {
+  std::vector<uint32_t> covered;
+  for (uint32_t uid : candidates) {
+    const StUser& user = users[uid];
+    const double score = scorer.Score(loc, vec, user.loc, user.keywords);
+    if (stats != nullptr) ++stats->user_evaluations;
+    if (rsk[uid] < 0.0 || score >= rsk[uid]) covered.push_back(uid);
+  }
+  std::sort(covered.begin(), covered.end());
+  return covered;
+}
+
+double MaxBrstSolver::UpperBoundForUser(const StUser& user,
+                                        const PlacementContext& ctx, Point loc,
+                                        size_t ws) const {
+  std::vector<TermId> best = UserPoolKeywordsByWeight(user, ctx);
+  if (best.size() > ws) best.resize(ws);
+  const TermVector vec = ctx.VecWith(best);
+  return scorer_->Score(loc, vec, user.loc, user.keywords);
+}
+
+double MaxBrstSolver::LowerBoundForUser(const StUser& user,
+                                        const PlacementContext& ctx,
+                                        Point loc) const {
+  return scorer_->Score(loc, ctx.existing_vec, user.loc, user.keywords);
+}
+
+std::vector<TermId> MaxBrstSolver::SelectKeywords(
+    const std::vector<StUser>& users, const std::vector<uint32_t>& lu,
+    const std::vector<double>& rsk, const PlacementContext& ctx, Point loc,
+    size_t ws, KeywordSelect method, MaxBrstStats* stats) const {
+  // Candidate keywords: W restricted to terms some LU user actually has
+  // (others cannot change any relevant score).
+  std::set<TermId> user_terms;
+  for (uint32_t uid : lu) {
+    for (const TermWeight& e : users[uid].keywords.entries()) {
+      user_terms.insert(e.term);
+    }
+  }
+  std::vector<TermId> pool;
+  for (TermId w : ctx.keywords) {
+    if (user_terms.count(w)) pool.push_back(w);
+  }
+  // Early termination: at most ws useful keywords exist.
+  if (pool.size() <= ws) return pool;
+
+  if (method == KeywordSelect::kExact) {
+    // Keyword-independent part: users covered by the existing text alone
+    // (Algorithm 4 line 4.6) are hoisted out of the enumeration.
+    size_t base_count = 0;
+    std::vector<uint32_t> contested;
+    for (uint32_t uid : lu) {
+      if (rsk[uid] < 0.0 ||
+          LowerBoundForUser(users[uid], ctx, loc) >= rsk[uid]) {
+        ++base_count;
+      } else {
+        contested.push_back(uid);
+      }
+    }
+    std::vector<TermId> best_combo;
+    size_t best_count = 0;
+    bool first = true;
+    ForEachCombination(pool, ws, [&](const std::vector<TermId>& combo) {
+      ++stats->combinations_evaluated;
+      const TermVector vec = ctx.VecWith(combo);
+      const TermVector combo_vec = TermVector::FromTerms(combo);
+      size_t count = base_count;
+      for (uint32_t uid : contested) {
+        const StUser& user = users[uid];
+        if (user.keywords.OverlapCount(combo_vec) == 0) {
+          continue;  // keywords do not touch this user
+        }
+        ++stats->user_evaluations;
+        if (scorer_->Score(loc, vec, user.loc, user.keywords) >= rsk[uid]) {
+          ++count;
+        }
+      }
+      if (first || count > best_count) {
+        best_combo = combo;
+        best_count = count;
+        first = false;
+      }
+      return true;
+    });
+    return best_combo;
+  }
+
+  // Approximate method: greedy Maximum Coverage with *grounded* marginal
+  // gains. The 2016 paper builds per-keyword user lists LUW_w from the
+  // upper-bound membership test "u is coverable by {w} + u's own heaviest
+  // partners" and runs set-cover greedy over them; but the partners that put
+  // u into LUW_w need not be selected in the end, so the chosen set's actual
+  // coverage can collapse to zero (we observed exactly that under TF-IDF
+  // with larger k). We therefore measure each candidate keyword's marginal
+  // gain on the *actual* covered-user set of (existing ∪ chosen ∪ {w}) —
+  // the same greedy shape and cost regime, grounded in the true objective.
+  size_t base_count = 0;
+  std::vector<uint32_t> contested;
+  for (uint32_t uid : lu) {
+    if (rsk[uid] < 0.0 ||
+        LowerBoundForUser(users[uid], ctx, loc) >= rsk[uid]) {
+      ++base_count;
+    } else {
+      contested.push_back(uid);
+    }
+  }
+  std::vector<TermId> chosen;
+  std::set<uint32_t> covered;
+  for (size_t round = 0; round < ws; ++round) {
+    TermId best_w = 0;
+    size_t best_gain = 0;
+    bool found = false;
+    std::vector<TermId> trial = chosen;
+    trial.push_back(0);
+    for (TermId w : pool) {
+      if (std::find(chosen.begin(), chosen.end(), w) != chosen.end()) {
+        continue;
+      }
+      trial.back() = w;
+      const TermVector vec = ctx.VecWith(trial);
+      size_t gain = 0;
+      for (uint32_t uid : contested) {
+        if (covered.count(uid)) continue;
+        const StUser& user = users[uid];
+        if (!user.keywords.Contains(w) &&
+            user.keywords.OverlapCount(TermVector::FromTerms(chosen)) == 0) {
+          continue;  // score unchanged and previously uncovered
+        }
+        ++stats->user_evaluations;
+        if (scorer_->Score(loc, vec, user.loc, user.keywords) >= rsk[uid]) {
+          ++gain;
+        }
+      }
+      if (!found || gain > best_gain || (gain == best_gain && w < best_w)) {
+        best_w = w;
+        best_gain = gain;
+        found = true;
+      }
+    }
+    if (!found) break;
+    if (best_gain == 0) {
+      // No single keyword covers anyone yet (common under the length-
+      // normalized language model, where per-term weights dilute with w_s):
+      // invest in the keyword with the largest total weight over still-
+      // uncovered users so multi-keyword coverage can materialize.
+      double best_potential = -1.0;
+      bool any = false;
+      for (TermId w : pool) {
+        if (std::find(chosen.begin(), chosen.end(), w) != chosen.end()) {
+          continue;
+        }
+        double potential = 0.0;
+        for (uint32_t uid : contested) {
+          if (covered.count(uid)) continue;
+          if (users[uid].keywords.Contains(w)) {
+            potential += ctx.full_vec.Get(w);
+          }
+        }
+        if (!any || potential > best_potential ||
+            (potential == best_potential && w < best_w)) {
+          best_w = w;
+          best_potential = potential;
+          any = true;
+        }
+      }
+      if (!any || best_potential <= 0.0) break;
+    }
+    chosen.push_back(best_w);
+    const TermVector vec = ctx.VecWith(chosen);
+    for (uint32_t uid : contested) {
+      if (covered.count(uid)) continue;
+      ++stats->user_evaluations;
+      if (scorer_->Score(loc, vec, users[uid].loc, users[uid].keywords) >=
+          rsk[uid]) {
+        covered.insert(uid);
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+MaxBrstResult MaxBrstSolver::Solve(const std::vector<StUser>& users,
+                                   const std::vector<double>& rsk,
+                                   const MaxBrstQuery& query,
+                                   KeywordSelect method) const {
+  std::vector<MaxBrstResult> top = SolveTopL(users, rsk, query, method, 1);
+  if (!top.empty()) return std::move(top.front());
+  return MaxBrstResult{};
+}
+
+std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
+    const std::vector<StUser>& users, const std::vector<double>& rsk,
+    const MaxBrstQuery& query, KeywordSelect method, size_t ell) const {
+  if (ell == 0) return {};
+  MaxBrstResult result;
+  const PlacementContext ctx = PlacementContext::Make(*dataset_, query);
+
+  // Per-user, location-independent text parts of the bounds.
+  std::vector<double> ts_upper(users.size());
+  for (const StUser& user : users) {
+    std::vector<TermId> best = UserPoolKeywordsByWeight(user, ctx);
+    if (best.size() > query.ws) best.resize(query.ws);
+    ts_upper[user.id] =
+        scorer_->text().Sim(ctx.VecWith(best), user.keywords);
+  }
+  const double alpha = scorer_->options().alpha;
+
+  // LU_ℓ for every location.
+  struct LocationCand {
+    size_t index;
+    std::vector<uint32_t> lu;
+  };
+  std::vector<LocationCand> locations;
+  for (size_t li = 0; li < query.locations.size(); ++li) {
+    LocationCand cand;
+    cand.index = li;
+    for (const StUser& user : users) {
+      const double ubl =
+          alpha * scorer_->SpatialSim(
+                      Distance(query.locations[li], user.loc)) +
+          (1.0 - alpha) * ts_upper[user.id];
+      if (rsk[user.id] < 0.0 || ubl >= rsk[user.id]) {
+        cand.lu.push_back(user.id);
+      }
+    }
+    if (cand.lu.empty()) {
+      ++result.stats.locations_pruned;
+      continue;
+    }
+    locations.push_back(std::move(cand));
+  }
+  // Best-first: largest candidate list first (ties by index for determinism).
+  std::sort(locations.begin(), locations.end(),
+            [](const LocationCand& a, const LocationCand& b) {
+              return a.lu.size() > b.lu.size() ||
+                     (a.lu.size() == b.lu.size() && a.index < b.index);
+            });
+
+  std::vector<MaxBrstResult> best;  // descending coverage, capacity ell
+  for (const LocationCand& cand : locations) {
+    // Early termination: |LU| upper-bounds achievable coverage; once the
+    // ℓ-th best result is at least that, later (smaller) lists cannot enter.
+    if (best.size() == ell && cand.lu.size() <= best.back().coverage()) {
+      result.stats.early_terminated = true;
+      break;
+    }
+    const Point loc = query.locations[cand.index];
+    const std::vector<TermId> keywords = SelectKeywords(
+        users, cand.lu, rsk, ctx, loc, query.ws, method, &result.stats);
+    const std::vector<uint32_t> covered =
+        EvaluatePlacement(users, cand.lu, rsk, *scorer_, loc,
+                          ctx.VecWith(keywords), &result.stats);
+    MaxBrstResult entry;
+    entry.location_index = cand.index;
+    entry.keywords = keywords;
+    entry.covered_users = covered;
+    const auto pos = std::upper_bound(
+        best.begin(), best.end(), entry,
+        [](const MaxBrstResult& a, const MaxBrstResult& b) {
+          return a.coverage() > b.coverage() ||
+                 (a.coverage() == b.coverage() &&
+                  a.location_index < b.location_index);
+        });
+    best.insert(pos, std::move(entry));
+    if (best.size() > ell) best.pop_back();
+  }
+  if (!best.empty()) {
+    best.front().stats = result.stats;  // aggregate work stats on the winner
+  } else if (ell > 0) {
+    best.push_back(std::move(result));  // empty result carrying the stats
+  }
+  return best;
+}
+
+MaxBrstResult BruteForceMaxBrst(const std::vector<StUser>& users,
+                                const std::vector<double>& rsk,
+                                const Dataset& dataset, const StScorer& scorer,
+                                const MaxBrstQuery& query) {
+  MaxBrstResult result;
+  const PlacementContext ctx = PlacementContext::Make(dataset, query);
+  std::vector<uint32_t> everyone;
+  for (const StUser& u : users) everyone.push_back(u.id);
+  const size_t ws = std::min(query.ws, ctx.keywords.size());
+
+  auto consider = [&](size_t li, const std::vector<TermId>& combo) {
+    ++result.stats.combinations_evaluated;
+    const std::vector<uint32_t> covered =
+        EvaluatePlacement(users, everyone, rsk, scorer, query.locations[li],
+                          ctx.VecWith(combo), &result.stats);
+    if (result.location_index == SIZE_MAX ||
+        covered.size() > result.covered_users.size()) {
+      result.location_index = li;
+      result.keywords = combo;
+      result.covered_users = covered;
+    }
+  };
+
+  for (size_t li = 0; li < query.locations.size(); ++li) {
+    if (ws == 0) {
+      consider(li, {});
+      continue;
+    }
+    ForEachCombination(ctx.keywords, ws, [&](const std::vector<TermId>& combo) {
+      consider(li, combo);
+      return true;
+    });
+  }
+  return result;
+}
+
+}  // namespace rst

@@ -1,0 +1,138 @@
+#ifndef RST_MAXBRST_MAXBRST_H_
+#define RST_MAXBRST_MAXBRST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rst/data/dataset.h"
+#include "rst/maxbrst/joint_topk.h"
+#include "rst/text/similarity.h"
+
+namespace rst {
+
+/// A MaxBRSTkNN query (2016 paper, Definition 1): choose a location ℓ ∈ L
+/// and keywords W' ⊆ W with |W'| ≤ w_s for the object-to-place o_x so that
+/// the number of users whose spatial-textual top-k would include o_x is
+/// maximized. A user u counts as covered iff STS(o_x, u) >= RS_k(u) (ties
+/// resolve in the new object's favor, mirroring the RSTkNN convention).
+struct MaxBrstQuery {
+  RawDocument existing_raw;       ///< o_x's existing text (may be empty)
+  std::vector<Point> locations;   ///< L
+  std::vector<TermId> keywords;   ///< W
+  size_t ws = 2;                  ///< max keywords to add
+  size_t k = 10;
+};
+
+/// Keyword weights for o_x are fixed per term by weighting the document
+/// (existing ∪ W) once under the dataset's scheme; a combination c then
+/// scores with the restriction of that vector to (existing ∪ c). This keeps
+/// Lemma 3 exact for every weighting scheme (see DESIGN.md §3.4).
+struct PlacementContext {
+  TermVector full_vec;       ///< weighted vector of existing ∪ W
+  TermVector existing_vec;   ///< restriction to the existing terms
+  std::vector<TermId> keywords;  ///< W, sorted ascending
+
+  static PlacementContext Make(const Dataset& dataset,
+                               const MaxBrstQuery& query);
+
+  /// The weighted vector of o_x with combination `combo` added.
+  TermVector VecWith(const std::vector<TermId>& combo) const;
+};
+
+enum class KeywordSelect {
+  kApprox,  ///< greedy Maximum-Coverage ((1 − 1/e)-approximation)
+  kExact,   ///< pruned exhaustive enumeration (Algorithm 4)
+};
+
+struct MaxBrstStats {
+  uint64_t locations_pruned = 0;     ///< dropped by the super-user filter
+  uint64_t combinations_evaluated = 0;
+  uint64_t user_evaluations = 0;     ///< exact user-score computations
+  bool early_terminated = false;     ///< best-first loop stopped early
+};
+
+struct MaxBrstResult {
+  size_t location_index = SIZE_MAX;  ///< index into query.locations
+  std::vector<TermId> keywords;      ///< chosen W' (ascending)
+  std::vector<uint32_t> covered_users;  ///< BRSTkNN user ids (ascending)
+  MaxBrstStats stats;
+
+  size_t coverage() const { return covered_users.size(); }
+};
+
+/// Users covered by placing o_x at `loc` with text `vec` — the exact
+/// BRSTkNN membership test against per-user thresholds `rsk` (RS_k(u) per
+/// user id; negative = fewer than k competitors, always covered).
+/// `candidates` restricts the users tested (ids).
+std::vector<uint32_t> EvaluatePlacement(const std::vector<StUser>& users,
+                                        const std::vector<uint32_t>& candidates,
+                                        const std::vector<double>& rsk,
+                                        const StScorer& scorer, Point loc,
+                                        const TermVector& vec,
+                                        MaxBrstStats* stats);
+
+/// Candidate-selection solver (2016 paper §6, Algorithm 3): per-location user
+/// lists from upper-bound filtering, best-first location processing with
+/// early termination, and greedy / exact keyword selection per location.
+///
+/// Note on the paper's Lines 3.11–3.13 (super-user lower-bound shortcut):
+/// as stated there it compares LBL(ℓ, u_s) against RS_k(u_s), but
+/// RS_k(u) >= RS_k(u_s), so passing that test does not imply every user in
+/// LU_ℓ is covered. This implementation keeps the (sound) per-user
+/// lower-bound shortcut inside keyword selection instead (Algorithm 4 line
+/// 4.6) — see DESIGN.md.
+class MaxBrstSolver {
+ public:
+  /// The scorer's text measure must treat the second argument as a user
+  /// keyword set (kSum). All referents must outlive the solver.
+  MaxBrstSolver(const Dataset* dataset, const StScorer* scorer)
+      : dataset_(dataset), scorer_(scorer) {}
+
+  /// `rsk[u.id]` must hold RS_k(u) (e.g. from JointTopKProcessor).
+  MaxBrstResult Solve(const std::vector<StUser>& users,
+                      const std::vector<double>& rsk,
+                      const MaxBrstQuery& query, KeywordSelect method) const;
+
+  /// ℓ-MaxBRSTkNN extension: the `ell` best placements at distinct
+  /// locations, ordered by descending coverage (ties by location index).
+  /// SolveTopL(..., 1) returns exactly { Solve(...) }'s tuple. Early
+  /// termination adapts to the ℓ-th best coverage found so far.
+  std::vector<MaxBrstResult> SolveTopL(const std::vector<StUser>& users,
+                                       const std::vector<double>& rsk,
+                                       const MaxBrstQuery& query,
+                                       KeywordSelect method, size_t ell) const;
+
+  /// Keyword selection for one location over a fixed candidate-user list;
+  /// exposed for the MIUR variant. Returns chosen keywords; coverage must be
+  /// re-evaluated by the caller for the approximate method.
+  std::vector<TermId> SelectKeywords(const std::vector<StUser>& users,
+                                     const std::vector<uint32_t>& lu,
+                                     const std::vector<double>& rsk,
+                                     const PlacementContext& ctx, Point loc,
+                                     size_t ws, KeywordSelect method,
+                                     MaxBrstStats* stats) const;
+
+  /// Upper bound of the score o_x can reach for user u when placed at `loc`
+  /// with at most `ws` added keywords (Lemma 3, per-user form).
+  double UpperBoundForUser(const StUser& user, const PlacementContext& ctx,
+                           Point loc, size_t ws) const;
+
+  /// Keyword-independent lower bound (existing text only).
+  double LowerBoundForUser(const StUser& user, const PlacementContext& ctx,
+                           Point loc) const;
+
+ private:
+  const Dataset* dataset_;
+  const StScorer* scorer_;
+};
+
+/// Exhaustive oracle: every location × every w_s-combination of W, coverage
+/// over all users. Exponential; tests and approximation-ratio benches only.
+MaxBrstResult BruteForceMaxBrst(const std::vector<StUser>& users,
+                                const std::vector<double>& rsk,
+                                const Dataset& dataset, const StScorer& scorer,
+                                const MaxBrstQuery& query);
+
+}  // namespace rst
+
+#endif  // RST_MAXBRST_MAXBRST_H_

@@ -1,0 +1,252 @@
+#include "rst/maxbrst/miur.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rst {
+
+namespace {
+
+/// An element of a location's candidate list: either a user-tree node
+/// (count() users, bounds from its summary) or a concrete, refined user.
+struct Elem {
+  const IurTree::Entry* node = nullptr;  // nullptr => concrete user
+  uint32_t user = 0;
+
+  uint32_t count() const { return node != nullptr ? node->count() : 1; }
+};
+
+}  // namespace
+
+MiurResult MiurMaxBrstSolver::Solve(const MaxBrstQuery& query,
+                                    KeywordSelect method) const {
+  MiurResult result;
+  const std::vector<StUser>& users = *users_;
+  const PlacementContext ctx = PlacementContext::Make(*dataset_, query);
+  const double alpha = scorer_->options().alpha;
+  MaxBrstSolver inner(dataset_, scorer_);
+
+  // Root super-user == the whole user set; one shared object-tree traversal.
+  SuperUser su;
+  for (const IurTree::Entry& e : user_tree_->root()->entries) {
+    su.mbr.Extend(e.rect);
+    su.keywords = TextSummary::Merge(su.keywords, e.summary);
+  }
+  JointTopKProcessor proc(object_tree_, dataset_, scorer_);
+  const JointTraversal traversal =
+      proc.Traverse(su, query.k, &result.stats.object_io);
+  const double rsk_super = traversal.rsk_super;
+
+  JointTopKResult shared;
+  shared.per_user.resize(users.size());
+  shared.rsk.assign(users.size(), -1.0);
+  std::vector<bool> computed(users.size(), false);
+
+  auto refine_user = [&](uint32_t uid) {
+    if (computed[uid]) return;
+    proc.IndividualTopK({users[uid]}, traversal, query.k, &shared);
+    computed[uid] = true;
+    ++result.stats.users_refined;
+  };
+
+  // Object-side summary available to ANY keyword subset: between the
+  // existing text (intr) and existing ∪ W (uni).
+  TextSummary obj_summary;
+  obj_summary.uni = ctx.VecWith(ctx.keywords);
+  obj_summary.intr = ctx.existing_vec;
+  obj_summary.count = 1;
+
+  // Per-node lower bound on every contained user's RS_k: each user's k-th
+  // best object scores at least the k-th largest guaranteed LO-object score
+  // toward this node (tighter than the global RS_k(u_s)). Cached per node.
+  std::unordered_map<const IurTree::Node*, double> node_rsk_lb;
+  auto node_threshold = [&](const IurTree::Entry& e) -> double {
+    auto it = node_rsk_lb.find(e.child.get());
+    if (it != node_rsk_lb.end()) return it->second;
+    std::vector<double> mins;
+    mins.reserve(traversal.lo.size());
+    for (ObjectId oid : traversal.lo) {
+      const StObject& obj = dataset_->object(oid);
+      const TextSummary osum = TextSummary::FromDoc(obj.doc);
+      mins.push_back(
+          alpha * scorer_->SpatialSim(MaxDistance(obj.loc, e.rect)) +
+          (1.0 - alpha) * scorer_->text().MinSim(osum, e.summary));
+    }
+    double lb = rsk_super;
+    if (mins.size() >= query.k && query.k > 0) {
+      std::nth_element(mins.begin(), mins.begin() + (query.k - 1), mins.end(),
+                       std::greater<>());
+      lb = std::max(lb, mins[query.k - 1]);
+    }
+    node_rsk_lb.emplace(e.child.get(), lb);
+    return lb;
+  };
+  auto node_qualifies = [&](const IurTree::Entry& e, Point loc) {
+    const double threshold = node_threshold(e);
+    if (threshold < 0.0) return true;
+    const double ub =
+        alpha * scorer_->SpatialSim(MinDistance(loc, e.rect)) +
+        (1.0 - alpha) * scorer_->text().MaxSim(obj_summary, e.summary);
+    // RS_k(u) >= threshold for every user below e, so nothing in this
+    // subtree can be covered at `loc` when the upper bound undercuts it.
+    return ub >= threshold;
+  };
+  // Cheap per-user RS_k lower bound (k-th best exact score over the shared
+  // LO pool) — lets a location disqualify a user without ever computing the
+  // user's full top-k ("users pruned"). Lazily cached.
+  std::vector<double> user_rsk_lb(users.size(),
+                                  -std::numeric_limits<double>::infinity());
+  auto user_threshold_lb = [&](uint32_t uid) -> double {
+    if (user_rsk_lb[uid] != -std::numeric_limits<double>::infinity()) {
+      return user_rsk_lb[uid];
+    }
+    // Score the LO pool plus a short prefix of RO (the globally strongest
+    // candidates): the k-th largest of any exact-score subset lower-bounds
+    // RS_k(u) at a fraction of a full refinement's cost.
+    std::vector<double> scores;
+    scores.reserve(traversal.lo.size() + 5 * query.k);
+    for (ObjectId oid : traversal.lo) {
+      const StObject& obj = dataset_->object(oid);
+      scores.push_back(scorer_->Score(obj.loc, obj.doc, users[uid].loc,
+                                      users[uid].keywords));
+    }
+    const size_t prefix = std::min(traversal.ro.size(), 5 * query.k);
+    for (size_t i = 0; i < prefix; ++i) {
+      const StObject& obj = dataset_->object(traversal.ro[i].id);
+      scores.push_back(scorer_->Score(obj.loc, obj.doc, users[uid].loc,
+                                      users[uid].keywords));
+    }
+    double lb = -1.0;
+    if (scores.size() >= query.k && query.k > 0) {
+      std::nth_element(scores.begin(), scores.begin() + (query.k - 1),
+                       scores.end(), std::greater<>());
+      lb = scores[query.k - 1];
+    }
+    user_rsk_lb[uid] = lb;
+    return lb;
+  };
+  auto user_qualifies = [&](uint32_t uid, Point loc) {
+    const double ub = inner.UpperBoundForUser(users[uid], ctx, loc, query.ws);
+    if (!computed[uid]) {
+      const double lb = user_threshold_lb(uid);
+      if (lb >= 0.0 && ub < lb) return false;  // pruned without refinement
+    }
+    refine_user(uid);
+    if (shared.rsk[uid] < 0.0) return true;
+    return ub >= shared.rsk[uid];
+  };
+
+  // Initial LU_ℓ lists from the user-tree root entries.
+  struct LocationState {
+    std::vector<Elem> elems;
+    uint64_t count = 0;
+    bool done = false;
+  };
+  std::vector<LocationState> states(query.locations.size());
+  for (size_t li = 0; li < query.locations.size(); ++li) {
+    const Point loc = query.locations[li];
+    for (const IurTree::Entry& e : user_tree_->root()->entries) {
+      if (e.is_object()) {
+        if (user_qualifies(e.id, loc)) {
+          states[li].elems.push_back({nullptr, e.id});
+          states[li].count += 1;
+        }
+      } else if (node_qualifies(e, loc)) {
+        states[li].elems.push_back({&e, 0});
+        states[li].count += e.count();
+      }
+    }
+    if (states[li].elems.empty()) {
+      states[li].done = true;
+      ++result.best.stats.locations_pruned;
+    }
+  }
+  result.stats.user_io.AddNodeRead();  // the user-tree root itself
+
+  std::unordered_set<const IurTree::Node*> charged_nodes;
+
+  while (true) {
+    // Best-first: the location with the largest remaining upper-bound count.
+    size_t pick = SIZE_MAX;
+    for (size_t li = 0; li < states.size(); ++li) {
+      if (states[li].done) continue;
+      if (pick == SIZE_MAX || states[li].count > states[pick].count) pick = li;
+    }
+    if (pick == SIZE_MAX) break;
+    if (result.best.location_index != SIZE_MAX &&
+        states[pick].count <= result.best.covered_users.size()) {
+      result.best.stats.early_terminated = true;
+      break;
+    }
+
+    LocationState& state = states[pick];
+    // Find the largest unexpanded node element, if any.
+    size_t node_idx = SIZE_MAX;
+    for (size_t i = 0; i < state.elems.size(); ++i) {
+      if (state.elems[i].node != nullptr &&
+          (node_idx == SIZE_MAX ||
+           state.elems[i].count() > state.elems[node_idx].count())) {
+        node_idx = i;
+      }
+    }
+
+    if (node_idx != SIZE_MAX) {
+      const IurTree::Entry* eu = state.elems[node_idx].node;
+      const IurTree::Node* child_node = eu->child.get();
+      if (charged_nodes.insert(child_node).second) {
+        user_tree_->ChargeAccess(child_node, &result.stats.user_io);
+      }
+      // Replace `eu` with its qualifying children in EVERY list holding it,
+      // so the node is processed at most once globally.
+      for (size_t lj = 0; lj < states.size(); ++lj) {
+        if (states[lj].done) continue;
+        auto& elems = states[lj].elems;
+        const auto it = std::find_if(
+            elems.begin(), elems.end(),
+            [eu](const Elem& el) { return el.node == eu; });
+        if (it == elems.end()) continue;
+        elems.erase(it);
+        const Point loc = query.locations[lj];
+        for (const IurTree::Entry& ce : child_node->entries) {
+          if (ce.is_object()) {
+            if (user_qualifies(ce.id, loc)) {
+              elems.push_back({nullptr, ce.id});
+            }
+          } else if (node_qualifies(ce, loc)) {
+            elems.push_back({&ce, 0});
+          }
+        }
+        states[lj].count = 0;
+        for (const Elem& el : elems) states[lj].count += el.count();
+        if (elems.empty()) states[lj].done = true;
+      }
+      continue;
+    }
+
+    // All elements concrete: run keyword selection for this location.
+    std::vector<uint32_t> lu;
+    lu.reserve(state.elems.size());
+    for (const Elem& el : state.elems) lu.push_back(el.user);
+    std::sort(lu.begin(), lu.end());
+    const Point loc = query.locations[pick];
+    const std::vector<TermId> keywords =
+        inner.SelectKeywords(users, lu, shared.rsk, ctx, loc, query.ws, method,
+                             &result.best.stats);
+    const std::vector<uint32_t> covered =
+        EvaluatePlacement(users, lu, shared.rsk, *scorer_, loc,
+                          ctx.VecWith(keywords), &result.best.stats);
+    if (result.best.location_index == SIZE_MAX ||
+        covered.size() > result.best.covered_users.size()) {
+      result.best.location_index = pick;
+      result.best.keywords = keywords;
+      result.best.covered_users = covered;
+    }
+    state.done = true;
+  }
+  return result;
+}
+
+}  // namespace rst

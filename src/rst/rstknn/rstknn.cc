@@ -1,0 +1,564 @@
+#include "rst/rstknn/rstknn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_set>
+
+#include "rst/storage/codec.h"
+
+namespace rst {
+
+namespace {
+
+using Entry = IurTree::Entry;
+using Node = IurTree::Node;
+
+/// A candidate entry of the branch-and-bound search: a subtree (or object)
+/// whose membership in the answer is still to be decided.
+struct Candidate {
+  const Entry* entry = nullptr;
+  /// Nodes on the root path whose subtree contains this entry (used to avoid
+  /// double-counting the candidate's own objects during probes).
+  std::vector<const Node*> path;
+  bool contains_self = false;  ///< subtree holds the query object
+  double q_min = 0.0;          ///< MinST(q, E)
+  double q_max = 0.0;          ///< MaxST(q, E)
+  double priority = 0.0;
+};
+
+/// Collects the node set on the root-to-leaf path of object `id`.
+bool CollectPath(const Node* node, ObjectId id,
+                 std::unordered_set<const Node*>* path) {
+  for (const Entry& e : node->entries) {
+    if (e.is_object()) {
+      if (e.id == id) {
+        path->insert(node);
+        return true;
+      }
+    } else if (CollectPath(e.child.get(), id, path)) {
+      path->insert(node);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CollectObjectIds(const Entry& entry, ObjectId exclude,
+                      std::vector<ObjectId>* out) {
+  if (entry.is_object()) {
+    if (entry.id != exclude) out->push_back(entry.id);
+    return;
+  }
+  for (const Entry& e : entry.child->entries) CollectObjectIds(e, exclude, out);
+}
+
+/// Per-query state threaded through the competitor probes.
+struct ProbeContext {
+  const Candidate* cand;
+  const std::unordered_set<const Node*>* exclude_path;
+  std::unordered_set<const Node*>* charged;
+};
+
+}  // namespace
+
+/// Counts competitor objects of candidate E against `threshold`, stopping at
+/// k. In *guaranteed* mode (prune test, threshold = MaxST(q,E)) an object o'
+/// is counted only when every object of E is certainly more similar to o'
+/// than to q: pair MinST(E, o') > threshold; disjoint subtrees whose MinST
+/// already clears the threshold are counted wholesale. In *potential* mode
+/// (report test, threshold = MinST(q,E)) an object is counted when it COULD
+/// exceed the threshold (pair MaxST > threshold). Traversal is best-first by
+/// pair MaxST, so it terminates as soon as no remaining subtree can matter —
+/// and for an object candidate in guaranteed mode the count is exact, which
+/// forces a decision at leaf level.
+size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
+                                        size_t k, ObjectId exclude,
+                                        bool guaranteed,
+                                        RstknnStats* stats) const {
+  const ProbeContext& ctx = *static_cast<const ProbeContext*>(ctx_ptr);
+  const Candidate& cand = *ctx.cand;
+  const auto& exclude_path = *ctx.exclude_path;
+  const Entry& e = *cand.entry;
+  const double alpha = scorer_->options().alpha;
+  ++stats->probes;
+  auto charge_once = [&](const Node* node) {
+    // The branch-and-bound keeps every opened node resident for the whole
+    // query (the contribution lists reference them), so each node costs its
+    // I/O once per query regardless of how many probes revisit it.
+    if (ctx.charged->insert(node).second) {
+      tree_->ChargeAccess(node, &stats->io);
+    }
+  };
+
+  size_t count = 0;
+  // Self term: the candidate's own other objects compete among themselves.
+  uint32_t own = e.count() - (cand.contains_self ? 1 : 0);
+  if (own > 1) {
+    const TextBounds tb = EntryPairTextBounds(e, e, scorer_->text());
+    ++stats->bound_computations;
+    const double intra =
+        guaranteed
+            ? alpha * scorer_->SpatialSim(MaxDistance(e.rect, e.rect)) +
+                  (1.0 - alpha) * tb.min_sim
+            : alpha * 1.0 + (1.0 - alpha) * tb.max_sim;
+    if (intra > threshold) {
+      count += own - 1;
+      if (count >= k) return k;
+    }
+  }
+
+  // Pair bounds with lazy cluster refinement: the cheap blended-summary
+  // bound decides most entries outright; per-cluster bounds (up to
+  // |clusters|^2 kernel evaluations) are computed only when the blended
+  // bound straddles the threshold and could change the outcome.
+  auto pair_bounds = [&](const Entry& other) {
+    const double spatial_min =
+        alpha * scorer_->SpatialSim(MaxDistance(e.rect, other.rect));
+    const double spatial_max =
+        alpha * scorer_->SpatialSim(MinDistance(e.rect, other.rect));
+    ++stats->bound_computations;
+    double mn = spatial_min + (1.0 - alpha) *
+                                  scorer_->text().MinSim(e.summary,
+                                                         other.summary);
+    double mx = spatial_max + (1.0 - alpha) *
+                                  scorer_->text().MaxSim(e.summary,
+                                                         other.summary);
+    if (!other.clusters.empty() && mn <= threshold && mx > threshold) {
+      const TextBounds tb =
+          EntryTextBoundsVsClusters(e.summary, other, scorer_->text());
+      ++stats->bound_computations;
+      mn = spatial_min + (1.0 - alpha) * tb.min_sim;
+      mx = spatial_max + (1.0 - alpha) * tb.max_sim;
+    }
+    return std::make_pair(mn, mx);
+  };
+
+  auto is_own_subtree = [&](const Node* node) {
+    if (!e.is_object() && node == e.child.get()) return true;
+    return false;
+  };
+  auto is_ancestor = [&](const Node* node) {
+    return std::find(cand.path.begin(), cand.path.end(), node) !=
+           cand.path.end();
+  };
+
+  struct ProbeItem {
+    double max_st;
+    double min_st;
+    const Node* node;
+    bool contains_exclude;
+    bool operator<(const ProbeItem& other) const {
+      return max_st < other.max_st;
+    }
+  };
+  std::priority_queue<ProbeItem> pq;
+  pq.push({1.0, 0.0, tree_->root(), true});
+
+  while (!pq.empty()) {
+    const ProbeItem item = pq.top();
+    pq.pop();
+    if (item.max_st <= threshold) break;  // nothing left can matter
+    charge_once(item.node);
+    for (const Entry& child : item.node->entries) {
+      if (child.is_object()) {
+        if (child.id == exclude) continue;
+        if (e.is_object() && child.id == e.id) continue;
+        const auto [mn, mx] = pair_bounds(child);
+        const double value = guaranteed ? mn : mx;
+        if (value > threshold && ++count >= k) return k;
+        continue;
+      }
+      const Node* child_node = child.child.get();
+      if (is_own_subtree(child_node)) continue;  // covered by the self term
+      const auto [mn, mx] = pair_bounds(child);
+      if (mx <= threshold) continue;  // no object inside can matter
+      const bool overlaps_cand = is_ancestor(child_node);
+      const bool overlaps_excl = exclude_path.count(child_node) > 0;
+      if (mn > threshold && !overlaps_cand) {
+        // Every object in this disjoint subtree clears the threshold.
+        count += child.count() - (overlaps_excl ? 1 : 0);
+        if (count >= k) return k;
+        continue;
+      }
+      pq.push({mx, mn, child_node, overlaps_excl});
+    }
+  }
+  return count;
+}
+
+RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
+                                    const RstknnOptions& options) const {
+  if (options.algorithm == RstknnAlgorithm::kContributionList) {
+    return SearchContributionList(query, options);
+  }
+  return SearchProbe(query, options);
+}
+
+RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
+                                         const RstknnOptions& options) const {
+  RstknnResult result;
+  if (tree_->size() == 0 || query.k == 0) return result;
+  const double alpha = scorer_->options().alpha;
+  const TextSummary qsum = TextSummary::FromDoc(*query.doc);
+
+  std::unordered_set<const Node*> self_path;
+  if (query.self != IurTree::kNoObject) {
+    CollectPath(tree_->root(), query.self, &self_path);
+  }
+  std::unordered_set<const Node*> charged;  // nodes already paid for
+
+  // Candidates live in a deque-like pool; the work queue orders them by a
+  // static priority (upper-bound similarity to q, optionally biased by
+  // cluster entropy under the TE policy).
+  std::vector<std::unique_ptr<Candidate>> pool;
+  struct QueueItem {
+    double priority;
+    Candidate* cand;
+    bool operator<(const QueueItem& other) const {
+      return priority < other.priority;
+    }
+  };
+  std::priority_queue<QueueItem> work;
+
+  auto add_candidate = [&](const Entry& e, std::vector<const Node*> path) {
+    if (e.is_object() && e.id == query.self) return;  // never a candidate
+    auto cand = std::make_unique<Candidate>();
+    cand->entry = &e;
+    cand->path = std::move(path);
+    if (e.is_object()) {
+      const StObject& obj = dataset_->object(e.id);
+      cand->q_min = cand->q_max =
+          scorer_->Score(obj.loc, obj.doc, query.loc, *query.doc);
+    } else {
+      cand->contains_self = self_path.count(e.child.get()) > 0;
+      const TextBounds tb = EntryTextBounds(e, qsum, scorer_->text());
+      cand->q_min = alpha * scorer_->SpatialSim(MaxDistance(query.loc, e.rect)) +
+                    (1.0 - alpha) * tb.min_sim;
+      cand->q_max = alpha * scorer_->SpatialSim(MinDistance(query.loc, e.rect)) +
+                    (1.0 - alpha) * tb.max_sim;
+    }
+    cand->priority = cand->q_max;
+    if (options.expand == ExpandPolicy::kTextEntropy) {
+      cand->priority += options.entropy_weight * EntryClusterEntropy(e);
+    }
+    ++result.stats.entries_created;
+    work.push({cand->priority, cand.get()});
+    pool.push_back(std::move(cand));
+  };
+
+  charged.insert(tree_->root());
+  tree_->ChargeAccess(tree_->root(), &result.stats.io);
+  for (const Entry& e : tree_->root()->entries) {
+    add_candidate(e, {tree_->root()});
+  }
+
+  while (!work.empty()) {
+    Candidate* cand = work.top().cand;
+    work.pop();
+
+    // Prune test: at least k competitors are guaranteed to beat q for every
+    // object of the candidate (MaxST(q,E) < kNNL(E)).
+    const ProbeContext ctx{cand, &self_path, &charged};
+    const size_t guaranteed =
+        CountCompetitors(&ctx, cand->q_max, query.k, query.self,
+                         /*guaranteed=*/true, &result.stats);
+    if (guaranteed >= query.k) {
+      ++result.stats.pruned_entries;
+      continue;
+    }
+    // For an object candidate the guaranteed probe descends every straddling
+    // subtree to exact object-object scores, so its count is exact: fewer
+    // than k competitors beat q ⇒ the object is an answer. No second probe.
+    if (cand->entry->is_object()) {
+      ++result.stats.reported_entries;
+      result.answers.push_back(cand->entry->id);
+      continue;
+    }
+    // Report test: fewer than k competitors can possibly beat q for any
+    // object of the candidate (MinST(q,E) >= kNNU(E)).
+    const size_t potential =
+        CountCompetitors(&ctx, cand->q_min, query.k, query.self,
+                         /*guaranteed=*/false, &result.stats);
+    if (potential < query.k) {
+      ++result.stats.reported_entries;
+      CollectObjectIds(*cand->entry, query.self, &result.answers);
+      continue;
+    }
+    // Undecided: objects are always decided by the exact guaranteed count
+    // (bounds are tight at leaf level), so only nodes reach this point.
+    assert(!cand->entry->is_object());
+    const Node* child_node = cand->entry->child.get();
+    if (charged.insert(child_node).second) {
+      tree_->ChargeAccess(child_node, &result.stats.io);
+    }
+    ++result.stats.expansions;
+    std::vector<const Node*> child_path = cand->path;
+    child_path.push_back(child_node);
+    for (const Entry& ce : child_node->entries) {
+      add_candidate(ce, child_path);
+    }
+  }
+
+  std::sort(result.answers.begin(), result.answers.end());
+  return result;
+}
+
+namespace {
+
+/// Accumulated (min_st, max_st, count) contributions; the k-th guaranteed /
+/// potential similarity is read off the sorted list (2011 paper, §5).
+struct Contribution {
+  double min_st;
+  double max_st;
+  uint32_t count;
+};
+
+double KthSorted(std::vector<Contribution>* contributions, size_t k,
+                 bool lower) {
+  std::sort(contributions->begin(), contributions->end(),
+            [lower](const Contribution& a, const Contribution& b) {
+              return lower ? a.min_st > b.min_st : a.max_st > b.max_st;
+            });
+  uint64_t cum = 0;
+  for (const Contribution& c : *contributions) {
+    cum += c.count;
+    if (cum >= k) return lower ? c.min_st : c.max_st;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+RstknnResult RstknnSearcher::SearchContributionList(
+    const RstknnQuery& query, const RstknnOptions& options) const {
+  RstknnResult result;
+  if (tree_->size() == 0 || query.k == 0) return result;
+  const double alpha = scorer_->options().alpha;
+  const TextSummary qsum = TextSummary::FromDoc(*query.doc);
+
+  std::unordered_set<const Node*> self_path;
+  if (query.self != IurTree::kNoObject) {
+    CollectPath(tree_->root(), query.self, &self_path);
+  }
+  std::unordered_set<const Node*> charged;
+
+  enum class State { kUndecided, kPruned, kReported };
+  struct FlatEntry {
+    const Entry* entry;
+    State state = State::kUndecided;
+    bool alive = true;           // not yet replaced by its children
+    bool contains_self = false;  // subtree holds the query object
+    double q_min = 0.0;
+    double q_max = 0.0;
+  };
+  std::vector<FlatEntry> entries;
+
+  auto add_entry = [&](const Entry& e, State inherited) {
+    FlatEntry fe;
+    fe.entry = &e;
+    fe.state = inherited;
+    if (e.is_object()) {
+      fe.contains_self = (e.id == query.self);
+      if (fe.contains_self) {
+        fe.state = State::kPruned;  // never a candidate nor a contributor
+      } else {
+        const StObject& obj = dataset_->object(e.id);
+        fe.q_min = fe.q_max =
+            scorer_->Score(obj.loc, obj.doc, query.loc, *query.doc);
+      }
+    } else {
+      fe.contains_self = self_path.count(e.child.get()) > 0;
+      const TextBounds tb = EntryTextBounds(e, qsum, scorer_->text());
+      fe.q_min = alpha * scorer_->SpatialSim(MaxDistance(query.loc, e.rect)) +
+                 (1.0 - alpha) * tb.min_sim;
+      fe.q_max = alpha * scorer_->SpatialSim(MinDistance(query.loc, e.rect)) +
+                 (1.0 - alpha) * tb.max_sim;
+    }
+    ++result.stats.entries_created;
+    entries.push_back(fe);
+  };
+
+  auto expand = [&](size_t idx) {
+    FlatEntry& fe = entries[idx];
+    const State inherited = fe.state;
+    const Node* child_node = fe.entry->child.get();
+    if (charged.insert(child_node).second) {
+      tree_->ChargeAccess(child_node, &result.stats.io);
+    }
+    fe.alive = false;
+    ++result.stats.expansions;
+    for (const Entry& ce : child_node->entries) add_entry(ce, inherited);
+  };
+
+  auto pair_bounds = [&](const FlatEntry& a, const FlatEntry& b) {
+    const TextBounds tb =
+        EntryPairTextBounds(*a.entry, *b.entry, scorer_->text());
+    ++result.stats.bound_computations;
+    const double mn =
+        alpha * scorer_->SpatialSim(MaxDistance(a.entry->rect, b.entry->rect)) +
+        (1.0 - alpha) * tb.min_sim;
+    const double mx =
+        alpha * scorer_->SpatialSim(MinDistance(a.entry->rect, b.entry->rect)) +
+        (1.0 - alpha) * tb.max_sim;
+    return std::make_pair(mn, mx);
+  };
+
+  charged.insert(tree_->root());
+  tree_->ChargeAccess(tree_->root(), &result.stats.io);
+  for (const Entry& e : tree_->root()->entries) {
+    add_entry(e, State::kUndecided);
+  }
+
+  auto capacity = [&](const FlatEntry& fe) -> uint32_t {
+    const uint32_t n = fe.entry->count();
+    return fe.contains_self && n > 0 ? n - 1 : n;
+  };
+
+  while (true) {
+    // Highest-priority undecided candidate.
+    size_t pick = SIZE_MAX;
+    double best_priority = -1.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const FlatEntry& fe = entries[i];
+      if (!fe.alive || fe.state != State::kUndecided) continue;
+      double priority = fe.q_max;
+      if (options.expand == ExpandPolicy::kTextEntropy) {
+        priority += options.entropy_weight * EntryClusterEntropy(*fe.entry);
+      }
+      if (pick == SIZE_MAX || priority > best_priority) {
+        pick = i;
+        best_priority = priority;
+      }
+    }
+    if (pick == SIZE_MAX) break;
+
+    // Contribution list over all live entries.
+    std::vector<Contribution> contributions;
+    contributions.reserve(entries.size());
+    size_t best_blocker = SIZE_MAX;
+    double best_blocker_score = -1.0;
+    {
+      const FlatEntry& cand = entries[pick];
+      for (size_t j = 0; j < entries.size(); ++j) {
+        if (j == pick || !entries[j].alive) continue;
+        const uint32_t cap = capacity(entries[j]);
+        if (cap == 0) continue;
+        const auto [mn, mx] = pair_bounds(cand, entries[j]);
+        contributions.push_back({mn, mx, cap});
+        if (!entries[j].entry->is_object() && mx > best_blocker_score) {
+          best_blocker_score = mx;
+          best_blocker = j;
+        }
+      }
+      const uint32_t self_cap = capacity(cand);
+      if (self_cap > 1) {
+        // Self pair: MinDistance(rect, rect) = 0, so mx already carries the
+        // maximal spatial term; mn uses the rect diameter.
+        const auto [mn, mx] = pair_bounds(cand, cand);
+        contributions.push_back({mn, mx, self_cap - 1});
+      }
+    }
+    std::vector<Contribution> scratch = contributions;
+    const double knn_lower = KthSorted(&scratch, query.k, /*lower=*/true);
+    scratch = contributions;
+    const double knn_upper = KthSorted(&scratch, query.k, /*lower=*/false);
+
+    FlatEntry& cand = entries[pick];
+    if (cand.q_max < knn_lower) {
+      cand.state = State::kPruned;
+      ++result.stats.pruned_entries;
+      continue;
+    }
+    if (cand.q_min >= knn_upper) {
+      cand.state = State::kReported;
+      ++result.stats.reported_entries;
+      CollectObjectIds(*cand.entry, query.self, &result.answers);
+      continue;
+    }
+    if (!cand.entry->is_object()) {
+      expand(pick);
+    } else {
+      // Exact candidate blocked by a coarse contributor: refine the most
+      // entangled live node. One exists, else bounds were exact and a
+      // decision would have been forced.
+      assert(best_blocker != SIZE_MAX);
+      expand(best_blocker);
+    }
+  }
+
+  std::sort(result.answers.begin(), result.answers.end());
+  return result;
+}
+
+std::vector<ObjectId> BruteForceRstknn(const Dataset& dataset,
+                                       const StScorer& scorer,
+                                       const RstknnQuery& query) {
+  std::vector<ObjectId> answers;
+  for (const StObject& o : dataset.objects()) {
+    if (o.id == query.self) continue;
+    const double sim_q = scorer.Score(o.loc, o.doc, query.loc, *query.doc);
+    size_t strictly_better = 0;
+    for (const StObject& other : dataset.objects()) {
+      if (other.id == o.id || other.id == query.self) continue;
+      const double sim = scorer.Score(o.loc, o.doc, other.loc, other.doc);
+      if (sim > sim_q && ++strictly_better >= query.k) break;
+    }
+    if (strictly_better < query.k) answers.push_back(o.id);
+  }
+  return answers;
+}
+
+void PrecomputeBaseline::Build(size_t k, IoStats* stats) {
+  assert(k > 0);
+  k_ = k;
+  kth_score_.assign(dataset_->size(), -1.0);
+  tops_.assign(dataset_->size(), {});
+  TopKSearcher searcher(tree_, dataset_, scorer_);
+  for (const StObject& o : dataset_->objects()) {
+    TopKQuery q;
+    q.loc = o.loc;
+    q.doc = &o.doc;
+    q.k = k + 1;  // one spare so a query object can be discounted later
+    q.exclude = o.id;
+    tops_[o.id] = searcher.Search(q, stats);
+    if (tops_[o.id].size() >= k) kth_score_[o.id] = tops_[o.id][k - 1].score;
+  }
+  object_scan_bytes_ = 0;
+  for (const StObject& o : dataset_->objects()) {
+    object_scan_bytes_ += TermVectorEncodedSize(o.doc) + 2 * sizeof(double);
+  }
+}
+
+RstknnResult PrecomputeBaseline::Query(const RstknnQuery& query) const {
+  assert(built() && query.k == k_);
+  RstknnResult result;
+  // The scan touches every object page once.
+  result.stats.io.AddPayloadRead(object_scan_bytes_);
+  for (const StObject& o : dataset_->objects()) {
+    if (o.id == query.self) continue;
+    const double sim_q = scorer_->Score(o.loc, o.doc, query.loc, *query.doc);
+    // k-th best competitor of o, discounting the query object if it happens
+    // to sit in o's precomputed top list.
+    double threshold = kth_score_[o.id];
+    if (query.self != IurTree::kNoObject) {
+      const auto& top = tops_[o.id];
+      // Discount only when the query object occupies one of the top-k slots;
+      // at position k it is already outside the threshold window.
+      bool contains_self = false;
+      for (size_t i = 0; i < top.size() && i < k_; ++i) {
+        if (top[i].id == query.self) {
+          contains_self = true;
+          break;
+        }
+      }
+      if (contains_self) {
+        threshold = top.size() >= k_ + 1 ? top[k_].score : -1.0;
+      }
+    }
+    if (threshold < 0.0 || sim_q >= threshold) result.answers.push_back(o.id);
+  }
+  return result;
+}
+
+}  // namespace rst

@@ -1,0 +1,153 @@
+#ifndef RST_RSTKNN_RSTKNN_H_
+#define RST_RSTKNN_RSTKNN_H_
+
+#include <vector>
+
+#include "rst/data/dataset.h"
+#include "rst/iurtree/iurtree.h"
+#include "rst/storage/io_stats.h"
+#include "rst/text/similarity.h"
+#include "rst/topk/topk.h"
+
+namespace rst {
+
+/// The Reverse Spatial-Textual k Nearest Neighbor query (SIGMOD 2011):
+/// given a query object q = (loc, doc), return every object o whose top-k
+/// most spatial-textually similar objects (among the rest of the collection)
+/// include q — equivalently, objects o for which fewer than k other objects
+/// are *strictly* more similar to o than q is (ties resolve in q's favor,
+/// deterministically).
+struct RstknnQuery {
+  Point loc;
+  const TermVector* doc = nullptr;
+  size_t k = 10;
+  /// If the query is an existing object of the dataset, its id: the object
+  /// is then excluded from every candidate's top-k competitor set (and from
+  /// the answers).
+  ObjectId self = IurTree::kNoObject;
+};
+
+/// Which realization of the branch-and-bound bounds to run.
+enum class RstknnAlgorithm {
+  /// Early-terminating competitor probes per candidate (default; identical
+  /// answers to the contribution-list algorithm, typically far faster — the
+  /// ablation bench fig_core_ablation_algorithm quantifies it).
+  kProbe,
+  /// The 2011 paper's literal scheme: a flat entry set where every entry is
+  /// simultaneously candidate and contributor; kNNL/kNNU from sorted
+  /// contribution lists over the live entries; coarse contributors are
+  /// expanded when they block a decision.
+  kContributionList,
+};
+
+/// How the branch-and-bound picks the next entry to expand.
+enum class ExpandPolicy {
+  /// Best-first on the upper-bound similarity to q (the 2011 default).
+  kBestFirst,
+  /// TE enhancement: bias expansion toward textually mixed (high
+  /// cluster-entropy) nodes whose bounds are loosest. Only differs from
+  /// kBestFirst on clustered (CIUR) trees.
+  kTextEntropy,
+};
+
+struct RstknnOptions {
+  RstknnAlgorithm algorithm = RstknnAlgorithm::kProbe;
+  ExpandPolicy expand = ExpandPolicy::kBestFirst;
+  /// Weight of the entropy term under kTextEntropy.
+  double entropy_weight = 0.25;
+};
+
+struct RstknnStats {
+  IoStats io;
+  uint64_t entries_created = 0;   ///< search entries materialized
+  uint64_t expansions = 0;        ///< node expansions performed
+  uint64_t pruned_entries = 0;    ///< subtrees pruned without expansion
+  uint64_t reported_entries = 0;  ///< subtrees reported wholesale
+  uint64_t bound_computations = 0;
+  uint64_t probes = 0;            ///< leaf-level competitor probes
+};
+
+struct RstknnResult {
+  std::vector<ObjectId> answers;  ///< ascending object ids
+  RstknnStats stats;
+};
+
+/// Branch-and-bound RSTkNN over an IUR-/CIUR-tree (DESIGN.md §3.2): every
+/// live entry is simultaneously a candidate and a contributor; candidates are
+/// pruned when MaxST(q,E) < kNNL(E), reported when MinST(q,E) >= kNNU(E),
+/// and expanded otherwise. kNNL/kNNU come from contribution lists over the
+/// live entry set.
+class RstknnSearcher {
+ public:
+  /// All referents must outlive the searcher.
+  RstknnSearcher(const IurTree* tree, const Dataset* dataset,
+                 const StScorer* scorer)
+      : tree_(tree), dataset_(dataset), scorer_(scorer) {}
+
+  RstknnResult Search(const RstknnQuery& query,
+                      const RstknnOptions& options = RstknnOptions()) const;
+
+ private:
+  /// Early-terminating competitor-count probe implementing the kNNL/kNNU
+  /// contribution-list bounds as a best-first tree traversal (see the
+  /// definition in rstknn.cc). `ctx_ptr` is an internal ProbeContext
+  /// carrying the candidate, the excluded query object's node path, and the
+  /// per-query charged-node set.
+  size_t CountCompetitors(const void* ctx_ptr, double threshold, size_t k,
+                          ObjectId exclude, bool guaranteed,
+                          RstknnStats* stats) const;
+
+  RstknnResult SearchProbe(const RstknnQuery& query,
+                           const RstknnOptions& options) const;
+  RstknnResult SearchContributionList(const RstknnQuery& query,
+                                      const RstknnOptions& options) const;
+
+  const IurTree* tree_;
+  const Dataset* dataset_;
+  const StScorer* scorer_;
+};
+
+/// Exact oracle by exhaustive pairwise scoring — O(|D|²); tests and tiny
+/// benchmarks only.
+std::vector<ObjectId> BruteForceRstknn(const Dataset& dataset,
+                                       const StScorer& scorer,
+                                       const RstknnQuery& query);
+
+/// The 2011 paper's baseline: precompute every object's k-th-best similarity
+/// (an offline pass of per-object top-k searches over the tree), then answer
+/// each query by a full scan comparing sim(o, q) against the stored
+/// threshold.
+class PrecomputeBaseline {
+ public:
+  PrecomputeBaseline(const IurTree* tree, const Dataset* dataset,
+                     const StScorer* scorer)
+      : tree_(tree), dataset_(dataset), scorer_(scorer) {}
+
+  /// Runs the offline pass for `k`. Charges the (large) precompute I/O to
+  /// `stats`.
+  void Build(size_t k, IoStats* stats = nullptr);
+
+  bool built() const { return k_ > 0; }
+  size_t k() const { return k_; }
+
+  /// Answers a query with the precomputed thresholds. `query.k` must equal
+  /// the built k. Charges the scan I/O (all object pages).
+  RstknnResult Query(const RstknnQuery& query) const;
+
+ private:
+  const IurTree* tree_;
+  const Dataset* dataset_;
+  const StScorer* scorer_;
+  size_t k_ = 0;
+  /// kth_score_[o] = similarity of o's k-th most similar other object
+  /// (-1 when fewer than k others exist).
+  std::vector<double> kth_score_;
+  /// Per-object top-(k+1) competitors, kept so a query that is itself a
+  /// dataset object can be discounted from the threshold.
+  std::vector<std::vector<TopKResult>> tops_;
+  uint64_t object_scan_bytes_ = 0;
+};
+
+}  // namespace rst
+
+#endif  // RST_RSTKNN_RSTKNN_H_

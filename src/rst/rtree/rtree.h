@@ -1,0 +1,92 @@
+#ifndef RST_RTREE_RTREE_H_
+#define RST_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rst/common/geometry.h"
+#include "rst/common/status.h"
+
+namespace rst {
+
+/// Identifier of an indexed object (dataset-assigned).
+using ObjectId = uint32_t;
+
+struct RTreeOptions {
+  /// Maximum entries per node. The default approximates a 4 KiB page of
+  /// (rect + id) entries. Must be >= 2 * min_entries.
+  size_t max_entries = 32;
+  /// Minimum fill for non-root nodes after a split or deletion.
+  size_t min_entries = 12;
+};
+
+/// Classic Guttman R-tree over 2-D rectangles: quadratic-split insertion,
+/// deletion with tree condensing and re-insertion, STR bulk loading, range
+/// and best-first k-nearest-neighbor queries.
+///
+/// This is the spatial substrate of the library; the spatial-textual indexes
+/// (IUR-tree / CIUR-tree, MIUR user tree) implement the same structural
+/// algorithms with text-augmented nodes in `rst/iurtree/`.
+class RTree {
+ public:
+  explicit RTree(const RTreeOptions& options = RTreeOptions());
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Sort-Tile-Recursive bulk load: produces a compact tree in O(n log n).
+  static RTree BulkLoad(std::vector<std::pair<ObjectId, Rect>> items,
+                        const RTreeOptions& options = RTreeOptions());
+
+  void Insert(ObjectId id, const Rect& rect);
+
+  /// Removes one entry with exactly this (id, rect); returns NotFound if no
+  /// such entry exists. Underfull nodes are condensed and their remaining
+  /// entries re-inserted (Guttman's CondenseTree).
+  Status Delete(ObjectId id, const Rect& rect);
+
+  /// All object ids whose rectangles intersect `query`.
+  std::vector<ObjectId> RangeQuery(const Rect& query) const;
+
+  struct Neighbor {
+    ObjectId id;
+    double distance;
+  };
+  /// The k objects whose rectangles are nearest to `p` (best-first search,
+  /// min-distance ordering; ties broken by id for determinism).
+  std::vector<Neighbor> KnnQuery(const Point& p, size_t k) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t height() const;
+  Rect bounds() const;
+
+  /// Structural invariants (for tests): MBRs tightly contain children,
+  /// fan-out within limits, all leaves at equal depth, size consistent.
+  Status CheckInvariants() const;
+
+  /// Number of nodes (for size accounting).
+  size_t NodeCount() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(const Rect& rect) const;
+  void SplitNode(Node* node, std::unique_ptr<Node>* new_node);
+  void AdjustTreeAfterInsert(Node* leaf, std::unique_ptr<Node> split_off);
+  void InsertEntryAtLevel(Entry entry, size_t level);
+  void CollectLeafEntries(Node* node, std::vector<Entry>* out);
+
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace rst
+
+#endif  // RST_RTREE_RTREE_H_

@@ -1,0 +1,95 @@
+#include "rst/storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace rst {
+
+BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
+    : store_(store), capacity_pages_(capacity_pages) {}
+
+void BufferPool::Touch(PageId key, Entry* entry) {
+  if (entry->in_lru) {
+    lru_.erase(entry->lru_pos);
+  }
+  lru_.push_front(key);
+  entry->lru_pos = lru_.begin();
+  entry->in_lru = true;
+}
+
+void BufferPool::EvictUntilFits(size_t incoming_pages) {
+  while (used_pages_ + incoming_pages > capacity_pages_ && !lru_.empty()) {
+    // Scan from the least-recently-used end for an unpinned victim.
+    auto it = lru_.end();
+    bool evicted = false;
+    while (it != lru_.begin()) {
+      --it;
+      auto entry_it = entries_.find(*it);
+      assert(entry_it != entries_.end());
+      if (entry_it->second.pin_count == 0) {
+        used_pages_ -= entry_it->second.num_pages;
+        lru_.erase(it);
+        entries_.erase(entry_it);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // everything pinned; admit over capacity
+  }
+}
+
+Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
+    const PageHandle& handle, IoStats* stats) {
+  auto it = entries_.find(handle.first_page);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (stats != nullptr) stats->AddCacheHit();
+    Touch(handle.first_page, &it->second);
+    return it->second.payload;
+  }
+  ++misses_;
+  auto payload = std::make_shared<std::string>();
+  Status s = store_->Read(handle, payload.get(), stats);
+  if (!s.ok()) return s;
+  std::shared_ptr<const std::string> shared = std::move(payload);
+  if (capacity_pages_ == 0) return shared;  // caching disabled
+  EvictUntilFits(handle.num_pages);
+  Entry entry;
+  entry.payload = shared;
+  entry.num_pages = handle.num_pages;
+  auto [pos, inserted] = entries_.emplace(handle.first_page, std::move(entry));
+  assert(inserted);
+  used_pages_ += handle.num_pages;
+  Touch(handle.first_page, &pos->second);
+  return shared;
+}
+
+Status BufferPool::Pin(const PageHandle& handle, IoStats* stats) {
+  auto it = entries_.find(handle.first_page);
+  if (it == entries_.end()) {
+    auto fetched = Fetch(handle, stats);
+    if (!fetched.ok()) return fetched.status();
+    it = entries_.find(handle.first_page);
+    if (it == entries_.end()) {
+      return Status::FailedPrecondition("cannot pin with caching disabled");
+    }
+  }
+  ++it->second.pin_count;
+  return Status::Ok();
+}
+
+Status BufferPool::Unpin(const PageHandle& handle) {
+  auto it = entries_.find(handle.first_page);
+  if (it == entries_.end() || it->second.pin_count == 0) {
+    return Status::FailedPrecondition("unpin of non-pinned payload");
+  }
+  --it->second.pin_count;
+  return Status::Ok();
+}
+
+void BufferPool::Clear() {
+  entries_.clear();
+  lru_.clear();
+  used_pages_ = 0;
+}
+
+}  // namespace rst

@@ -1,0 +1,68 @@
+#ifndef RST_STORAGE_BUFFER_POOL_H_
+#define RST_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "rst/common/status.h"
+#include "rst/storage/io_stats.h"
+#include "rst/storage/page_store.h"
+
+namespace rst {
+
+/// LRU buffer pool over a PageStore. Payloads are cached whole (a payload is
+/// the unit of access for tree nodes and inverted files); capacity is counted
+/// in pages. Fetch returns a shared payload that remains valid after
+/// eviction. Pinned payloads are never evicted.
+class BufferPool {
+ public:
+  /// `store` must outlive the pool. `capacity_pages` == 0 disables caching
+  /// (every Fetch is a miss and charges I/O).
+  BufferPool(const PageStore* store, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches the payload behind `handle`. Misses read from the PageStore and
+  /// charge `stats`; hits charge nothing (tracked in stats->cache_hits).
+  Result<std::shared_ptr<const std::string>> Fetch(const PageHandle& handle,
+                                                   IoStats* stats);
+
+  /// Pins/unpins a cached payload. Pinning a non-resident payload fetches it.
+  Status Pin(const PageHandle& handle, IoStats* stats);
+  Status Unpin(const PageHandle& handle);
+
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t used_pages() const { return used_pages_; }
+  size_t resident_payloads() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> payload;
+    uint32_t num_pages = 0;
+    uint32_t pin_count = 0;
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Touch(PageId key, Entry* entry);
+  void EvictUntilFits(size_t incoming_pages);
+
+  const PageStore* store_;
+  size_t capacity_pages_;
+  size_t used_pages_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::unordered_map<PageId, Entry> entries_;
+  std::list<PageId> lru_;  // front = most recent
+};
+
+}  // namespace rst
+
+#endif  // RST_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,20 @@
+#include "rst/storage/io_stats.h"
+
+#include <cstdio>
+
+namespace rst {
+
+std::string IoStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "IoStats{nodes=%llu, blocks=%llu, bytes=%llu, hits=%llu, "
+                "total=%llu}",
+                static_cast<unsigned long long>(node_reads),
+                static_cast<unsigned long long>(payload_blocks),
+                static_cast<unsigned long long>(payload_bytes),
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(TotalIos()));
+  return buf;
+}
+
+}  // namespace rst

@@ -1,0 +1,46 @@
+#ifndef RST_STORAGE_IO_STATS_H_
+#define RST_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rst {
+
+/// Simulated I/O accounting, following the methodology both papers report:
+/// visiting a tree node costs one I/O; loading a node's inverted file (or any
+/// serialized payload) costs ceil(bytes / page_size) I/Os. A buffer pool may
+/// absorb repeated accesses; cache hits are tracked separately and do not
+/// count as I/Os.
+struct IoStats {
+  uint64_t node_reads = 0;      ///< tree nodes visited (1 I/O each)
+  uint64_t payload_blocks = 0;  ///< 4 KiB blocks of posting/payload data read
+  uint64_t payload_bytes = 0;   ///< raw payload bytes read
+  uint64_t cache_hits = 0;      ///< accesses served by the buffer pool
+
+  static constexpr uint64_t kPageSize = 4096;
+
+  uint64_t TotalIos() const { return node_reads + payload_blocks; }
+
+  void AddNodeRead() { ++node_reads; }
+  void AddPayloadRead(uint64_t bytes) {
+    payload_bytes += bytes;
+    payload_blocks += (bytes + kPageSize - 1) / kPageSize;
+  }
+  void AddCacheHit() { ++cache_hits; }
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats& operator+=(const IoStats& other) {
+    node_reads += other.node_reads;
+    payload_blocks += other.payload_blocks;
+    payload_bytes += other.payload_bytes;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace rst
+
+#endif  // RST_STORAGE_IO_STATS_H_

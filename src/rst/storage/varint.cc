@@ -1,0 +1,80 @@
+#include "rst/storage/varint.h"
+
+namespace rst {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutFloat(std::string* dst, float value) {
+  char buf[sizeof(float)];
+  std::memcpy(buf, &value, sizeof(float));
+  dst->append(buf, sizeof(float));
+}
+
+void PutDouble(std::string* dst, double value) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &value, sizeof(double));
+  dst->append(buf, sizeof(double));
+}
+
+Status GetVarint64(const std::string& src, size_t* offset, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*offset < src.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(src[(*offset)++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::Ok();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+Status GetVarint32(const std::string& src, size_t* offset, uint32_t* value) {
+  uint64_t wide = 0;
+  Status s = GetVarint64(src, offset, &wide);
+  if (!s.ok()) return s;
+  if (wide > 0xFFFFFFFFull) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(wide);
+  return Status::Ok();
+}
+
+Status GetFloat(const std::string& src, size_t* offset, float* value) {
+  if (*offset + sizeof(float) > src.size()) {
+    return Status::Corruption("truncated float");
+  }
+  std::memcpy(value, src.data() + *offset, sizeof(float));
+  *offset += sizeof(float);
+  return Status::Ok();
+}
+
+Status GetDouble(const std::string& src, size_t* offset, double* value) {
+  if (*offset + sizeof(double) > src.size()) {
+    return Status::Corruption("truncated double");
+  }
+  std::memcpy(value, src.data() + *offset, sizeof(double));
+  *offset += sizeof(double);
+  return Status::Ok();
+}
+
+size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace rst

@@ -1,0 +1,50 @@
+#include "rst/text/corpus_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rst {
+
+RawDocument RawDocument::FromTokens(const std::vector<TermId>& tokens) {
+  std::vector<TermId> sorted = tokens;
+  std::sort(sorted.begin(), sorted.end());
+  RawDocument doc;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    doc.term_counts.push_back({sorted[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return doc;
+}
+
+void CorpusStats::EnsureSize(TermId t) {
+  if (t >= doc_freq_.size()) {
+    doc_freq_.resize(t + 1, 0);
+    coll_freq_.resize(t + 1, 0);
+  }
+}
+
+void CorpusStats::AddDocument(const RawDocument& doc) {
+  ++num_docs_;
+  for (const auto& [term, count] : doc.term_counts) {
+    if (count == 0) continue;
+    EnsureSize(term);
+    doc_freq_[term] += 1;
+    coll_freq_[term] += count;
+    total_terms_ += count;
+  }
+}
+
+double CorpusStats::Idf(TermId t) const {
+  const uint32_t df = DocFreq(t);
+  if (df == 0 || num_docs_ == 0) return 0.0;
+  return std::log(static_cast<double>(num_docs_) / df);
+}
+
+double CorpusStats::CollectionProb(TermId t) const {
+  if (total_terms_ == 0) return 0.0;
+  return static_cast<double>(CollectionFreq(t)) / total_terms_;
+}
+
+}  // namespace rst

@@ -1,0 +1,63 @@
+#ifndef RST_TEXT_CORPUS_STATS_H_
+#define RST_TEXT_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rst/text/term_vector.h"
+
+namespace rst {
+
+/// Raw document representation before weighting: (term, frequency) pairs.
+struct RawDocument {
+  std::vector<std::pair<TermId, uint32_t>> term_counts;
+
+  /// Total token count |d|.
+  uint64_t Length() const {
+    uint64_t len = 0;
+    for (const auto& [t, c] : term_counts) len += c;
+    return len;
+  }
+
+  static RawDocument FromTokens(const std::vector<TermId>& tokens);
+};
+
+/// Collection-level statistics required by TF-IDF and language-model
+/// weighting: document frequencies df(t), collection term frequencies
+/// tf(t, C), total collection length |C|, and the number of documents.
+class CorpusStats {
+ public:
+  CorpusStats() = default;
+
+  /// Accounts one document into the statistics.
+  void AddDocument(const RawDocument& doc);
+
+  size_t num_docs() const { return num_docs_; }
+  uint64_t total_terms() const { return total_terms_; }
+  size_t vocab_size() const { return doc_freq_.size(); }
+
+  uint32_t DocFreq(TermId t) const {
+    return t < doc_freq_.size() ? doc_freq_[t] : 0;
+  }
+  uint64_t CollectionFreq(TermId t) const {
+    return t < coll_freq_.size() ? coll_freq_[t] : 0;
+  }
+
+  /// idf(t) = log(|D| / df(t)); 0 for unseen terms.
+  double Idf(TermId t) const;
+
+  /// Maximum-likelihood estimate tf(t, C) / |C|.
+  double CollectionProb(TermId t) const;
+
+ private:
+  void EnsureSize(TermId t);
+
+  size_t num_docs_ = 0;
+  uint64_t total_terms_ = 0;
+  std::vector<uint32_t> doc_freq_;
+  std::vector<uint64_t> coll_freq_;
+};
+
+}  // namespace rst
+
+#endif  // RST_TEXT_CORPUS_STATS_H_

@@ -1,0 +1,246 @@
+#include "rst/text/similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rst {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Extended Jaccard of exact vectors.
+double ExtendedJaccard(const TermVector& a, const TermVector& b) {
+  const double dot = a.Dot(b);
+  const double den = a.NormSquared() + b.NormSquared() - dot;
+  if (den <= 0.0) return 0.0;  // both vectors empty
+  return dot / den;
+}
+
+double Cosine(const TermVector& a, const TermVector& b) {
+  const double dot = a.Dot(b);
+  if (dot <= 0.0) return 0.0;
+  return dot / std::sqrt(a.NormSquared() * b.NormSquared());
+}
+
+/// Upper bound of EJ(d1, d2) = x/(a+b−x) over all d1 in group A, d2 in
+/// group B, where x = <d1,d2> ≤ X := <A.uni, B.uni>, a = |d1|² ≥ A :=
+/// |A.intr|², b ≥ B := |B.intr|², and (Cauchy–Schwarz on non-negative
+/// vectors) x ≤ √(ab). For fixed x the denominator is minimized by the
+/// smallest feasible a+b: A+B when A·B ≥ x², otherwise on the curve ab = x²
+/// at a* = clamp(x, A, x²/B), giving a* + x²/a* − x. The resulting bound
+/// x/den(x) is increasing in x, so evaluating at x = X is the maximum. The
+/// Cauchy–Schwarz leg keeps the bound far below 1 even when intersection
+/// vectors are empty — without it, node-level pruning in the RSTkNN
+/// branch-and-bound never fires (DESIGN.md §3.1).
+double ExtendedJaccardMax(const TextSummary& a, const TextSummary& b,
+                          EjBoundMode mode) {
+  const double x = a.uni.Dot(b.uni);
+  if (x <= 0.0) return 0.0;  // no shared term anywhere in the two groups
+  const double na = a.intr.NormSquared();
+  const double nb = b.intr.NormSquared();
+  double den;
+  if (na * nb >= x * x) {
+    den = na + nb - x;  // A+B ≥ 2√(AB) ≥ 2x, so den ≥ x > 0
+  } else if (mode == EjBoundMode::kNaive) {
+    den = na + nb - x;  // may be ≤ 0: collapses to the trivial bound 1
+  } else {
+    double a_star = x;  // unconstrained minimizer of a + x²/a
+    if (a_star < na) a_star = na;
+    if (nb > 0.0 && a_star > x * x / nb) a_star = x * x / nb;
+    den = a_star + x * x / a_star - x;
+  }
+  if (den <= 0.0) return 1.0;
+  return Clamp01(x / den);
+}
+
+double ExtendedJaccardMin(const TextSummary& a, const TextSummary& b) {
+  const double x = a.intr.Dot(b.intr);
+  if (x <= 0.0) return 0.0;
+  const double den = a.uni.NormSquared() + b.uni.NormSquared() - x;
+  if (den <= 0.0) return 1.0;  // unreachable with x <= den by Cauchy–Schwarz
+  return Clamp01(x / den);
+}
+
+double CosineMax(const TextSummary& a, const TextSummary& b) {
+  const double x = a.uni.Dot(b.uni);
+  if (x <= 0.0) return 0.0;
+  const double n2 = a.intr.NormSquared() * b.intr.NormSquared();
+  if (n2 <= 0.0) return 1.0;  // some doc may be ~parallel; cannot tighten
+  return Clamp01(x / std::sqrt(n2));
+}
+
+double CosineMin(const TextSummary& a, const TextSummary& b) {
+  const double x = a.intr.Dot(b.intr);
+  if (x <= 0.0) return 0.0;
+  const double n2 = a.uni.NormSquared() * b.uni.NormSquared();
+  assert(n2 > 0.0);
+  return Clamp01(x / std::sqrt(n2));
+}
+
+struct RatioTerm {
+  double num;  // object-side weight bound for the term
+  double den;  // corpus normalizer cmax(t)
+};
+
+/// Extremal value of (Σ num) / (Σ den) over keyword sets that must contain
+/// all `required` terms and may add any subset of `optional` terms. This is
+/// the exact subset-extremal normalized-sum bound (DESIGN.md §3.1): sort the
+/// optional terms by num/den and greedily add while the ratio improves
+/// (`upper`) or worsens (!`upper`). With an empty required set the extremum
+/// over non-empty sets starts from the single best/worst-ratio term.
+double ExtremalRatioSum(const std::vector<RatioTerm>& required,
+                        std::vector<RatioTerm> optional, bool upper) {
+  double num = 0.0, den = 0.0;
+  for (const RatioTerm& t : required) {
+    if (t.den <= 0.0 && t.num > 0.0) return upper ? 1.0 : 0.0;  // see header
+    num += t.num;
+    den += t.den;
+  }
+  std::sort(optional.begin(), optional.end(),
+            [upper](const RatioTerm& a, const RatioTerm& b) {
+              // Sort by ratio, descending for upper / ascending for lower.
+              const double lhs = a.num * b.den;
+              const double rhs = b.num * a.den;
+              return upper ? lhs > rhs : lhs < rhs;
+            });
+  size_t start = 0;
+  if (required.empty()) {
+    if (optional.empty()) return 0.0;  // no user keywords at all
+    const RatioTerm& first = optional.front();
+    if (first.den <= 0.0) return upper && first.num > 0.0 ? 1.0 : 0.0;
+    num = first.num;
+    den = first.den;
+    start = 1;
+  }
+  if (den <= 0.0) return 0.0;
+  for (size_t i = start; i < optional.size(); ++i) {
+    const RatioTerm& t = optional[i];
+    if (t.den <= 0.0) {
+      if (upper && t.num > 0.0) return 1.0;
+      continue;
+    }
+    const bool improves =
+        upper ? t.num * den > num * t.den : t.num * den < num * t.den;
+    if (!improves) break;  // sorted: no later term can improve either
+    num += t.num;
+    den += t.den;
+  }
+  return Clamp01(num / den);
+}
+
+}  // namespace
+
+const char* TextMeasureName(TextMeasure m) {
+  switch (m) {
+    case TextMeasure::kExtendedJaccard:
+      return "extended_jaccard";
+    case TextMeasure::kCosine:
+      return "cosine";
+    case TextMeasure::kSum:
+      return "normalized_sum";
+  }
+  return "unknown";
+}
+
+TextSimilarity::TextSimilarity(TextMeasure measure,
+                               const std::vector<float>* corpus_max,
+                               EjBoundMode ej_bound)
+    : measure_(measure), corpus_max_(corpus_max), ej_bound_(ej_bound) {
+  assert(measure_ != TextMeasure::kSum || corpus_max_ != nullptr);
+}
+
+double TextSimilarity::SumSim(const TermVector& object,
+                              const TermVector& user) const {
+  double num = 0.0, den = 0.0;
+  for (const TermWeight& e : user.entries()) {
+    num += object.Get(e.term);
+    den += CorpusMax(e.term);
+  }
+  if (den <= 0.0) return 0.0;
+  return Clamp01(num / den);
+}
+
+double TextSimilarity::SumBound(const TextSummary& object,
+                                const TextSummary& user, bool upper) const {
+  const TermVector& obj_side = upper ? object.uni : object.intr;
+  std::vector<RatioTerm> required;
+  std::vector<RatioTerm> optional;
+  required.reserve(user.intr.size());
+  optional.reserve(user.uni.size());
+  for (const TermWeight& e : user.uni.entries()) {
+    const RatioTerm t{static_cast<double>(obj_side.Get(e.term)),
+                      CorpusMax(e.term)};
+    if (user.intr.Contains(e.term)) {
+      required.push_back(t);
+    } else {
+      optional.push_back(t);
+    }
+  }
+  return ExtremalRatioSum(required, std::move(optional), upper);
+}
+
+double TextSimilarity::Sim(const TermVector& object,
+                           const TermVector& user) const {
+  switch (measure_) {
+    case TextMeasure::kExtendedJaccard:
+      return ExtendedJaccard(object, user);
+    case TextMeasure::kCosine:
+      return Cosine(object, user);
+    case TextMeasure::kSum:
+      return SumSim(object, user);
+  }
+  return 0.0;
+}
+
+double TextSimilarity::MaxSim(const TextSummary& object,
+                              const TextSummary& user) const {
+  switch (measure_) {
+    case TextMeasure::kExtendedJaccard:
+      return ExtendedJaccardMax(object, user, ej_bound_);
+    case TextMeasure::kCosine:
+      return CosineMax(object, user);
+    case TextMeasure::kSum:
+      return SumBound(object, user, /*upper=*/true);
+  }
+  return 1.0;
+}
+
+double TextSimilarity::MinSim(const TextSummary& object,
+                              const TextSummary& user) const {
+  switch (measure_) {
+    case TextMeasure::kExtendedJaccard:
+      return ExtendedJaccardMin(object, user);
+    case TextMeasure::kCosine:
+      return CosineMin(object, user);
+    case TextMeasure::kSum:
+      return SumBound(object, user, /*upper=*/false);
+  }
+  return 0.0;
+}
+
+double StScorer::SpatialSim(double dist) const {
+  if (options_.max_dist <= 0.0) return dist <= 0.0 ? 1.0 : 0.0;
+  return Clamp01(1.0 - dist / options_.max_dist);
+}
+
+double StScorer::Score(const Point& op, const TermVector& od, const Point& up,
+                       const TermVector& ud) const {
+  return options_.alpha * SpatialSim(Distance(op, up)) +
+         (1.0 - options_.alpha) * text_->Sim(od, ud);
+}
+
+double StScorer::MaxScore(const Rect& orect, const TextSummary& osum,
+                          const Rect& urect, const TextSummary& usum) const {
+  return options_.alpha * SpatialSim(MinDistance(orect, urect)) +
+         (1.0 - options_.alpha) * text_->MaxSim(osum, usum);
+}
+
+double StScorer::MinScore(const Rect& orect, const TextSummary& osum,
+                          const Rect& urect, const TextSummary& usum) const {
+  return options_.alpha * SpatialSim(MaxDistance(orect, urect)) +
+         (1.0 - options_.alpha) * text_->MinSim(osum, usum);
+}
+
+}  // namespace rst

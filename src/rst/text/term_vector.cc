@@ -1,0 +1,180 @@
+#include "rst/text/term_vector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace rst {
+
+TermVector TermVector::FromUnsorted(std::vector<TermWeight> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const TermWeight& a, const TermWeight& b) {
+              return a.term < b.term || (a.term == b.term && a.weight > b.weight);
+            });
+  std::vector<TermWeight> out;
+  out.reserve(entries.size());
+  for (const TermWeight& e : entries) {
+    if (e.weight <= 0.0f) continue;
+    if (!out.empty() && out.back().term == e.term) continue;  // keep max
+    out.push_back(e);
+  }
+  return FromSorted(std::move(out));
+}
+
+TermVector TermVector::FromSorted(std::vector<TermWeight> entries) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < entries.size(); ++i) {
+    assert(entries[i - 1].term < entries[i].term);
+  }
+  for (const TermWeight& e : entries) assert(e.weight >= 0.0f);
+#endif
+  TermVector v;
+  v.entries_ = std::move(entries);
+  v.RecomputeCaches();
+  return v;
+}
+
+TermVector TermVector::FromTerms(const std::vector<TermId>& terms) {
+  std::vector<TermWeight> entries;
+  entries.reserve(terms.size());
+  for (TermId t : terms) entries.push_back({t, 1.0f});
+  return FromUnsorted(std::move(entries));
+}
+
+void TermVector::RecomputeCaches() {
+  norm_squared_ = 0.0;
+  weight_sum_ = 0.0;
+  for (const TermWeight& e : entries_) {
+    norm_squared_ += static_cast<double>(e.weight) * e.weight;
+    weight_sum_ += e.weight;
+  }
+}
+
+float TermVector::Get(TermId term) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const TermWeight& e, TermId t) { return e.term < t; });
+  if (it == entries_.end() || it->term != term) return 0.0f;
+  return it->weight;
+}
+
+bool TermVector::Contains(TermId term) const { return Get(term) > 0.0f; }
+
+double TermVector::Dot(const TermVector& other) const {
+  double dot = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->term < b->term) {
+      ++a;
+    } else if (b->term < a->term) {
+      ++b;
+    } else {
+      dot += static_cast<double>(a->weight) * b->weight;
+      ++a;
+      ++b;
+    }
+  }
+  return dot;
+}
+
+size_t TermVector::OverlapCount(const TermVector& other) const {
+  size_t overlap = 0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->term < b->term) {
+      ++a;
+    } else if (b->term < a->term) {
+      ++b;
+    } else {
+      ++overlap;
+      ++a;
+      ++b;
+    }
+  }
+  return overlap;
+}
+
+TermVector TermVector::UnionMax(const TermVector& a, const TermVector& b) {
+  std::vector<TermWeight> out;
+  out.reserve(a.size() + b.size());
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() || ib != b.entries_.end()) {
+    if (ib == b.entries_.end() ||
+        (ia != a.entries_.end() && ia->term < ib->term)) {
+      out.push_back(*ia++);
+    } else if (ia == a.entries_.end() || ib->term < ia->term) {
+      out.push_back(*ib++);
+    } else {
+      out.push_back({ia->term, std::max(ia->weight, ib->weight)});
+      ++ia;
+      ++ib;
+    }
+  }
+  return FromSorted(std::move(out));
+}
+
+TermVector TermVector::IntersectMin(const TermVector& a, const TermVector& b) {
+  std::vector<TermWeight> out;
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() && ib != b.entries_.end()) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      const float w = std::min(ia->weight, ib->weight);
+      if (w > 0.0f) out.push_back({ia->term, w});
+      ++ia;
+      ++ib;
+    }
+  }
+  return FromSorted(std::move(out));
+}
+
+TermVector TermVector::Restrict(const TermVector& filter) const {
+  std::vector<TermWeight> out;
+  auto ia = entries_.begin();
+  auto ib = filter.entries_.begin();
+  while (ia != entries_.end() && ib != filter.entries_.end()) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      out.push_back(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+  return FromSorted(std::move(out));
+}
+
+TermVector TermVector::TopKByWeight(size_t k) const {
+  if (k >= entries_.size()) return *this;
+  std::vector<TermWeight> sorted = entries_;
+  std::partial_sort(sorted.begin(), sorted.begin() + k, sorted.end(),
+                    [](const TermWeight& a, const TermWeight& b) {
+                      return a.weight > b.weight ||
+                             (a.weight == b.weight && a.term < b.term);
+                    });
+  sorted.resize(k);
+  return FromUnsorted(std::move(sorted));
+}
+
+std::string TermVector::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s%u:%.3g", i ? ", " : "",
+                  entries_[i].term, entries_[i].weight);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rst

@@ -1,0 +1,92 @@
+#ifndef RST_TEXT_TERM_VECTOR_H_
+#define RST_TEXT_TERM_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rst {
+
+/// Integer term identifier assigned by a Vocabulary.
+using TermId = uint32_t;
+
+struct TermWeight {
+  TermId term = 0;
+  float weight = 0.0f;
+
+  friend bool operator==(const TermWeight& a, const TermWeight& b) {
+    return a.term == b.term && a.weight == b.weight;
+  }
+};
+
+/// A sparse, weighted term vector: entries sorted by term id, unique terms,
+/// non-negative weights. This is the representation of both object documents
+/// and the intersection/union summaries stored in IUR-/MIR-tree nodes.
+///
+/// All binary operations (dot product, union-max, intersect-min) run in
+/// O(|a| + |b|) by merging the sorted entry lists.
+class TermVector {
+ public:
+  TermVector() = default;
+
+  /// Builds from possibly unsorted/duplicated entries; duplicate terms keep
+  /// the maximum weight. Entries with weight <= 0 are dropped.
+  static TermVector FromUnsorted(std::vector<TermWeight> entries);
+
+  /// Builds from entries already sorted by unique term id (checked in debug).
+  static TermVector FromSorted(std::vector<TermWeight> entries);
+
+  /// Binary vector (weight 1.0) over a set of terms.
+  static TermVector FromTerms(const std::vector<TermId>& terms);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<TermWeight>& entries() const { return entries_; }
+
+  /// Weight of `term`, or 0 if absent. O(log n).
+  float Get(TermId term) const;
+  bool Contains(TermId term) const;
+
+  /// <a, b> over shared terms.
+  double Dot(const TermVector& other) const;
+
+  /// Sum of squared weights, cached at construction.
+  double NormSquared() const { return norm_squared_; }
+
+  /// Sum of weights.
+  double WeightSum() const { return weight_sum_; }
+
+  /// Number of terms present in both vectors.
+  size_t OverlapCount(const TermVector& other) const;
+
+  /// Per-term maximum of the two vectors over the union of their terms.
+  static TermVector UnionMax(const TermVector& a, const TermVector& b);
+
+  /// Per-term minimum over the *intersection* of their terms (a term missing
+  /// from either side has implicit weight 0 and is dropped).
+  static TermVector IntersectMin(const TermVector& a, const TermVector& b);
+
+  /// This vector restricted to terms present in `filter`.
+  TermVector Restrict(const TermVector& filter) const;
+
+  /// The `k` terms of this vector with the largest weights (ties broken by
+  /// smaller term id), returned as a TermVector.
+  TermVector TopKByWeight(size_t k) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const TermVector& a, const TermVector& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  void RecomputeCaches();
+
+  std::vector<TermWeight> entries_;
+  double norm_squared_ = 0.0;
+  double weight_sum_ = 0.0;
+};
+
+}  // namespace rst
+
+#endif  // RST_TEXT_TERM_VECTOR_H_

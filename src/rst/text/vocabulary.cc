@@ -1,0 +1,38 @@
+#include "rst/text/vocabulary.h"
+
+#include <cctype>
+
+namespace rst {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) return kNotFound;
+  return it->second;
+}
+
+std::vector<TermId> Vocabulary::TokenizeAndAdd(std::string_view text) {
+  std::vector<TermId> out;
+  std::string token;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      token.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!token.empty()) {
+      out.push_back(GetOrAdd(token));
+      token.clear();
+    }
+  }
+  if (!token.empty()) out.push_back(GetOrAdd(token));
+  return out;
+}
+
+}  // namespace rst

@@ -1,0 +1,43 @@
+#ifndef RST_TEXT_VOCABULARY_H_
+#define RST_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rst/text/term_vector.h"
+
+namespace rst {
+
+/// Bidirectional mapping between term strings and dense TermIds.
+/// Synthetic generators allocate ids directly; the vocabulary is used by the
+/// CSV loaders, the examples, and anywhere human-readable terms appear.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term` or kNotFound.
+  static constexpr TermId kNotFound = 0xFFFFFFFFu;
+  TermId Find(std::string_view term) const;
+
+  /// The string for `id`. Requires id < size().
+  const std::string& TermString(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Tokenizes whitespace/punctuation-separated lowercase terms and interns
+  /// each; returns the id sequence (with duplicates, i.e. raw tokens).
+  std::vector<TermId> TokenizeAndAdd(std::string_view text);
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace rst
+
+#endif  // RST_TEXT_VOCABULARY_H_

@@ -1,0 +1,56 @@
+#include "rst/text/weighting.h"
+
+#include <algorithm>
+
+namespace rst {
+
+const char* WeightingName(Weighting w) {
+  switch (w) {
+    case Weighting::kTfIdf:
+      return "tfidf";
+    case Weighting::kLanguageModel:
+      return "lm";
+    case Weighting::kBinary:
+      return "binary";
+  }
+  return "unknown";
+}
+
+TermVector BuildWeightedVector(const RawDocument& doc, const CorpusStats& stats,
+                               const WeightingOptions& options) {
+  std::vector<TermWeight> entries;
+  entries.reserve(doc.term_counts.size());
+  const double doc_len = static_cast<double>(doc.Length());
+  for (const auto& [term, count] : doc.term_counts) {
+    if (count == 0) continue;
+    double w = 0.0;
+    switch (options.scheme) {
+      case Weighting::kTfIdf:
+        w = static_cast<double>(count) * stats.Idf(term);
+        break;
+      case Weighting::kLanguageModel:
+        w = (1.0 - options.lambda) * (doc_len > 0 ? count / doc_len : 0.0) +
+            options.lambda * stats.CollectionProb(term);
+        break;
+      case Weighting::kBinary:
+        w = 1.0;
+        break;
+    }
+    if (w > 0.0) entries.push_back({term, static_cast<float>(w)});
+  }
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+std::vector<float> ComputeCorpusMaxWeights(const std::vector<TermVector>& docs,
+                                           size_t vocab_size) {
+  std::vector<float> max_weights(vocab_size, 0.0f);
+  for (const TermVector& doc : docs) {
+    for (const TermWeight& e : doc.entries()) {
+      if (e.term >= max_weights.size()) max_weights.resize(e.term + 1, 0.0f);
+      max_weights[e.term] = std::max(max_weights[e.term], e.weight);
+    }
+  }
+  return max_weights;
+}
+
+}  // namespace rst

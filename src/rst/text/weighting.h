@@ -1,0 +1,42 @@
+#ifndef RST_TEXT_WEIGHTING_H_
+#define RST_TEXT_WEIGHTING_H_
+
+#include "rst/text/corpus_stats.h"
+#include "rst/text/term_vector.h"
+
+namespace rst {
+
+/// Term-weighting schemes used to turn raw documents into weighted vectors.
+///
+///  * kTfIdf          w(t,d) = tf(t,d) * log(|D| / df(t))
+///  * kLanguageModel  w(t,d) = (1-λ) tf(t,d)/|d| + λ tf(t,C)/|C|
+///                    (Jelinek–Mercer smoothing; the 2016 paper's Eq. 3)
+///  * kBinary         w(t,d) = 1 if tf(t,d) > 0 (keyword-overlap measure)
+enum class Weighting {
+  kTfIdf,
+  kLanguageModel,
+  kBinary,
+};
+
+struct WeightingOptions {
+  Weighting scheme = Weighting::kTfIdf;
+  /// Jelinek–Mercer λ for kLanguageModel. Zhai & Lafferty recommend ~0.1 for
+  /// short (title-like) queries — the regime of spatial-keyword search.
+  double lambda = 0.1;
+};
+
+const char* WeightingName(Weighting w);
+
+/// Builds the weighted vector of `doc` under `options`.
+TermVector BuildWeightedVector(const RawDocument& doc, const CorpusStats& stats,
+                               const WeightingOptions& options);
+
+/// Per-term maximum weight over a set of weighted document vectors; position
+/// t holds max_d w(t,d). Used as the normalizer cmax(t) by the sum-form text
+/// measures (P_max in the 2016 paper's Eq. 4).
+std::vector<float> ComputeCorpusMaxWeights(
+    const std::vector<TermVector>& docs, size_t vocab_size);
+
+}  // namespace rst
+
+#endif  // RST_TEXT_WEIGHTING_H_

@@ -1,0 +1,111 @@
+#include "rst/topk/topk.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rst {
+
+namespace {
+
+struct QueueItem {
+  double score;       // upper bound for nodes, exact for objects
+  bool is_object;
+  ObjectId id;        // object id, or arbitrary for nodes
+  const IurTree::Node* node;  // nullptr for objects
+
+  /// Max-heap by score; objects before nodes at equal score (their score is
+  /// exact and can be emitted); then ascending id for determinism.
+  bool operator<(const QueueItem& other) const {
+    if (score != other.score) return score < other.score;
+    if (is_object != other.is_object) return !is_object;
+    return id > other.id;
+  }
+};
+
+}  // namespace
+
+double TopKSearcher::UpperBound(const IurTree::Entry& entry,
+                                const TopKQuery& query) const {
+  const TextSummary qsum = TextSummary::FromDoc(*query.doc);
+  const TextBounds tb = EntryTextBounds(entry, qsum, scorer_->text());
+  const double spatial =
+      scorer_->SpatialSim(MinDistance(query.loc, entry.rect));
+  return scorer_->options().alpha * spatial +
+         (1.0 - scorer_->options().alpha) * tb.max_sim;
+}
+
+namespace {
+
+/// True iff `candidate` contains every term of `required`.
+bool ContainsAllTerms(const TermVector& candidate, const TermVector& required) {
+  return candidate.OverlapCount(required) == required.size();
+}
+
+}  // namespace
+
+std::vector<TopKResult> TopKSearcher::Search(const TopKQuery& query,
+                                             IoStats* stats) const {
+  std::vector<TopKResult> results;
+  if (query.k == 0 || tree_->size() == 0) return results;
+  const TextSummary qsum = TextSummary::FromDoc(*query.doc);
+  const double alpha = scorer_->options().alpha;
+
+  std::priority_queue<QueueItem> pq;
+  pq.push({1.0, false, 0, tree_->root()});
+  while (!pq.empty() && results.size() < query.k) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.is_object) {
+      results.push_back({item.id, item.score});
+      continue;
+    }
+    tree_->ChargeAccess(item.node, stats);
+    for (const IurTree::Entry& e : item.node->entries) {
+      if (e.is_object()) {
+        if (e.id == query.exclude) continue;
+        const StObject& obj = dataset_->object(e.id);
+        if (query.require_all_terms &&
+            !ContainsAllTerms(obj.doc, *query.doc)) {
+          continue;
+        }
+        const double score =
+            scorer_->Score(obj.loc, obj.doc, query.loc, *query.doc);
+        pq.push({score, true, e.id, nullptr});
+      } else {
+        if (query.require_all_terms &&
+            !ContainsAllTerms(e.summary.uni, *query.doc)) {
+          continue;  // some required term appears nowhere in the subtree
+        }
+        const TextBounds tb = EntryTextBounds(e, qsum, scorer_->text());
+        const double upper =
+            alpha * scorer_->SpatialSim(MinDistance(query.loc, e.rect)) +
+            (1.0 - alpha) * tb.max_sim;
+        pq.push({upper, false, 0, e.child.get()});
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<TopKResult> BruteForceTopK(const Dataset& dataset,
+                                       const StScorer& scorer,
+                                       const TopKQuery& query) {
+  std::vector<TopKResult> all;
+  all.reserve(dataset.size());
+  for (const StObject& obj : dataset.objects()) {
+    if (obj.id == query.exclude) continue;
+    if (query.require_all_terms &&
+        obj.doc.OverlapCount(*query.doc) != query.doc->size()) {
+      continue;
+    }
+    all.push_back(
+        {obj.id, scorer.Score(obj.loc, obj.doc, query.loc, *query.doc)});
+  }
+  std::sort(all.begin(), all.end(), [](const TopKResult& a, const TopKResult& b) {
+    return a.score > b.score || (a.score == b.score && a.id < b.id);
+  });
+  if (all.size() > query.k) all.resize(query.k);
+  return all;
+}
+
+}  // namespace rst

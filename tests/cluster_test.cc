@@ -1,0 +1,113 @@
+#include "rst/iurtree/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rst/common/rng.h"
+
+namespace rst {
+namespace {
+
+// Three clearly separated topics over disjoint vocabulary blocks.
+std::vector<TermVector> TopicDocs(Rng* rng, size_t per_topic) {
+  std::vector<TermVector> docs;
+  for (int topic = 0; topic < 3; ++topic) {
+    for (size_t i = 0; i < per_topic; ++i) {
+      std::vector<TermWeight> entries;
+      for (int t = 0; t < 5; ++t) {
+        entries.push_back(
+            {static_cast<TermId>(topic * 100 + rng->UniformInt(uint64_t{20})),
+             static_cast<float>(rng->Uniform(0.5, 1.5))});
+      }
+      docs.push_back(TermVector::FromUnsorted(std::move(entries)));
+    }
+  }
+  return docs;
+}
+
+TEST(ClusterTest, SeparatesDisjointTopics) {
+  Rng rng(5);
+  auto docs = TopicDocs(&rng, 40);
+  ClusteringOptions opts;
+  opts.num_clusters = 3;
+  const ClusteringResult result = ClusterDocuments(docs, opts);
+  ASSERT_EQ(result.assignment.size(), docs.size());
+  // All docs of one topic should land in one cluster (perfect separability).
+  for (int topic = 0; topic < 3; ++topic) {
+    const uint32_t c0 = result.assignment[topic * 40];
+    for (size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(result.assignment[topic * 40 + i], c0) << "topic " << topic;
+    }
+  }
+  // And distinct topics in distinct clusters.
+  EXPECT_NE(result.assignment[0], result.assignment[40]);
+  EXPECT_NE(result.assignment[40], result.assignment[80]);
+  EXPECT_GT(result.mean_intra_similarity, 0.3);
+}
+
+TEST(ClusterTest, DeterministicForSeed) {
+  Rng rng(6);
+  auto docs = TopicDocs(&rng, 20);
+  ClusteringOptions opts;
+  opts.num_clusters = 4;
+  const auto a = ClusterDocuments(docs, opts);
+  const auto b = ClusterDocuments(docs, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(ClusterTest, ClampsClusterCountToDocs) {
+  std::vector<TermVector> docs = {TermVector::FromTerms({1}),
+                                  TermVector::FromTerms({2})};
+  ClusteringOptions opts;
+  opts.num_clusters = 10;
+  const auto result = ClusterDocuments(docs, opts);
+  EXPECT_LE(result.num_clusters, 2u);
+  for (uint32_t a : result.assignment) EXPECT_LT(a, result.num_clusters);
+}
+
+TEST(ClusterTest, OutlierExtractionMovesMisfits) {
+  Rng rng(7);
+  auto docs = TopicDocs(&rng, 30);
+  // Add a few documents with unrelated vocabulary.
+  for (int i = 0; i < 5; ++i) {
+    docs.push_back(TermVector::FromTerms(
+        {static_cast<TermId>(900 + i * 7), static_cast<TermId>(950 + i)}));
+  }
+  ClusteringOptions opts;
+  opts.num_clusters = 3;
+  opts.outlier_threshold = 0.2;
+  opts.max_outlier_fraction = 0.2;
+  const auto result = ClusterDocuments(docs, opts);
+  EXPECT_GT(result.num_outliers, 0u);
+  EXPECT_EQ(result.num_clusters, 4u);  // 3 + outlier cluster
+  // Outliers live in the dedicated last cluster.
+  for (size_t i = 90; i < docs.size(); ++i) {
+    EXPECT_EQ(result.assignment[i], 3u) << "misfit doc " << i;
+  }
+}
+
+TEST(ClusterTest, OutlierCapRespected) {
+  Rng rng(8);
+  auto docs = TopicDocs(&rng, 10);
+  ClusteringOptions opts;
+  opts.num_clusters = 2;
+  opts.outlier_threshold = 2.0;  // everything looks like an outlier
+  opts.max_outlier_fraction = 0.1;
+  const auto result = ClusterDocuments(docs, opts);
+  EXPECT_LE(result.num_outliers, docs.size() / 10);
+}
+
+TEST(ClusterEntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ClusterEntropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterEntropy({10}), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterEntropy({5, 5}), std::log(2.0));
+  EXPECT_NEAR(ClusterEntropy({1, 1, 1, 1}), std::log(4.0), 1e-12);
+  // Skewed distribution has lower entropy than uniform.
+  EXPECT_LT(ClusterEntropy({9, 1}), ClusterEntropy({5, 5}));
+  // Zero-count clusters contribute nothing.
+  EXPECT_DOUBLE_EQ(ClusterEntropy({5, 0, 5}), std::log(2.0));
+}
+
+}  // namespace
+}  // namespace rst

@@ -1,0 +1,105 @@
+#include "rst/text/corpus_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rst/text/weighting.h"
+
+namespace rst {
+namespace {
+
+RawDocument Doc(std::vector<std::pair<TermId, uint32_t>> counts) {
+  RawDocument d;
+  d.term_counts = std::move(counts);
+  return d;
+}
+
+TEST(RawDocumentTest, FromTokensAggregatesCounts) {
+  RawDocument d = RawDocument::FromTokens({3, 1, 3, 3, 2, 1});
+  ASSERT_EQ(d.term_counts.size(), 3u);
+  EXPECT_EQ(d.term_counts[0], (std::pair<TermId, uint32_t>{1, 2}));
+  EXPECT_EQ(d.term_counts[1], (std::pair<TermId, uint32_t>{2, 1}));
+  EXPECT_EQ(d.term_counts[2], (std::pair<TermId, uint32_t>{3, 3}));
+  EXPECT_EQ(d.Length(), 6u);
+}
+
+class CorpusStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stats_.AddDocument(Doc({{0, 2}, {1, 1}}));   // doc A
+    stats_.AddDocument(Doc({{1, 3}, {2, 1}}));   // doc B
+    stats_.AddDocument(Doc({{1, 1}}));           // doc C
+  }
+  CorpusStats stats_;
+};
+
+TEST_F(CorpusStatsTest, Frequencies) {
+  EXPECT_EQ(stats_.num_docs(), 3u);
+  EXPECT_EQ(stats_.total_terms(), 8u);
+  EXPECT_EQ(stats_.DocFreq(0), 1u);
+  EXPECT_EQ(stats_.DocFreq(1), 3u);
+  EXPECT_EQ(stats_.DocFreq(2), 1u);
+  EXPECT_EQ(stats_.DocFreq(99), 0u);
+  EXPECT_EQ(stats_.CollectionFreq(1), 5u);
+}
+
+TEST_F(CorpusStatsTest, Idf) {
+  EXPECT_DOUBLE_EQ(stats_.Idf(0), std::log(3.0));
+  EXPECT_DOUBLE_EQ(stats_.Idf(1), std::log(1.0));  // in every doc -> 0
+  EXPECT_EQ(stats_.Idf(99), 0.0);
+}
+
+TEST_F(CorpusStatsTest, CollectionProb) {
+  EXPECT_DOUBLE_EQ(stats_.CollectionProb(1), 5.0 / 8.0);
+  EXPECT_EQ(stats_.CollectionProb(99), 0.0);
+}
+
+TEST_F(CorpusStatsTest, TfIdfWeighting) {
+  WeightingOptions opts;
+  opts.scheme = Weighting::kTfIdf;
+  TermVector v = BuildWeightedVector(Doc({{0, 2}, {1, 1}}), stats_, opts);
+  EXPECT_FLOAT_EQ(v.Get(0), static_cast<float>(2.0 * std::log(3.0)));
+  // idf(1) == 0 so term 1 is dropped entirely.
+  EXPECT_FALSE(v.Contains(1));
+}
+
+TEST_F(CorpusStatsTest, LanguageModelWeighting) {
+  WeightingOptions opts;
+  opts.scheme = Weighting::kLanguageModel;
+  opts.lambda = 0.2;
+  TermVector v = BuildWeightedVector(Doc({{0, 2}, {1, 1}}), stats_, opts);
+  // w(0) = 0.8 * 2/3 + 0.2 * 2/8
+  EXPECT_NEAR(v.Get(0), 0.8 * (2.0 / 3.0) + 0.2 * (2.0 / 8.0), 1e-6);
+  // w(1) = 0.8 * 1/3 + 0.2 * 5/8
+  EXPECT_NEAR(v.Get(1), 0.8 * (1.0 / 3.0) + 0.2 * (5.0 / 8.0), 1e-6);
+}
+
+TEST_F(CorpusStatsTest, BinaryWeighting) {
+  WeightingOptions opts;
+  opts.scheme = Weighting::kBinary;
+  TermVector v = BuildWeightedVector(Doc({{0, 7}, {1, 1}}), stats_, opts);
+  EXPECT_EQ(v.Get(0), 1.0f);
+  EXPECT_EQ(v.Get(1), 1.0f);
+}
+
+TEST(WeightingTest, CorpusMaxWeights) {
+  std::vector<TermVector> docs = {
+      TermVector::FromUnsorted({{0, 1.0f}, {2, 3.0f}}),
+      TermVector::FromUnsorted({{0, 2.0f}, {1, 0.5f}}),
+  };
+  auto cmax = ComputeCorpusMaxWeights(docs, 3);
+  ASSERT_EQ(cmax.size(), 3u);
+  EXPECT_EQ(cmax[0], 2.0f);
+  EXPECT_EQ(cmax[1], 0.5f);
+  EXPECT_EQ(cmax[2], 3.0f);
+}
+
+TEST(WeightingTest, NamesAreStable) {
+  EXPECT_STREQ(WeightingName(Weighting::kTfIdf), "tfidf");
+  EXPECT_STREQ(WeightingName(Weighting::kLanguageModel), "lm");
+  EXPECT_STREQ(WeightingName(Weighting::kBinary), "binary");
+}
+
+}  // namespace
+}  // namespace rst

@@ -1,0 +1,196 @@
+#include "rst/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "rst/data/csv.h"
+#include "rst/data/generators.h"
+
+namespace rst {
+namespace {
+
+TEST(DatasetTest, FinalizeComputesDerivedState) {
+  Dataset d;
+  d.Add(Point{0, 0}, RawDocument::FromTokens({0, 0, 1}));
+  d.Add(Point{3, 4}, RawDocument::FromTokens({1, 2}));
+  d.Finalize({Weighting::kLanguageModel, 0.2});
+  ASSERT_TRUE(d.finalized());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.stats().num_docs(), 2u);
+  EXPECT_DOUBLE_EQ(d.max_dist(), 5.0);
+  EXPECT_EQ(d.bounds(), Rect::FromCorners(0, 0, 3, 4));
+  // Weighted vectors exist and corpus max dominates them.
+  for (const StObject& o : d.objects()) {
+    EXPECT_FALSE(o.doc.empty());
+    for (const TermWeight& e : o.doc.entries()) {
+      EXPECT_LE(e.weight, d.corpus_max()[e.term] + 1e-7f);
+    }
+  }
+}
+
+TEST(DatasetTest, StatsRowMatchesHandCount) {
+  Dataset d;
+  d.Add(Point{0, 0}, RawDocument::FromTokens({0, 0, 1}));  // 2 unique, 3 total
+  d.Add(Point{1, 1}, RawDocument::FromTokens({2}));        // 1 unique, 1 total
+  d.Finalize({});
+  const DatasetStatsRow row = ComputeDatasetStats(d);
+  EXPECT_EQ(row.total_objects, 2u);
+  EXPECT_EQ(row.total_unique_terms, 3u);
+  EXPECT_DOUBLE_EQ(row.avg_unique_terms_per_object, 1.5);
+  EXPECT_EQ(row.total_terms, 4u);
+}
+
+TEST(GeneratorsTest, FlickrLikeShapeMatchesConfig) {
+  FlickrLikeConfig config;
+  config.num_objects = 2000;
+  config.vocab_size = 500;
+  Dataset d = GenFlickrLike(config, {Weighting::kLanguageModel, 0.1});
+  EXPECT_EQ(d.size(), 2000u);
+  const DatasetStatsRow row = ComputeDatasetStats(d);
+  // Mean unique terms per object is near the configured 7.
+  EXPECT_GT(row.avg_unique_terms_per_object, 5.0);
+  EXPECT_LT(row.avg_unique_terms_per_object, 9.0);
+  // All locations inside the world.
+  for (const StObject& o : d.objects()) {
+    EXPECT_GE(o.loc.x, 0.0);
+    EXPECT_LE(o.loc.x, config.world_extent);
+  }
+}
+
+TEST(GeneratorsTest, YelpLikeIsTextHeavy) {
+  YelpLikeConfig config;
+  config.num_objects = 300;
+  Dataset d = GenYelpLike(config, {Weighting::kLanguageModel, 0.1});
+  const DatasetStatsRow row = ComputeDatasetStats(d);
+  // Long-document regime: far more unique terms per object than Flickr-like.
+  EXPECT_GT(row.avg_unique_terms_per_object, 60.0);
+  // Repeated terms: total terms exceed unique terms noticeably.
+  EXPECT_GT(static_cast<double>(row.total_terms),
+            1.2 * row.avg_unique_terms_per_object * row.total_objects);
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  FlickrLikeConfig config;
+  config.num_objects = 200;
+  Dataset a = GenFlickrLike(config, {});
+  Dataset b = GenFlickrLike(config, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.objects()[i].loc, b.objects()[i].loc);
+    EXPECT_EQ(a.objects()[i].doc, b.objects()[i].doc);
+  }
+  config.seed = 999;
+  Dataset c = GenFlickrLike(config, {});
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a.objects()[i].loc == c.objects()[i].loc)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, UserProtocolRespectsConfig) {
+  FlickrLikeConfig config;
+  config.num_objects = 5000;
+  Dataset d = GenFlickrLike(config, {Weighting::kLanguageModel, 0.1});
+  UserGenConfig ucfg;
+  ucfg.num_users = 80;
+  ucfg.keywords_per_user = 3;
+  ucfg.num_unique_keywords = 15;
+  ucfg.area_extent = 20.0;
+  GeneratedUsers gen = GenUsers(d, ucfg);
+  EXPECT_EQ(gen.users.size(), 80u);
+  EXPECT_LE(gen.candidate_keywords.size(), 15u);
+  std::set<TermId> pool(gen.candidate_keywords.begin(),
+                        gen.candidate_keywords.end());
+  for (const StUser& u : gen.users) {
+    EXPECT_LE(u.keywords.size(), 3u);
+    EXPECT_GE(u.keywords.size(), 1u);
+    for (const TermWeight& e : u.keywords.entries()) {
+      EXPECT_TRUE(pool.count(e.term)) << "keyword outside the UW pool";
+      EXPECT_EQ(e.weight, 1.0f);  // users carry binary keyword sets
+    }
+  }
+}
+
+TEST(GeneratorsTest, CandidateLocationsInsideArea) {
+  const Rect area = Rect::FromCorners(10, 20, 30, 40);
+  auto locs = GenCandidateLocations(area, 50, 5);
+  EXPECT_EQ(locs.size(), 50u);
+  for (const Point& p : locs) EXPECT_TRUE(area.Contains(p));
+  // Deterministic.
+  auto locs2 = GenCandidateLocations(area, 50, 5);
+  EXPECT_EQ(locs[7], locs2[7]);
+}
+
+TEST(GeneratorsTest, SampleQueryObjectsDistinct) {
+  FlickrLikeConfig config;
+  config.num_objects = 100;
+  Dataset d = GenFlickrLike(config, {});
+  auto q = SampleQueryObjects(d, 20, 3);
+  EXPECT_EQ(q.size(), 20u);
+  std::set<ObjectId> distinct(q.begin(), q.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  EXPECT_EQ(SampleQueryObjects(d, 200, 3).size(), 100u);  // capped
+}
+
+TEST(CsvTest, IdRoundTrip) {
+  Dataset d;
+  d.Add(Point{1.5, -2.25}, RawDocument::FromTokens({3, 3, 7}));
+  d.Add(Point{0, 0}, RawDocument::FromTokens({1}));
+  d.Finalize({});
+  const std::string path = ::testing::TempDir() + "/objects.csv";
+  ASSERT_TRUE(SaveDatasetIds(d, path).ok());
+  auto loaded = LoadDatasetIds(path, {});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().objects()[0].loc, (Point{1.5, -2.25}));
+  EXPECT_EQ(loaded.value().objects()[0].raw.term_counts,
+            d.objects()[0].raw.term_counts);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, TsvLoadTokenizes) {
+  const std::string path = ::testing::TempDir() + "/objects.tsv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# comment\n1.0\t2.0\tsushi seafood sushi\n3.0\t4.0\tnoodles\n",
+               f);
+    std::fclose(f);
+  }
+  Vocabulary vocab;
+  auto loaded = LoadDatasetTsv(path, &vocab, {});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+  const TermId sushi = vocab.Find("sushi");
+  EXPECT_EQ(loaded.value().objects()[0].raw.term_counts[0].first, sushi);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UsersRoundTrip) {
+  std::vector<StUser> users(2);
+  users[0] = {0, Point{1, 2}, TermVector::FromTerms({5, 9})};
+  users[1] = {1, Point{3, 4}, TermVector::FromTerms({2})};
+  const std::string path = ::testing::TempDir() + "/users.csv";
+  ASSERT_TRUE(SaveUsersIds(users, path).ok());
+  auto loaded = LoadUsersIds(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].keywords, users[0].keywords);
+  EXPECT_EQ(loaded.value()[1].loc, users[1].loc);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Vocabulary vocab;
+  EXPECT_EQ(LoadDatasetTsv("/nonexistent/x.tsv", &vocab, {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadDatasetIds("/nonexistent/x.csv", {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rst

@@ -1,0 +1,94 @@
+#include "rst/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rst {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(int64_t{3}, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  for (size_t universe : {5u, 50u, 500u}) {
+    for (size_t n : {1u, 3u, 5u}) {
+      auto picks = rng.SampleWithoutReplacement(universe, n);
+      EXPECT_EQ(picks.size(), n);
+      std::set<size_t> distinct(picks.begin(), picks.end());
+      EXPECT_EQ(distinct.size(), n);
+      for (size_t p : picks) EXPECT_LT(p, universe);
+    }
+  }
+  // Full-universe sample is a permutation.
+  auto all = rng.SampleWithoutReplacement(10, 10);
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t i = 0; i < 100; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(50));
+}
+
+TEST(ZipfTest, EmpiricalSkewMatchesPmf) {
+  Rng rng(17);
+  ZipfSampler zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(&rng)]++;
+  // Rank 0 empirical frequency close to pmf.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, zipf.Pmf(0), 0.01);
+  // Monotone-ish decrease between well-separated ranks.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+}  // namespace
+}  // namespace rst

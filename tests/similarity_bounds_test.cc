@@ -1,0 +1,211 @@
+// Property tests for the node-level similarity bounds — the foundation of
+// every pruning rule in the library (DESIGN.md §3.1). For random groups of
+// documents/users summarized the way IUR-/MIR-tree nodes summarize their
+// subtrees, MinSim/MaxSim must bracket the exact similarity of every
+// contained pair, and MinScore/MaxScore must bracket every combined score.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rst/common/rng.h"
+#include "rst/text/similarity.h"
+#include "rst/text/weighting.h"
+
+namespace rst {
+namespace {
+
+constexpr size_t kVocab = 24;
+
+TermVector RandomDoc(Rng* rng, double density, float max_w) {
+  std::vector<TermWeight> entries;
+  for (TermId t = 0; t < kVocab; ++t) {
+    if (rng->Bernoulli(density)) {
+      entries.push_back({t, static_cast<float>(rng->Uniform(0.05, max_w))});
+    }
+  }
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+TermVector RandomKeywordSet(Rng* rng, double density) {
+  std::vector<TermId> terms;
+  for (TermId t = 0; t < kVocab; ++t) {
+    if (rng->Bernoulli(density)) terms.push_back(t);
+  }
+  return TermVector::FromTerms(terms);
+}
+
+TextSummary Summarize(const std::vector<TermVector>& docs) {
+  TextSummary s;
+  for (const TermVector& d : docs) {
+    s = TextSummary::Merge(s, TextSummary::FromDoc(d));
+  }
+  return s;
+}
+
+class SymmetricBoundsTest : public ::testing::TestWithParam<TextMeasure> {};
+
+TEST_P(SymmetricBoundsTest, BoundsBracketAllPairs) {
+  const TextMeasure measure = GetParam();
+  TextSimilarity sim(measure);
+  Rng rng(1234 + static_cast<int>(measure));
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t na = 1 + rng.UniformInt(uint64_t{5});
+    const size_t nb = 1 + rng.UniformInt(uint64_t{5});
+    std::vector<TermVector> group_a, group_b;
+    const double density = rng.Uniform(0.1, 0.6);
+    for (size_t i = 0; i < na; ++i) {
+      group_a.push_back(RandomDoc(&rng, density, 2.0f));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      group_b.push_back(RandomDoc(&rng, density, 2.0f));
+    }
+    const TextSummary sa = Summarize(group_a);
+    const TextSummary sb = Summarize(group_b);
+    const double lo = sim.MinSim(sa, sb);
+    const double hi = sim.MaxSim(sa, sb);
+    EXPECT_LE(lo, hi + 1e-9);
+    for (const TermVector& da : group_a) {
+      for (const TermVector& db : group_b) {
+        const double s = sim.Sim(da, db);
+        EXPECT_LE(lo, s + 1e-9) << "measure=" << TextMeasureName(measure)
+                                << " trial=" << trial;
+        EXPECT_GE(hi, s - 1e-9) << "measure=" << TextMeasureName(measure)
+                                << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST_P(SymmetricBoundsTest, SingletonSummariesAreTight) {
+  const TextMeasure measure = GetParam();
+  TextSimilarity sim(measure);
+  Rng rng(77 + static_cast<int>(measure));
+  for (int trial = 0; trial < 100; ++trial) {
+    TermVector a = RandomDoc(&rng, 0.4, 2.0f);
+    TermVector b = RandomDoc(&rng, 0.4, 2.0f);
+    if (a.empty() || b.empty()) continue;
+    const TextSummary sa = TextSummary::FromDoc(a);
+    const TextSummary sb = TextSummary::FromDoc(b);
+    const double s = sim.Sim(a, b);
+    EXPECT_NEAR(sim.MinSim(sa, sb), s, 1e-9);
+    EXPECT_NEAR(sim.MaxSim(sa, sb), s, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Measures, SymmetricBoundsTest,
+                         ::testing::Values(TextMeasure::kExtendedJaccard,
+                                           TextMeasure::kCosine),
+                         [](const auto& info) {
+                           return TextMeasureName(info.param);
+                         });
+
+// The sum-form measure is asymmetric: group B is a set of users (keyword
+// sets). Its bounds must hold for every (object doc, user) pair.
+TEST(SumBoundsTest, BoundsBracketAllObjectUserPairs) {
+  Rng rng(4321);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<TermVector> objects, users;
+    const size_t no = 1 + rng.UniformInt(uint64_t{5});
+    const size_t nu = 1 + rng.UniformInt(uint64_t{5});
+    for (size_t i = 0; i < no; ++i) {
+      objects.push_back(RandomDoc(&rng, rng.Uniform(0.1, 0.5), 1.0f));
+    }
+    for (size_t i = 0; i < nu; ++i) {
+      users.push_back(RandomKeywordSet(&rng, rng.Uniform(0.1, 0.5)));
+    }
+    // Corpus max weights must dominate all object weights (precondition).
+    std::vector<float> cmax = ComputeCorpusMaxWeights(objects, kVocab);
+    for (float& c : cmax) c = std::max(c, 0.01f);
+    TextSimilarity sim(TextMeasure::kSum, &cmax);
+
+    const TextSummary so = Summarize(objects);
+    const TextSummary su = Summarize(users);
+    const double lo = sim.MinSim(so, su);
+    const double hi = sim.MaxSim(so, su);
+    EXPECT_LE(lo, hi + 1e-9);
+    for (const TermVector& o : objects) {
+      for (const TermVector& u : users) {
+        const double s = sim.Sim(o, u);
+        EXPECT_LE(lo, s + 1e-9) << "trial=" << trial;
+        EXPECT_GE(hi, s - 1e-9) << "trial=" << trial;
+      }
+    }
+  }
+}
+
+// Additionally, the sum bounds must hold for *hypothetical* users anywhere
+// between the intersection and the union of the summarized keyword sets —
+// that is what super-user pruning relies on (2016 paper, Lemma 2).
+TEST(SumBoundsTest, BoundsCoverAnySubsetBetweenIntrAndUni) {
+  Rng rng(9876);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<TermVector> objects = {RandomDoc(&rng, 0.4, 1.0f),
+                                       RandomDoc(&rng, 0.4, 1.0f)};
+    std::vector<TermVector> users = {RandomKeywordSet(&rng, 0.5),
+                                     RandomKeywordSet(&rng, 0.5)};
+    std::vector<float> cmax = ComputeCorpusMaxWeights(objects, kVocab);
+    for (float& c : cmax) c = std::max(c, 0.01f);
+    TextSimilarity sim(TextMeasure::kSum, &cmax);
+    const TextSummary so = Summarize(objects);
+    const TextSummary su = Summarize(users);
+    const double lo = sim.MinSim(so, su);
+    const double hi = sim.MaxSim(so, su);
+    // Construct random subsets S with intr ⊆ S ⊆ uni.
+    for (int s = 0; s < 30; ++s) {
+      std::vector<TermId> terms;
+      for (const TermWeight& e : su.uni.entries()) {
+        if (su.intr.Contains(e.term) || rng.Bernoulli(0.5)) {
+          terms.push_back(e.term);
+        }
+      }
+      if (terms.empty()) continue;
+      const TermVector hypothetical = TermVector::FromTerms(terms);
+      for (const TermVector& o : objects) {
+        const double score = sim.Sim(o, hypothetical);
+        EXPECT_LE(lo, score + 1e-9);
+        EXPECT_GE(hi, score - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(StScorerBoundsTest, ScoreBoundsBracketContainedPairs) {
+  Rng rng(555);
+  TextSimilarity ej(TextMeasure::kExtendedJaccard);
+  for (double alpha : {0.0, 0.3, 0.7, 1.0}) {
+    StScorer scorer(&ej, {alpha, 30.0});
+    for (int trial = 0; trial < 100; ++trial) {
+      const Rect ra =
+          Rect::FromCorners(rng.Uniform(-10, 10), rng.Uniform(-10, 10),
+                            rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+      const Rect rb =
+          Rect::FromCorners(rng.Uniform(-10, 10), rng.Uniform(-10, 10),
+                            rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+      std::vector<TermVector> da = {RandomDoc(&rng, 0.3, 1.5f),
+                                    RandomDoc(&rng, 0.3, 1.5f)};
+      std::vector<TermVector> db = {RandomDoc(&rng, 0.3, 1.5f),
+                                    RandomDoc(&rng, 0.3, 1.5f)};
+      const TextSummary sa = Summarize(da);
+      const TextSummary sb = Summarize(db);
+      const double lo = scorer.MinScore(ra, sa, rb, sb);
+      const double hi = scorer.MaxScore(ra, sa, rb, sb);
+      for (int s = 0; s < 10; ++s) {
+        const Point pa{rng.Uniform(ra.min_x, ra.max_x),
+                       rng.Uniform(ra.min_y, ra.max_y)};
+        const Point pb{rng.Uniform(rb.min_x, rb.max_x),
+                       rng.Uniform(rb.min_y, rb.max_y)};
+        for (const TermVector& va : da) {
+          for (const TermVector& vb : db) {
+            const double score = scorer.Score(pa, va, pb, vb);
+            EXPECT_LE(lo, score + 1e-9) << "alpha=" << alpha;
+            EXPECT_GE(hi, score - 1e-9) << "alpha=" << alpha;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rst

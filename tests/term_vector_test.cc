@@ -1,0 +1,137 @@
+#include "rst/text/term_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "rst/common/rng.h"
+#include "rst/text/vocabulary.h"
+
+namespace rst {
+namespace {
+
+TermVector Vec(std::vector<TermWeight> entries) {
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+TEST(TermVectorTest, FromUnsortedSortsDedupsAndDropsZeros) {
+  TermVector v = Vec({{5, 2.0f}, {1, 1.0f}, {5, 3.0f}, {9, 0.0f}, {2, 0.5f}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.entries()[0].term, 1u);
+  EXPECT_EQ(v.entries()[1].term, 2u);
+  EXPECT_EQ(v.entries()[2].term, 5u);
+  EXPECT_EQ(v.Get(5), 3.0f);  // duplicate keeps max
+  EXPECT_EQ(v.Get(9), 0.0f);
+  EXPECT_FALSE(v.Contains(9));
+}
+
+TEST(TermVectorTest, GetAndContains) {
+  TermVector v = Vec({{1, 1.0f}, {3, 2.0f}, {7, 0.25f}});
+  EXPECT_EQ(v.Get(3), 2.0f);
+  EXPECT_EQ(v.Get(4), 0.0f);
+  EXPECT_TRUE(v.Contains(7));
+  EXPECT_FALSE(v.Contains(0));
+}
+
+TEST(TermVectorTest, DotProduct) {
+  TermVector a = Vec({{1, 1.0f}, {2, 2.0f}, {5, 3.0f}});
+  TermVector b = Vec({{2, 4.0f}, {5, 1.0f}, {9, 7.0f}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 2.0 * 4.0 + 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), b.Dot(a));
+  EXPECT_DOUBLE_EQ(a.Dot(TermVector()), 0.0);
+}
+
+TEST(TermVectorTest, CachedAggregates) {
+  TermVector a = Vec({{1, 1.0f}, {2, 2.0f}});
+  EXPECT_DOUBLE_EQ(a.NormSquared(), 5.0);
+  EXPECT_DOUBLE_EQ(a.WeightSum(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Dot(a), a.NormSquared());
+}
+
+TEST(TermVectorTest, UnionMaxAndIntersectMin) {
+  TermVector a = Vec({{1, 1.0f}, {2, 5.0f}, {4, 2.0f}});
+  TermVector b = Vec({{2, 3.0f}, {4, 6.0f}, {8, 1.0f}});
+  TermVector uni = TermVector::UnionMax(a, b);
+  ASSERT_EQ(uni.size(), 4u);
+  EXPECT_EQ(uni.Get(1), 1.0f);
+  EXPECT_EQ(uni.Get(2), 5.0f);
+  EXPECT_EQ(uni.Get(4), 6.0f);
+  EXPECT_EQ(uni.Get(8), 1.0f);
+  TermVector intr = TermVector::IntersectMin(a, b);
+  ASSERT_EQ(intr.size(), 2u);
+  EXPECT_EQ(intr.Get(2), 3.0f);
+  EXPECT_EQ(intr.Get(4), 2.0f);
+}
+
+TEST(TermVectorTest, OverlapCountAndRestrict) {
+  TermVector a = Vec({{1, 1.0f}, {2, 1.0f}, {3, 1.0f}});
+  TermVector b = Vec({{2, 9.0f}, {3, 9.0f}, {4, 9.0f}});
+  EXPECT_EQ(a.OverlapCount(b), 2u);
+  TermVector r = a.Restrict(b);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Get(2), 1.0f);  // keeps own weights
+  EXPECT_EQ(r.Get(3), 1.0f);
+}
+
+TEST(TermVectorTest, TopKByWeight) {
+  TermVector v = Vec({{1, 0.5f}, {2, 3.0f}, {3, 1.0f}, {4, 3.0f}});
+  TermVector top2 = v.TopKByWeight(2);
+  ASSERT_EQ(top2.size(), 2u);
+  // Ties by weight resolve to the smaller term id (2 before 4).
+  EXPECT_TRUE(top2.Contains(2));
+  EXPECT_TRUE(top2.Contains(4));
+  EXPECT_EQ(v.TopKByWeight(10).size(), 4u);
+  EXPECT_TRUE(v.TopKByWeight(0).empty());
+}
+
+// Property: union/intersect bracket both inputs per term.
+TEST(TermVectorTest, UnionIntersectBracketProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<TermWeight> ea, eb;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        ea.push_back({static_cast<TermId>(rng.UniformInt(uint64_t{20})),
+                      static_cast<float>(rng.Uniform(0.01, 2.0))});
+      }
+      if (rng.Bernoulli(0.5)) {
+        eb.push_back({static_cast<TermId>(rng.UniformInt(uint64_t{20})),
+                      static_cast<float>(rng.Uniform(0.01, 2.0))});
+      }
+    }
+    TermVector a = Vec(std::move(ea)), b = Vec(std::move(eb));
+    TermVector uni = TermVector::UnionMax(a, b);
+    TermVector intr = TermVector::IntersectMin(a, b);
+    for (TermId t = 0; t < 20; ++t) {
+      EXPECT_GE(uni.Get(t), std::max(a.Get(t), b.Get(t)) - 1e-7f);
+      EXPECT_LE(intr.Get(t), a.Get(t) + 1e-7f);
+      EXPECT_LE(intr.Get(t), b.Get(t) + 1e-7f);
+      if (a.Contains(t) && b.Contains(t)) {
+        EXPECT_EQ(intr.Get(t), std::min(a.Get(t), b.Get(t)));
+      } else {
+        EXPECT_FALSE(intr.Contains(t));
+      }
+    }
+  }
+}
+
+TEST(VocabularyTest, InternsAndFinds) {
+  Vocabulary vocab;
+  const TermId sushi = vocab.GetOrAdd("sushi");
+  const TermId noodles = vocab.GetOrAdd("noodles");
+  EXPECT_NE(sushi, noodles);
+  EXPECT_EQ(vocab.GetOrAdd("sushi"), sushi);
+  EXPECT_EQ(vocab.Find("noodles"), noodles);
+  EXPECT_EQ(vocab.Find("pizza"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocab.TermString(sushi), "sushi");
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, TokenizeAndAdd) {
+  Vocabulary vocab;
+  auto tokens = vocab.TokenizeAndAdd("Sushi, seafood; SUSHI noodles!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], tokens[2]);  // case-folded duplicates
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rst

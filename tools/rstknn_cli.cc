@@ -1,0 +1,336 @@
+// rstknn_cli — command-line front end for the library, operating on the
+// CSV/TSV interchange formats of rst/data/csv.h.
+//
+//   rstknn_cli gen      --kind flickr|yelp|geonames --objects N --out F
+//   rstknn_cli genusers --data F --num N --ul K --uw W --area A --out F2
+//   rstknn_cli stats    --data F
+//   rstknn_cli topk     --data F --x X --y Y --keywords "1 2 3" --k K
+//   rstknn_cli rstknn   --data F (--id QID | --x X --y Y --keywords "...") --k K
+//   rstknn_cli maxbrst  --data F --users F2 --locations "x:y;x:y"
+//                       --keywords "1 2 3" --ws W --k K [--method exact]
+//
+// Common flags: --alpha A (0.5), --measure ej|cos|sum (ej; sum for maxbrst),
+// --weighting tfidf|lm|binary (tfidf), --seed S.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rst/common/stopwatch.h"
+#include "rst/data/csv.h"
+#include "rst/data/generators.h"
+#include "rst/maxbrst/maxbrst.h"
+#include "rst/rstknn/rstknn.h"
+
+namespace rst {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag value, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<TermId> ParseTerms(const std::string& s) {
+  std::vector<TermId> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(static_cast<TermId>(std::stoul(tok)));
+  return out;
+}
+
+std::vector<Point> ParseLocations(const std::string& s) {
+  std::vector<Point> out;
+  std::istringstream in(s);
+  std::string pair;
+  while (std::getline(in, pair, ';')) {
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) continue;
+    out.push_back({std::strtod(pair.substr(0, colon).c_str(), nullptr),
+                   std::strtod(pair.substr(colon + 1).c_str(), nullptr)});
+  }
+  return out;
+}
+
+WeightingOptions ParseWeighting(const Flags& flags) {
+  const std::string w = flags.Get("weighting", "tfidf");
+  if (w == "lm") return {Weighting::kLanguageModel, 0.1};
+  if (w == "binary") return {Weighting::kBinary, 0.1};
+  return {Weighting::kTfIdf, 0.1};
+}
+
+TextMeasure ParseMeasure(const Flags& flags, TextMeasure fallback) {
+  const std::string m = flags.Get("measure", "");
+  if (m == "ej") return TextMeasure::kExtendedJaccard;
+  if (m == "cos") return TextMeasure::kCosine;
+  if (m == "sum") return TextMeasure::kSum;
+  return fallback;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string kind = flags.Get("kind", "flickr");
+  const size_t n = static_cast<size_t>(flags.GetInt("objects", 10000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const WeightingOptions weighting = ParseWeighting(flags);
+  Dataset dataset;
+  if (kind == "yelp") {
+    YelpLikeConfig config;
+    config.num_objects = n;
+    config.seed = seed;
+    dataset = GenYelpLike(config, weighting);
+  } else if (kind == "geonames") {
+    GeoNamesLikeConfig config;
+    config.num_objects = n;
+    config.seed = seed;
+    dataset = GenGeoNamesLike(config, weighting);
+  } else {
+    FlickrLikeConfig config;
+    config.num_objects = n;
+    config.seed = seed;
+    dataset = GenFlickrLike(config, weighting);
+  }
+  const std::string out = flags.Get("out", "objects.csv");
+  const Status s = SaveDatasetIds(dataset, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s-like objects to %s\n", dataset.size(),
+              kind.c_str(), out.c_str());
+  return 0;
+}
+
+Result<Dataset> LoadData(const Flags& flags) {
+  return LoadDatasetIds(flags.Get("data", "objects.csv"),
+                        ParseWeighting(flags));
+}
+
+int CmdGenUsers(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  UserGenConfig config;
+  config.num_users = static_cast<size_t>(flags.GetInt("num", 100));
+  config.keywords_per_user = static_cast<size_t>(flags.GetInt("ul", 3));
+  config.num_unique_keywords = static_cast<size_t>(flags.GetInt("uw", 20));
+  config.area_extent = flags.GetDouble("area", 5.0);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  const GeneratedUsers gen = GenUsers(data.value(), config);
+  const std::string out = flags.Get("out", "users.csv");
+  const Status s = SaveUsersIds(gen.users, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu users to %s\ncandidate keyword pool (W):",
+              gen.users.size(), out.c_str());
+  for (TermId w : gen.candidate_keywords) std::printf(" %u", w);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const DatasetStatsRow row = ComputeDatasetStats(data.value());
+  const IurTree tree = IurTree::BuildFromDataset(data.value(), {});
+  std::printf("objects:            %zu\n", row.total_objects);
+  std::printf("unique terms:       %zu\n", row.total_unique_terms);
+  std::printf("avg terms/object:   %.2f\n", row.avg_unique_terms_per_object);
+  std::printf("total terms:        %llu\n",
+              static_cast<unsigned long long>(row.total_terms));
+  std::printf("bounds:             %s\n", data.value().bounds().ToString().c_str());
+  std::printf("iur-tree:           height %zu, %zu nodes, %llu bytes\n",
+              tree.height(), tree.NodeCount(),
+              static_cast<unsigned long long>(tree.IndexBytes()));
+  return 0;
+}
+
+int CmdTopK(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = data.value();
+  const IurTree tree = IurTree::BuildFromDataset(dataset, {});
+  TextSimilarity sim(ParseMeasure(flags, TextMeasure::kExtendedJaccard),
+                     &dataset.corpus_max());
+  StScorer scorer(&sim, {flags.GetDouble("alpha", 0.5), dataset.max_dist()});
+  TopKSearcher searcher(&tree, &dataset, &scorer);
+  const TermVector qdoc = TermVector::FromTerms(
+      ParseTerms(flags.Get("keywords", "")));
+  TopKQuery query;
+  query.loc = {flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
+  query.doc = &qdoc;
+  query.k = static_cast<size_t>(flags.GetInt("k", 10));
+  IoStats io;
+  Stopwatch timer;
+  const auto results = searcher.Search(query, &io);
+  const double ms = timer.ElapsedMillis();
+  for (const TopKResult& r : results) {
+    std::printf("%u\t%.6f\n", r.id, r.score);
+  }
+  std::fprintf(stderr, "%zu results in %.2f ms, %llu simulated I/Os\n",
+               results.size(), ms,
+               static_cast<unsigned long long>(io.TotalIos()));
+  return 0;
+}
+
+int CmdRstknn(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = data.value();
+  const IurTree tree = IurTree::BuildFromDataset(dataset, {});
+  TextSimilarity sim(ParseMeasure(flags, TextMeasure::kExtendedJaccard),
+                     &dataset.corpus_max());
+  StScorer scorer(&sim, {flags.GetDouble("alpha", 0.5), dataset.max_dist()});
+  RstknnSearcher searcher(&tree, &dataset, &scorer);
+
+  RstknnQuery query;
+  TermVector qdoc;
+  if (flags.Has("id")) {
+    const ObjectId qid = static_cast<ObjectId>(flags.GetInt("id", 0));
+    if (qid >= dataset.size()) {
+      std::fprintf(stderr, "--id out of range\n");
+      return 2;
+    }
+    query.loc = dataset.object(qid).loc;
+    query.doc = &dataset.object(qid).doc;
+    query.self = qid;
+  } else {
+    qdoc = TermVector::FromTerms(ParseTerms(flags.Get("keywords", "")));
+    query.loc = {flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
+    query.doc = &qdoc;
+  }
+  query.k = static_cast<size_t>(flags.GetInt("k", 10));
+  Stopwatch timer;
+  const RstknnResult result = searcher.Search(query);
+  const double ms = timer.ElapsedMillis();
+  for (ObjectId id : result.answers) std::printf("%u\n", id);
+  std::fprintf(stderr,
+               "%zu reverse neighbors in %.2f ms (%llu entries, %llu pruned, "
+               "%llu I/Os)\n",
+               result.answers.size(), ms,
+               static_cast<unsigned long long>(result.stats.entries_created),
+               static_cast<unsigned long long>(result.stats.pruned_entries),
+               static_cast<unsigned long long>(result.stats.io.TotalIos()));
+  return 0;
+}
+
+int CmdMaxBrst(const Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = data.value();
+  auto users = LoadUsersIds(flags.Get("users", "users.csv"));
+  if (!users.ok()) {
+    std::fprintf(stderr, "%s\n", users.status().ToString().c_str());
+    return 1;
+  }
+  const IurTree tree = IurTree::BuildFromDataset(dataset, {});
+  TextSimilarity sim(TextMeasure::kSum, &dataset.corpus_max());
+  StScorer scorer(&sim, {flags.GetDouble("alpha", 0.5), dataset.max_dist()});
+
+  MaxBrstQuery query;
+  query.locations = ParseLocations(flags.Get("locations", ""));
+  query.keywords = ParseTerms(flags.Get("keywords", ""));
+  query.ws = static_cast<size_t>(flags.GetInt("ws", 2));
+  query.k = static_cast<size_t>(flags.GetInt("k", 10));
+  if (query.locations.empty() || query.keywords.empty()) {
+    std::fprintf(stderr, "need --locations \"x:y;x:y\" and --keywords\n");
+    return 2;
+  }
+
+  JointTopKProcessor proc(&tree, &dataset, &scorer);
+  Stopwatch timer;
+  const JointTopKResult joint = proc.Process(users.value(), query.k);
+  const double topk_ms = timer.ElapsedMillis();
+
+  MaxBrstSolver solver(&dataset, &scorer);
+  const KeywordSelect method = flags.Get("method", "approx") == "exact"
+                                   ? KeywordSelect::kExact
+                                   : KeywordSelect::kApprox;
+  timer.Restart();
+  const MaxBrstResult best =
+      solver.Solve(users.value(), joint.rsk, query, method);
+  const double sel_ms = timer.ElapsedMillis();
+
+  if (best.location_index == SIZE_MAX) {
+    std::printf("no placement covers any user\n");
+  } else {
+    const Point loc = query.locations[best.location_index];
+    std::printf("location: %.6f %.6f\nkeywords:", loc.x, loc.y);
+    for (TermId w : best.keywords) std::printf(" %u", w);
+    std::printf("\ncovered users (%zu):", best.coverage());
+    for (uint32_t u : best.covered_users) std::printf(" %u", u);
+    std::printf("\n");
+  }
+  std::fprintf(stderr, "joint top-k %.2f ms (%llu I/Os), selection %.2f ms\n",
+               topk_ms,
+               static_cast<unsigned long long>(joint.io.TotalIos()), sel_ms);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rstknn_cli <gen|genusers|stats|topk|rstknn|maxbrst> "
+               "[--flag value ...]\n(see the header of tools/rstknn_cli.cc)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "genusers") return CmdGenUsers(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "topk") return CmdTopK(flags);
+  if (cmd == "rstknn") return CmdRstknn(flags);
+  if (cmd == "maxbrst") return CmdMaxBrst(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rst
+
+int main(int argc, char** argv) { return rst::Main(argc, argv); }
