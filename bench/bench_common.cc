@@ -4,6 +4,8 @@
 #include <map>
 
 #include "rst/common/stopwatch.h"
+#include "rst/obs/json.h"
+#include "rst/obs/metrics.h"
 
 namespace rst::bench {
 
@@ -54,6 +56,26 @@ std::string Fmt(double v, int precision) {
 }
 
 std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+void EmitFigureMetrics(const std::string& figure) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("figure");
+  writer.String(figure);
+  writer.Key("metrics");
+  obs::MetricRegistry::Global().Snapshot().AppendJson(&writer);
+  writer.EndObject();
+  const std::string path = figure + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = writer.TakeString();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\n[metrics: %s]\n", path.c_str());
+}
 
 const ExtEnv& CachedExtEnv(const ExtParams& params) {
   static auto* cache = new std::map<std::string, ExtEnv*>();

@@ -36,6 +36,12 @@ void PrintRow(const std::vector<std::string>& cells);
 std::string Fmt(double v, int precision = 2);
 std::string FmtInt(uint64_t v);
 
+/// Writes `<figure>.metrics.json` into the working directory: a JSON object
+/// {"figure": ..., "metrics": <global registry snapshot>} with every counter,
+/// gauge, and histogram the run published (same schema as the CLI's
+/// --metrics-out artifact). Call once at the end of each figure binary.
+void EmitFigureMetrics(const std::string& figure);
+
 /// --- 2016 extension experiments (MaxBRSTkNN) -----------------------------
 
 /// Default parameters (the bold column of the 2016 paper's Table 5, with

@@ -41,5 +41,6 @@ int main() {
               Fmt(timer.ElapsedMillis() * inv), Fmt(entries * inv, 0),
               Fmt(bounds * inv, 0), Fmt(io * inv, 0)});
   }
+  EmitFigureMetrics("fig_core_ablation_algorithm");
   return 0;
 }

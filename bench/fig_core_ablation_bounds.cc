@@ -40,5 +40,6 @@ int main() {
   }
   std::printf("\n(The two variants return identical answer sets; both are\n"
               "verified against the brute-force oracle in the test suite.)\n");
+  EmitFigureMetrics("fig_core_ablation_bounds");
   return 0;
 }

@@ -21,5 +21,6 @@ int main() {
               Fmt(p.iur.io, 0), Fmt(p.ciur.io, 0), Fmt(p.ciur_te.io, 0),
               FmtInt(p.answer_size)});
   }
+  EmitFigureMetrics("fig_core_vary_alpha");
   return 0;
 }

@@ -19,5 +19,6 @@ int main() {
               Fmt(p.ciur_te.query_ms), Fmt(p.ciur.io, 0), Fmt(p.ciur_te.io, 0),
               Fmt(static_cast<double>(env.ciur.IndexBytes()) / (1 << 20))});
   }
+  EmitFigureMetrics("fig_core_vary_clusters");
   return 0;
 }

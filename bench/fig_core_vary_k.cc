@@ -25,5 +25,6 @@ int main() {
   std::printf(
       "\nNote: B (baseline) additionally pays a per-k precompute pass of the\n"
       "whole collection (reported in tbl_core_index_build).\n");
+  EmitFigureMetrics("fig_core_vary_k");
   return 0;
 }

@@ -25,5 +25,6 @@ int main() {
               run_baseline ? Fmt(p.baseline.io, 0) : "-", Fmt(p.iur.io, 0),
               Fmt(p.ciur.io, 0), FmtInt(p.answer_size)});
   }
+  EmitFigureMetrics("fig_core_vary_size");
   return 0;
 }

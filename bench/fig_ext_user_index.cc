@@ -95,5 +95,6 @@ int main() {
                  "pruned_%", "cover"});
     RunScenario(scenario, offset);
   }
+  EmitFigureMetrics("fig_ext_user_index");
   return 0;
 }

@@ -33,5 +33,6 @@ int main() {
                 Fmt(p.exact_coverage, 1)});
     }
   }
+  EmitFigureMetrics("fig_ext_vary_k");
   return 0;
 }

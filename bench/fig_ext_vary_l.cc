@@ -17,5 +17,6 @@ int main() {
     PrintRow({FmtInt(v), Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms),
               Fmt(p.ratio), Fmt(p.exact_coverage, 1)});
   }
+  EmitFigureMetrics("fig_ext_vary_l");
   return 0;
 }

@@ -21,5 +21,6 @@ int main() {
               Fmt(p.exact_sel_ms), Fmt(p.approx_sel_ms), Fmt(p.ratio),
               Fmt(p.exact_coverage, 1)});
   }
+  EmitFigureMetrics("fig_ext_vary_uw");
   return 0;
 }

@@ -27,5 +27,6 @@ int main() {
                                    /*run_exact=*/false);
     PrintRow({FmtInt(v), "-", Fmt(p.approx_sel_ms), "-", "-"});
   }
+  EmitFigureMetrics("fig_ext_vary_ws");
   return 0;
 }

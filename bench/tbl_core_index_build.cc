@@ -62,5 +62,6 @@ int main() {
     std::printf("  (precompute I/O: %llu simulated I/Os for k=%zu)\n",
                 static_cast<unsigned long long>(io.TotalIos()), params.k);
   }
+  EmitFigureMetrics("tbl_core_index_build");
   return 0;
 }

@@ -45,5 +45,6 @@ int main() {
               FmtInt(row.total_terms),
               Fmt(static_cast<double>(env.iur.IndexBytes()) / (1 << 20))});
   }
+  EmitFigureMetrics("tbl_ext_datasets");
   return 0;
 }

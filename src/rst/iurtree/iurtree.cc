@@ -4,7 +4,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "rst/common/stopwatch.h"
 #include "rst/iurtree/cluster.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
 #include "rst/storage/varint.h"
 
 namespace rst {
@@ -12,6 +15,35 @@ namespace rst {
 namespace {
 
 using ClusterList = std::vector<std::pair<uint32_t, TextSummary>>;
+
+/// Build metrics (`iurtree.*`): published after every bulk load. Handles are
+/// cached once; the per-build cost is one O(nodes) walk.
+struct BuildMetrics {
+  obs::Counter builds;
+  obs::Counter nodes_total;
+  obs::Counter leaves_total;
+  obs::Gauge last_build_ms;
+  obs::Gauge last_node_count;
+  obs::HistogramRef fanout;
+
+  static const BuildMetrics& Get() {
+    static const BuildMetrics* metrics = [] {
+      auto* m = new BuildMetrics();
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      m->builds = registry.GetCounter("iurtree.builds");
+      m->nodes_total = registry.GetCounter("iurtree.build.nodes");
+      m->leaves_total = registry.GetCounter("iurtree.build.leaf_nodes");
+      m->last_build_ms = registry.GetGauge("iurtree.build.last_ms");
+      m->last_node_count = registry.GetGauge("iurtree.build.last_node_count");
+      // Fanout never exceeds max_entries (<= 64 in every configuration used
+      // here); linear buckets of width 4 resolve underfull nodes.
+      m->fanout = registry.GetHistogram("iurtree.fanout",
+                                        obs::HistogramSpec::Linear(4, 4, 16));
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 ClusterList MergeClusterLists(const ClusterList& a, const ClusterList& b) {
   ClusterList out;
@@ -58,18 +90,52 @@ IurTree::Entry IurTree::MakeParentEntry(std::unique_ptr<Node> node) {
   return parent;
 }
 
+namespace {
+
+/// Counts nodes/leaves and records the fanout histogram of a finished tree.
+void PublishBuildMetrics(const IurTree& tree, double build_ms) {
+  const BuildMetrics& metrics = BuildMetrics::Get();
+  uint64_t nodes = 0;
+  uint64_t leaves = 0;
+  std::vector<const IurTree::Node*> stack = {tree.root()};
+  while (!stack.empty()) {
+    const IurTree::Node* node = stack.back();
+    stack.pop_back();
+    ++nodes;
+    if (node->leaf) ++leaves;
+    metrics.fanout.Record(static_cast<double>(node->entries.size()));
+    if (!node->leaf) {
+      for (const IurTree::Entry& e : node->entries) {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  metrics.builds.Increment();
+  metrics.nodes_total.Add(nodes);
+  metrics.leaves_total.Add(leaves);
+  metrics.last_build_ms.Set(build_ms);
+  metrics.last_node_count.Set(static_cast<double>(nodes));
+}
+
+}  // namespace
+
 IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
-                       const std::vector<uint32_t>* cluster_of) {
+                       const std::vector<uint32_t>* cluster_of,
+                       obs::QueryTrace* trace) {
+  Stopwatch build_timer;
+  obs::TraceSpan build_span(trace, "iurtree.build");
   IurTree tree(options);
   tree.clustered_ = cluster_of != nullptr;
   tree.size_ = items.size();
   if (items.empty()) {
     tree.FinalizeStorage();
+    PublishBuildMetrics(tree, build_timer.ElapsedMillis());
     return tree;
   }
 
   const size_t cap = options.max_entries;
 
+  if (trace != nullptr) trace->Enter("pack");
   std::vector<Entry> level;
   level.reserve(items.size());
   for (const Item& item : items) {
@@ -126,19 +192,25 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
     for (Entry& e : level) root->entries.push_back(std::move(e));
     tree.root_ = std::move(root);
   }
-  tree.FinalizeStorage();
+  if (trace != nullptr) trace->Exit();  // pack
+  {
+    obs::TraceSpan finalize_span(trace, "finalize_storage");
+    tree.FinalizeStorage();
+  }
+  PublishBuildMetrics(tree, build_timer.ElapsedMillis());
   return tree;
 }
 
 IurTree IurTree::BuildFromDataset(const Dataset& dataset,
                                   const IurTreeOptions& options,
-                                  const std::vector<uint32_t>* cluster_of) {
+                                  const std::vector<uint32_t>* cluster_of,
+                                  obs::QueryTrace* trace) {
   std::vector<Item> items;
   items.reserve(dataset.size());
   for (const StObject& obj : dataset.objects()) {
     items.push_back({obj.id, obj.loc, &obj.doc});
   }
-  return Build(std::move(items), options, cluster_of);
+  return Build(std::move(items), options, cluster_of, trace);
 }
 
 IurTree IurTree::BuildFromUsers(const std::vector<StUser>& users,
@@ -288,6 +360,9 @@ void IurTree::Insert(uint32_t id, Point loc, const TermVector* doc,
   }
   ++size_;
   storage_dirty_ = true;
+  static const obs::Counter inserts =
+      obs::MetricRegistry::Global().GetCounter("iurtree.inserts");
+  inserts.Increment();
 }
 
 namespace {
@@ -372,6 +447,9 @@ Status IurTree::Delete(uint32_t id, Point loc) {
     }
   }
   storage_dirty_ = true;
+  static const obs::Counter deletes =
+      obs::MetricRegistry::Global().GetCounter("iurtree.deletes");
+  deletes.Increment();
   return Status::Ok();
 }
 
@@ -470,6 +548,7 @@ Status IurTree::ReadNodePayload(const Node* node, BufferPool* pool,
   auto payload = pool->Fetch(node->invfile_handle, stats);
   if (!payload.ok()) return payload.status();
   size_t offset = 0;
+  obs::TraceSpan decode_span(pool->trace(), "payload.decode");
   return DecodeInvertedFile(*payload.value(), &offset, out);
 }
 

@@ -85,15 +85,19 @@ class IurTree {
 
   /// STR bulk load; summaries are computed bottom-up. If `cluster_of` is
   /// non-null it maps item *ids* to cluster ids and the result is a
-  /// CIUR-tree.
+  /// CIUR-tree. An optional trace records build-phase spans (pack,
+  /// finalize_storage); node counts and the fanout histogram always go to
+  /// the global metric registry (`iurtree.*`).
   static IurTree Build(std::vector<Item> items, const IurTreeOptions& options,
-                       const std::vector<uint32_t>* cluster_of = nullptr);
+                       const std::vector<uint32_t>* cluster_of = nullptr,
+                       obs::QueryTrace* trace = nullptr);
 
   /// Convenience builders. The dataset/users must outlive the tree.
   static IurTree BuildFromDataset(const Dataset& dataset,
                                   const IurTreeOptions& options,
                                   const std::vector<uint32_t>* cluster_of =
-                                      nullptr);
+                                      nullptr,
+                                  obs::QueryTrace* trace = nullptr);
   static IurTree BuildFromUsers(const std::vector<StUser>& users,
                                 const IurTreeOptions& options);
 

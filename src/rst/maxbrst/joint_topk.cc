@@ -4,6 +4,8 @@
 #include <cassert>
 #include <queue>
 
+#include "rst/obs/metrics.h"
+
 namespace rst {
 
 SuperUser SuperUser::FromUsers(const std::vector<StUser>& users) {
@@ -172,6 +174,13 @@ JointTopKResult JointTopKProcessor::Process(const std::vector<StUser>& users,
   const SuperUser su = SuperUser::FromUsers(users);
   result.traversal = Traverse(su, k, &result.io);
   IndividualTopK(users, result.traversal, k, &result);
+  static const obs::Counter runs =
+      obs::MetricRegistry::Global().GetCounter("joint_topk.runs");
+  static const obs::Counter scored =
+      obs::MetricRegistry::Global().GetCounter("joint_topk.scored_objects");
+  runs.Increment();
+  scored.Add(result.scored_objects);
+  result.io.Publish("joint_topk.io");
   return result;
 }
 
@@ -192,6 +201,10 @@ JointTopKResult JointTopKProcessor::BaselinePerUser(
                               ? result.per_user[user.id].back().score
                               : -1.0;
   }
+  static const obs::Counter runs =
+      obs::MetricRegistry::Global().GetCounter("joint_topk.baseline.runs");
+  runs.Increment();
+  result.io.Publish("joint_topk.baseline.io");
   return result;
 }
 

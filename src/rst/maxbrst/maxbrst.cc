@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <string>
+
+#include "rst/common/stopwatch.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
 
 namespace rst {
 
@@ -310,22 +315,38 @@ std::vector<TermId> MaxBrstSolver::SelectKeywords(
   return chosen;
 }
 
+void MaxBrstStats::Publish(const std::string& prefix) const {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter(prefix + ".locations_pruned").Add(locations_pruned);
+  registry.GetCounter(prefix + ".combinations_evaluated")
+      .Add(combinations_evaluated);
+  registry.GetCounter(prefix + ".user_evaluations").Add(user_evaluations);
+  if (early_terminated) {
+    registry.GetCounter(prefix + ".early_terminations").Increment();
+  }
+}
+
 MaxBrstResult MaxBrstSolver::Solve(const std::vector<StUser>& users,
                                    const std::vector<double>& rsk,
                                    const MaxBrstQuery& query,
-                                   KeywordSelect method) const {
-  std::vector<MaxBrstResult> top = SolveTopL(users, rsk, query, method, 1);
+                                   KeywordSelect method,
+                                   obs::QueryTrace* trace) const {
+  std::vector<MaxBrstResult> top =
+      SolveTopL(users, rsk, query, method, 1, trace);
   if (!top.empty()) return std::move(top.front());
   return MaxBrstResult{};
 }
 
 std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
     const std::vector<StUser>& users, const std::vector<double>& rsk,
-    const MaxBrstQuery& query, KeywordSelect method, size_t ell) const {
+    const MaxBrstQuery& query, KeywordSelect method, size_t ell,
+    obs::QueryTrace* trace) const {
   if (ell == 0) return {};
+  Stopwatch timer;
   MaxBrstResult result;
   const PlacementContext ctx = PlacementContext::Make(*dataset_, query);
 
+  if (trace != nullptr) trace->Enter("maxbrst.filter");
   // Per-user, location-independent text parts of the bounds.
   std::vector<double> ts_upper(users.size());
   for (const StUser& user : users) {
@@ -366,6 +387,11 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
               return a.lu.size() > b.lu.size() ||
                      (a.lu.size() == b.lu.size() && a.index < b.index);
             });
+  if (trace != nullptr) {
+    trace->AddCount("locations_pruned", result.stats.locations_pruned);
+    trace->AddCount("locations_kept", locations.size());
+    trace->Exit();  // maxbrst.filter
+  }
 
   std::vector<MaxBrstResult> best;  // descending coverage, capacity ell
   for (const LocationCand& cand : locations) {
@@ -376,11 +402,22 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
       break;
     }
     const Point loc = query.locations[cand.index];
-    const std::vector<TermId> keywords = SelectKeywords(
-        users, cand.lu, rsk, ctx, loc, query.ws, method, &result.stats);
-    const std::vector<uint32_t> covered =
-        EvaluatePlacement(users, cand.lu, rsk, *scorer_, loc,
-                          ctx.VecWith(keywords), &result.stats);
+    std::vector<TermId> keywords;
+    {
+      obs::TraceSpan span(trace, "maxbrst.select");
+      const uint64_t combos_before = result.stats.combinations_evaluated;
+      keywords = SelectKeywords(users, cand.lu, rsk, ctx, loc, query.ws,
+                                method, &result.stats);
+      span.AddCount("combinations",
+                    result.stats.combinations_evaluated - combos_before);
+    }
+    std::vector<uint32_t> covered;
+    {
+      obs::TraceSpan span(trace, "maxbrst.evaluate");
+      covered = EvaluatePlacement(users, cand.lu, rsk, *scorer_, loc,
+                                  ctx.VecWith(keywords), &result.stats);
+      span.AddCount("users", cand.lu.size());
+    }
     MaxBrstResult entry;
     entry.location_index = cand.index;
     entry.keywords = keywords;
@@ -400,6 +437,14 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
   } else if (ell > 0) {
     best.push_back(std::move(result));  // empty result carrying the stats
   }
+  static const obs::Counter solves =
+      obs::MetricRegistry::Global().GetCounter("maxbrst.solves");
+  static const obs::HistogramRef solve_ms =
+      obs::MetricRegistry::Global().GetHistogram(
+          "maxbrst.solve.ms", obs::HistogramSpec::LatencyMs());
+  solves.Increment();
+  solve_ms.Record(timer.ElapsedMillis());
+  best.front().stats.Publish("maxbrst");
   return best;
 }
 

@@ -49,6 +49,11 @@ struct MaxBrstStats {
   uint64_t combinations_evaluated = 0;
   uint64_t user_evaluations = 0;     ///< exact user-score computations
   bool early_terminated = false;     ///< best-first loop stopped early
+
+  /// Adds the counters to the global metric registry under `prefix`
+  /// (e.g. "maxbrst" → maxbrst.locations_pruned, ...). The solver calls
+  /// this once per completed Solve/SolveTopL.
+  void Publish(const std::string& prefix) const;
 };
 
 struct MaxBrstResult {
@@ -88,10 +93,13 @@ class MaxBrstSolver {
   MaxBrstSolver(const Dataset* dataset, const StScorer* scorer)
       : dataset_(dataset), scorer_(scorer) {}
 
-  /// `rsk[u.id]` must hold RS_k(u) (e.g. from JointTopKProcessor).
+  /// `rsk[u.id]` must hold RS_k(u) (e.g. from JointTopKProcessor). With a
+  /// trace, records maxbrst.filter / maxbrst.select / maxbrst.evaluate
+  /// phase spans.
   MaxBrstResult Solve(const std::vector<StUser>& users,
                       const std::vector<double>& rsk,
-                      const MaxBrstQuery& query, KeywordSelect method) const;
+                      const MaxBrstQuery& query, KeywordSelect method,
+                      obs::QueryTrace* trace = nullptr) const;
 
   /// ℓ-MaxBRSTkNN extension: the `ell` best placements at distinct
   /// locations, ordered by descending coverage (ties by location index).
@@ -100,7 +108,8 @@ class MaxBrstSolver {
   std::vector<MaxBrstResult> SolveTopL(const std::vector<StUser>& users,
                                        const std::vector<double>& rsk,
                                        const MaxBrstQuery& query,
-                                       KeywordSelect method, size_t ell) const;
+                                       KeywordSelect method, size_t ell,
+                                       obs::QueryTrace* trace = nullptr) const;
 
   /// Keyword selection for one location over a fixed candidate-user list;
   /// exposed for the MIUR variant. Returns chosen keywords; coverage must be

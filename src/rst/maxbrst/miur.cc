@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "rst/obs/metrics.h"
+
 namespace rst {
 
 namespace {
@@ -246,6 +248,15 @@ MiurResult MiurMaxBrstSolver::Solve(const MaxBrstQuery& query,
     }
     state.done = true;
   }
+  static const obs::Counter solves =
+      obs::MetricRegistry::Global().GetCounter("miur.solves");
+  static const obs::Counter users_refined =
+      obs::MetricRegistry::Global().GetCounter("miur.users_refined");
+  solves.Increment();
+  users_refined.Add(result.stats.users_refined);
+  result.stats.object_io.Publish("miur.object_io");
+  result.stats.user_io.Publish("miur.user_io");
+  result.best.stats.Publish("miur");
   return result;
 }
 

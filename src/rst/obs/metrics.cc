@@ -1,0 +1,469 @@
+#include "rst/obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "rst/obs/json.h"
+
+namespace rst::obs {
+
+namespace {
+
+/// Stripe picked once per thread; threads round-robin over the shards so
+/// concurrent writers almost never contend on a cache line.
+size_t ShardIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % MetricRegistry::kNumShards;
+  return index;
+}
+
+/// Relaxed CAS add for doubles (atomic<double>::fetch_add is C++20 but not
+/// universally lowered; the CAS loop is portable and uncontended here).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HistogramSpec / HistogramSnapshot / Histogram
+
+HistogramSpec HistogramSpec::Exponential(double first, double factor,
+                                         size_t count) {
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  double bound = first;
+  for (size_t i = 0; i < count; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::Linear(double first, double width, size_t count) {
+  HistogramSpec spec;
+  spec.bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    spec.bounds.push_back(first + width * static_cast<double>(i));
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::LatencyMs() {
+  return Exponential(0.001, 4.0, 12);  // 1 µs .. ~4.2 s
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p * count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) {
+      return i < bounds.size() ? std::min(bounds[i], max) : max;
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram(HistogramSpec spec) {
+  snap_.bounds = std::move(spec.bounds);
+  assert(std::is_sorted(snap_.bounds.begin(), snap_.bounds.end()));
+  snap_.counts.assign(snap_.bounds.size() + 1, 0);
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket =
+      std::lower_bound(snap_.bounds.begin(), snap_.bounds.end(), value) -
+      snap_.bounds.begin();
+  ++snap_.counts[bucket];
+  snap_.sum += value;
+  if (snap_.count == 0) {
+    snap_.min = snap_.max = value;
+  } else {
+    snap_.min = std::min(snap_.min, value);
+    snap_.max = std::max(snap_.max, value);
+  }
+  ++snap_.count;
+}
+
+void Histogram::Merge(const HistogramSnapshot& other) {
+  assert(other.bounds == snap_.bounds);
+  for (size_t i = 0; i < snap_.counts.size(); ++i) {
+    snap_.counts[i] += other.counts[i];
+  }
+  snap_.sum += other.sum;
+  if (other.count > 0) {
+    if (snap_.count == 0) {
+      snap_.min = other.min;
+      snap_.max = other.max;
+    } else {
+      snap_.min = std::min(snap_.min, other.min);
+      snap_.max = std::max(snap_.max, other.max);
+    }
+  }
+  snap_.count += other.count;
+}
+
+// ---------------------------------------------------------------------------
+// Metric impls
+
+struct Counter::Impl {
+  std::array<CounterCell, MetricRegistry::kNumShards> cells;
+
+  uint64_t Sum() const {
+    uint64_t total = 0;
+    for (const CounterCell& cell : cells) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Zero() {
+    for (CounterCell& cell : cells) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+void Counter::Add(uint64_t n) const {
+  if (impl_ == nullptr) return;
+  impl_->cells[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const { return impl_ == nullptr ? 0 : impl_->Sum(); }
+
+struct Gauge::Impl {
+  std::atomic<double> value{0.0};
+};
+
+void Gauge::Set(double value) const {
+  if (impl_ == nullptr) return;
+  impl_->value.store(value, std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return impl_ == nullptr ? 0.0 : impl_->value.load(std::memory_order_relaxed);
+}
+
+struct HistogramRef::Impl {
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  explicit Impl(HistogramSpec s) : spec(std::move(s)) {
+    for (Shard& shard : shards) {
+      shard.counts =
+          std::make_unique<std::atomic<uint64_t>[]>(spec.bounds.size() + 1);
+      for (size_t i = 0; i <= spec.bounds.size(); ++i) shard.counts[i] = 0;
+    }
+  }
+
+  void Record(double value) {
+    const size_t bucket =
+        std::lower_bound(spec.bounds.begin(), spec.bounds.end(), value) -
+        spec.bounds.begin();
+    Shard& shard = shards[ShardIndex()];
+    shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(&shard.sum, value);
+    AtomicMin(&min, value);
+    AtomicMax(&max, value);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    snap.bounds = spec.bounds;
+    snap.counts.assign(spec.bounds.size() + 1, 0);
+    for (const Shard& shard : shards) {
+      for (size_t i = 0; i <= spec.bounds.size(); ++i) {
+        snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+      }
+      snap.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    for (uint64_t c : snap.counts) snap.count += c;
+    if (snap.count > 0) {
+      snap.min = min.load(std::memory_order_relaxed);
+      snap.max = max.load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+  void Zero() {
+    for (Shard& shard : shards) {
+      for (size_t i = 0; i <= spec.bounds.size(); ++i) {
+        shard.counts[i].store(0, std::memory_order_relaxed);
+      }
+      shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+    min.store(std::numeric_limits<double>::infinity(),
+              std::memory_order_relaxed);
+    max.store(-std::numeric_limits<double>::infinity(),
+              std::memory_order_relaxed);
+  }
+
+  HistogramSpec spec;
+  std::array<Shard, MetricRegistry::kNumShards> shards;
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+void HistogramRef::Record(double value) const {
+  if (impl_ == nullptr) return;
+  impl_->Record(value);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+
+MetricRegistry::MetricRegistry() = default;
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry& MetricRegistry::Global() {
+  static auto* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter::Impl>();
+  return Counter(slot.get());
+}
+
+Gauge MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge::Impl>();
+  return Gauge(slot.get());
+}
+
+HistogramRef MetricRegistry::GetHistogram(const std::string& name,
+                                          const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramRef::Impl>(spec);
+  return HistogramRef(slot.get());
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, impl] : counters_) snap.counters[name] = impl->Sum();
+  for (const auto& [name, impl] : gauges_) {
+    snap.gauges[name] = impl->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, impl] : histograms_) {
+    snap.histograms[name] = impl->Snapshot();
+  }
+  return snap;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, impl] : counters_) impl->Zero();
+  for (auto& [name, impl] : gauges_) {
+    impl->value.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, impl] : histograms_) impl->Zero();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot export / import
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    auto it = base.counters.find(name);
+    if (it != base.counters.end() && it->second <= value) value -= it->second;
+  }
+  for (auto& [name, hist] : delta.histograms) {
+    auto it = base.histograms.find(name);
+    if (it == base.histograms.end() || it->second.bounds != hist.bounds ||
+        it->second.count > hist.count) {
+      continue;
+    }
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      hist.counts[i] -= it->second.counts[i];
+    }
+    hist.count -= it->second.count;
+    hist.sum -= it->second.sum;
+  }
+  return delta;
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : counters) {
+    w->Key(name);
+    w->Uint(value);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w->Key(name);
+    w->Double(value);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, hist] : histograms) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("bounds");
+    w->BeginArray();
+    for (double b : hist.bounds) w->Double(b);
+    w->EndArray();
+    w->Key("counts");
+    w->BeginArray();
+    for (uint64_t c : hist.counts) w->Uint(c);
+    w->EndArray();
+    w->Key("count");
+    w->Uint(hist.count);
+    w->Key("sum");
+    w->Double(hist.sum);
+    w->Key("min");
+    w->Double(hist.min);
+    w->Key("max");
+    w->Double(hist.max);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.TakeString();
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
+  auto parsed = JsonValue::Parse(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) return Status::Corruption("snapshot: not an object");
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = root.Get("counters")) {
+    for (const auto& [name, value] : counters->AsObject()) {
+      snap.counters[name] = value.AsUint();
+    }
+  }
+  if (const JsonValue* gauges = root.Get("gauges")) {
+    for (const auto& [name, value] : gauges->AsObject()) {
+      snap.gauges[name] = value.AsDouble();
+    }
+  }
+  if (const JsonValue* histograms = root.Get("histograms")) {
+    for (const auto& [name, value] : histograms->AsObject()) {
+      if (!value.is_object()) {
+        return Status::Corruption("snapshot: histogram not an object");
+      }
+      HistogramSnapshot hist;
+      if (const JsonValue* bounds = value.Get("bounds")) {
+        for (const JsonValue& b : bounds->AsArray()) {
+          hist.bounds.push_back(b.AsDouble());
+        }
+      }
+      if (const JsonValue* counts = value.Get("counts")) {
+        for (const JsonValue& c : counts->AsArray()) {
+          hist.counts.push_back(c.AsUint());
+        }
+      }
+      if (hist.counts.size() != hist.bounds.size() + 1) {
+        return Status::Corruption("snapshot: histogram bucket mismatch");
+      }
+      if (const JsonValue* v = value.Get("count")) hist.count = v->AsUint();
+      if (const JsonValue* v = value.Get("sum")) hist.sum = v->AsDouble();
+      if (const JsonValue* v = value.Get("min")) hist.min = v->AsDouble();
+      if (const JsonValue* v = value.Get("max")) hist.max = v->AsDouble();
+      snap.histograms[name] = std::move(hist);
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " ";
+    AppendNumber(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.counts[i];
+      out += pname + "_bucket{le=\"";
+      AppendNumber(&out, hist.bounds[i]);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += pname + "_sum ";
+    AppendNumber(&out, hist.sum);
+    out += "\n";
+    out += pname + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rst::obs

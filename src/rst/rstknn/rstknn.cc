@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
+#include <string>
 #include <unordered_set>
 
+#include "rst/common/stopwatch.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
 #include "rst/storage/codec.h"
 
 namespace rst {
@@ -13,6 +17,23 @@ namespace {
 
 using Entry = IurTree::Entry;
 using Node = IurTree::Node;
+
+/// Charges one node access. In real-I/O mode (options.pool set) the node's
+/// serialized inverted file is read through the buffer pool — hits charge
+/// nothing and the pool's hit/miss/fill metrics reflect genuine traffic;
+/// otherwise the papers' simulated accounting applies.
+void ChargeNode(const IurTree* tree, const RstknnOptions& options,
+                const Node* node, RstknnStats* stats) {
+  if (options.pool != nullptr) {
+    obs::TraceSpan span(options.trace, "storage.read_node");
+    InvertedFile invfile;
+    if (tree->ReadNodePayload(node, options.pool, &stats->io, &invfile).ok()) {
+      return;
+    }
+    // Payloads not finalized: fall back below (nothing was charged).
+  }
+  tree->ChargeAccess(node, &stats->io);
+}
 
 /// A candidate entry of the branch-and-bound search: a subtree (or object)
 /// whose membership in the answer is still to be decided.
@@ -58,6 +79,7 @@ struct ProbeContext {
   const Candidate* cand;
   const std::unordered_set<const Node*>* exclude_path;
   std::unordered_set<const Node*>* charged;
+  const RstknnOptions* options;
 };
 
 }  // namespace
@@ -87,7 +109,7 @@ size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
     // query (the contribution lists reference them), so each node costs its
     // I/O once per query regardless of how many probes revisit it.
     if (ctx.charged->insert(node).second) {
-      tree_->ChargeAccess(node, &stats->io);
+      ChargeNode(tree_, *ctx.options, node, stats);
     }
   };
 
@@ -158,6 +180,7 @@ size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
   while (!pq.empty()) {
     const ProbeItem item = pq.top();
     pq.pop();
+    ++stats->pq_pops;
     if (item.max_st <= threshold) break;  // nothing left can matter
     charge_once(item.node);
     for (const Entry& child : item.node->entries) {
@@ -187,18 +210,59 @@ size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
   return count;
 }
 
+void RstknnStats::Publish(const std::string& prefix) const {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter(prefix + ".entries_created").Add(entries_created);
+  registry.GetCounter(prefix + ".expansions").Add(expansions);
+  registry.GetCounter(prefix + ".pruned_entries").Add(pruned_entries);
+  registry.GetCounter(prefix + ".reported_entries").Add(reported_entries);
+  registry.GetCounter(prefix + ".bound_computations").Add(bound_computations);
+  registry.GetCounter(prefix + ".probes").Add(probes);
+  registry.GetCounter(prefix + ".pq_pops").Add(pq_pops);
+  io.Publish(prefix + ".io");
+}
+
 RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
                                     const RstknnOptions& options) const {
-  if (options.algorithm == RstknnAlgorithm::kContributionList) {
-    return SearchContributionList(query, options);
+  // Handles are cached so the per-query registry cost is two atomic adds
+  // and one histogram record.
+  struct QueryMetrics {
+    obs::Counter queries;
+    obs::Counter answers;
+    obs::HistogramRef latency_ms;
+  };
+  static const QueryMetrics metrics = [] {
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    return QueryMetrics{registry.GetCounter("rstknn.queries"),
+                        registry.GetCounter("rstknn.answers"),
+                        registry.GetHistogram("rstknn.query.ms",
+                                              obs::HistogramSpec::LatencyMs())};
+  }();
+
+  Stopwatch timer;
+  RstknnResult result;
+  {
+    obs::TraceSpan span(options.trace,
+                        options.algorithm == RstknnAlgorithm::kContributionList
+                            ? "rstknn.contribution_list"
+                            : "rstknn.probe");
+    result = options.algorithm == RstknnAlgorithm::kContributionList
+                 ? SearchContributionList(query, options)
+                 : SearchProbe(query, options);
   }
-  return SearchProbe(query, options);
+  metrics.queries.Increment();
+  metrics.answers.Add(result.answers.size());
+  metrics.latency_ms.Record(timer.ElapsedMillis());
+  result.stats.Publish("rstknn");
+  return result;
 }
 
 RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
                                          const RstknnOptions& options) const {
   RstknnResult result;
   if (tree_->size() == 0 || query.k == 0) return result;
+  obs::QueryTrace* trace = options.trace;
+  if (trace != nullptr) trace->Enter("setup");
   const double alpha = scorer_->options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
 
@@ -248,21 +312,31 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
   };
 
   charged.insert(tree_->root());
-  tree_->ChargeAccess(tree_->root(), &result.stats.io);
+  ChargeNode(tree_, options, tree_->root(), &result.stats);
   for (const Entry& e : tree_->root()->entries) {
     add_candidate(e, {tree_->root()});
   }
+  if (trace != nullptr) trace->Exit();  // setup
 
   while (!work.empty()) {
     Candidate* cand = work.top().cand;
     work.pop();
+    ++result.stats.pq_pops;
 
     // Prune test: at least k competitors are guaranteed to beat q for every
     // object of the candidate (MaxST(q,E) < kNNL(E)).
-    const ProbeContext ctx{cand, &self_path, &charged};
-    const size_t guaranteed =
-        CountCompetitors(&ctx, cand->q_max, query.k, query.self,
-                         /*guaranteed=*/true, &result.stats);
+    const ProbeContext ctx{cand, &self_path, &charged, &options};
+    size_t guaranteed;
+    {
+      obs::TraceSpan span(trace, "probe.guaranteed");
+      const uint64_t bounds_before = result.stats.bound_computations;
+      const uint64_t pops_before = result.stats.pq_pops;
+      guaranteed = CountCompetitors(&ctx, cand->q_max, query.k, query.self,
+                                    /*guaranteed=*/true, &result.stats);
+      span.AddCount("bound_computations",
+                    result.stats.bound_computations - bounds_before);
+      span.AddCount("pq_pops", result.stats.pq_pops - pops_before);
+    }
     if (guaranteed >= query.k) {
       ++result.stats.pruned_entries;
       continue;
@@ -277,9 +351,17 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
     }
     // Report test: fewer than k competitors can possibly beat q for any
     // object of the candidate (MinST(q,E) >= kNNU(E)).
-    const size_t potential =
-        CountCompetitors(&ctx, cand->q_min, query.k, query.self,
-                         /*guaranteed=*/false, &result.stats);
+    size_t potential;
+    {
+      obs::TraceSpan span(trace, "probe.potential");
+      const uint64_t bounds_before = result.stats.bound_computations;
+      const uint64_t pops_before = result.stats.pq_pops;
+      potential = CountCompetitors(&ctx, cand->q_min, query.k, query.self,
+                                   /*guaranteed=*/false, &result.stats);
+      span.AddCount("bound_computations",
+                    result.stats.bound_computations - bounds_before);
+      span.AddCount("pq_pops", result.stats.pq_pops - pops_before);
+    }
     if (potential < query.k) {
       ++result.stats.reported_entries;
       CollectObjectIds(*cand->entry, query.self, &result.answers);
@@ -288,9 +370,10 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
     // Undecided: objects are always decided by the exact guaranteed count
     // (bounds are tight at leaf level), so only nodes reach this point.
     assert(!cand->entry->is_object());
+    obs::TraceSpan expand_span(trace, "expand");
     const Node* child_node = cand->entry->child.get();
     if (charged.insert(child_node).second) {
-      tree_->ChargeAccess(child_node, &result.stats.io);
+      ChargeNode(tree_, options, child_node, &result.stats);
     }
     ++result.stats.expansions;
     std::vector<const Node*> child_path = cand->path;
@@ -298,6 +381,7 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
     for (const Entry& ce : child_node->entries) {
       add_candidate(ce, child_path);
     }
+    expand_span.AddCount("entries", child_node->entries.size());
   }
 
   std::sort(result.answers.begin(), result.answers.end());
@@ -380,15 +464,17 @@ RstknnResult RstknnSearcher::SearchContributionList(
   };
 
   auto expand = [&](size_t idx) {
+    obs::TraceSpan span(options.trace, "expand");
     FlatEntry& fe = entries[idx];
     const State inherited = fe.state;
     const Node* child_node = fe.entry->child.get();
     if (charged.insert(child_node).second) {
-      tree_->ChargeAccess(child_node, &result.stats.io);
+      ChargeNode(tree_, options, child_node, &result.stats);
     }
     fe.alive = false;
     ++result.stats.expansions;
     for (const Entry& ce : child_node->entries) add_entry(ce, inherited);
+    span.AddCount("entries", child_node->entries.size());
   };
 
   auto pair_bounds = [&](const FlatEntry& a, const FlatEntry& b) {
@@ -405,7 +491,7 @@ RstknnResult RstknnSearcher::SearchContributionList(
   };
 
   charged.insert(tree_->root());
-  tree_->ChargeAccess(tree_->root(), &result.stats.io);
+  ChargeNode(tree_, options, tree_->root(), &result.stats);
   for (const Entry& e : tree_->root()->entries) {
     add_entry(e, State::kUndecided);
   }
@@ -419,16 +505,19 @@ RstknnResult RstknnSearcher::SearchContributionList(
     // Highest-priority undecided candidate.
     size_t pick = SIZE_MAX;
     double best_priority = -1.0;
-    for (size_t i = 0; i < entries.size(); ++i) {
-      const FlatEntry& fe = entries[i];
-      if (!fe.alive || fe.state != State::kUndecided) continue;
-      double priority = fe.q_max;
-      if (options.expand == ExpandPolicy::kTextEntropy) {
-        priority += options.entropy_weight * EntryClusterEntropy(*fe.entry);
-      }
-      if (pick == SIZE_MAX || priority > best_priority) {
-        pick = i;
-        best_priority = priority;
+    {
+      obs::TraceSpan span(options.trace, "pick");
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const FlatEntry& fe = entries[i];
+        if (!fe.alive || fe.state != State::kUndecided) continue;
+        double priority = fe.q_max;
+        if (options.expand == ExpandPolicy::kTextEntropy) {
+          priority += options.entropy_weight * EntryClusterEntropy(*fe.entry);
+        }
+        if (pick == SIZE_MAX || priority > best_priority) {
+          pick = i;
+          best_priority = priority;
+        }
       }
     }
     if (pick == SIZE_MAX) break;
@@ -438,6 +527,9 @@ RstknnResult RstknnSearcher::SearchContributionList(
     contributions.reserve(entries.size());
     size_t best_blocker = SIZE_MAX;
     double best_blocker_score = -1.0;
+    obs::QueryTrace* trace = options.trace;
+    if (trace != nullptr) trace->Enter("contributions");
+    const uint64_t bounds_before = result.stats.bound_computations;
     {
       const FlatEntry& cand = entries[pick];
       for (size_t j = 0; j < entries.size(); ++j) {
@@ -463,6 +555,11 @@ RstknnResult RstknnSearcher::SearchContributionList(
     const double knn_lower = KthSorted(&scratch, query.k, /*lower=*/true);
     scratch = contributions;
     const double knn_upper = KthSorted(&scratch, query.k, /*lower=*/false);
+    if (trace != nullptr) {
+      trace->AddCount("bound_computations",
+                      result.stats.bound_computations - bounds_before);
+      trace->Exit();  // contributions
+    }
 
     FlatEntry& cand = entries[pick];
     if (cand.q_max < knn_lower) {
@@ -509,8 +606,11 @@ std::vector<ObjectId> BruteForceRstknn(const Dataset& dataset,
   return answers;
 }
 
-void PrecomputeBaseline::Build(size_t k, IoStats* stats) {
+void PrecomputeBaseline::Build(size_t k, IoStats* stats,
+                               obs::QueryTrace* trace) {
   assert(k > 0);
+  Stopwatch timer;
+  obs::TraceSpan build_span(trace, "baseline.build");
   k_ = k;
   kth_score_.assign(dataset_->size(), -1.0);
   tops_.assign(dataset_->size(), {});
@@ -528,11 +628,19 @@ void PrecomputeBaseline::Build(size_t k, IoStats* stats) {
   for (const StObject& o : dataset_->objects()) {
     object_scan_bytes_ += TermVectorEncodedSize(o.doc) + 2 * sizeof(double);
   }
+  build_span.AddCount("objects", dataset_->size());
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("baseline.builds").Increment();
+  registry.GetGauge("baseline.build.ms").Set(timer.ElapsedMillis());
+  if (stats != nullptr) stats->Publish("baseline.build.io");
 }
 
-RstknnResult PrecomputeBaseline::Query(const RstknnQuery& query) const {
+RstknnResult PrecomputeBaseline::Query(const RstknnQuery& query,
+                                       obs::QueryTrace* trace) const {
   assert(built() && query.k == k_);
+  Stopwatch timer;
   RstknnResult result;
+  obs::TraceSpan scan_span(trace, "baseline.scan");
   // The scan touches every object page once.
   result.stats.io.AddPayloadRead(object_scan_bytes_);
   for (const StObject& o : dataset_->objects()) {
@@ -558,6 +666,15 @@ RstknnResult PrecomputeBaseline::Query(const RstknnQuery& query) const {
     }
     if (threshold < 0.0 || sim_q >= threshold) result.answers.push_back(o.id);
   }
+  scan_span.AddCount("objects_scanned", dataset_->size());
+  static const obs::Counter queries =
+      obs::MetricRegistry::Global().GetCounter("baseline.queries");
+  static const obs::HistogramRef latency_ms =
+      obs::MetricRegistry::Global().GetHistogram(
+          "baseline.query.ms", obs::HistogramSpec::LatencyMs());
+  queries.Increment();
+  latency_ms.Record(timer.ElapsedMillis());
+  result.stats.Publish("baseline");
   return result;
 }
 

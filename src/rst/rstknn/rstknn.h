@@ -55,6 +55,15 @@ struct RstknnOptions {
   ExpandPolicy expand = ExpandPolicy::kBestFirst;
   /// Weight of the entropy term under kTextEntropy.
   double entropy_weight = 0.25;
+  /// Optional query trace: the search records per-phase spans (setup,
+  /// probe.guaranteed, probe.potential, expand, ...) with counter deltas.
+  /// Null (the default) costs one branch per phase.
+  obs::QueryTrace* trace = nullptr;
+  /// Optional real-I/O mode: node accesses read the serialized inverted
+  /// files through this pool (hits/misses land in the buffer-pool metrics)
+  /// instead of the simulated ChargeAccess. The pool must wrap the tree's
+  /// page store and the tree must have finalized storage.
+  BufferPool* pool = nullptr;
 };
 
 struct RstknnStats {
@@ -65,6 +74,12 @@ struct RstknnStats {
   uint64_t reported_entries = 0;  ///< subtrees reported wholesale
   uint64_t bound_computations = 0;
   uint64_t probes = 0;            ///< leaf-level competitor probes
+  uint64_t pq_pops = 0;           ///< priority-queue pops across all probes
+
+  /// Adds every counter (and the nested IoStats) to the global metric
+  /// registry under `prefix`: e.g. "rstknn" yields rstknn.expansions, ...,
+  /// rstknn.io.node_reads. The searchers call this once per completed query.
+  void Publish(const std::string& prefix) const;
 };
 
 struct RstknnResult {
@@ -124,15 +139,19 @@ class PrecomputeBaseline {
       : tree_(tree), dataset_(dataset), scorer_(scorer) {}
 
   /// Runs the offline pass for `k`. Charges the (large) precompute I/O to
-  /// `stats`.
-  void Build(size_t k, IoStats* stats = nullptr);
+  /// `stats`; records a `baseline.build` span on `trace` and publishes
+  /// baseline.build.ms / baseline.builds to the registry.
+  void Build(size_t k, IoStats* stats = nullptr,
+             obs::QueryTrace* trace = nullptr);
 
   bool built() const { return k_ > 0; }
   size_t k() const { return k_; }
 
   /// Answers a query with the precomputed thresholds. `query.k` must equal
-  /// the built k. Charges the scan I/O (all object pages).
-  RstknnResult Query(const RstknnQuery& query) const;
+  /// the built k. Charges the scan I/O (all object pages); records a
+  /// `baseline.scan` span on `trace`.
+  RstknnResult Query(const RstknnQuery& query,
+                     obs::QueryTrace* trace = nullptr) const;
 
  private:
   const IurTree* tree_;

@@ -2,10 +2,21 @@
 
 #include <cassert>
 
+#include "rst/common/stopwatch.h"
+#include "rst/obs/trace.h"
+
 namespace rst {
 
 BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
-    : store_(store), capacity_pages_(capacity_pages) {}
+    : store_(store), capacity_pages_(capacity_pages) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  hits_counter_ = registry.GetCounter("storage.buffer_pool.hits");
+  misses_counter_ = registry.GetCounter("storage.buffer_pool.misses");
+  evictions_counter_ = registry.GetCounter("storage.buffer_pool.evictions");
+  hit_rate_gauge_ = registry.GetGauge("storage.buffer_pool.hit_rate");
+  fill_ms_ = registry.GetHistogram("storage.buffer_pool.fill_ms",
+                                   obs::HistogramSpec::LatencyMs());
+}
 
 void BufferPool::Touch(PageId key, Entry* entry) {
   if (entry->in_lru) {
@@ -29,6 +40,8 @@ void BufferPool::EvictUntilFits(size_t incoming_pages) {
         used_pages_ -= entry_it->second.num_pages;
         lru_.erase(it);
         entries_.erase(entry_it);
+        ++evictions_;
+        evictions_counter_.Increment();
         evicted = true;
         break;
       }
@@ -42,13 +55,23 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
   auto it = entries_.find(handle.first_page);
   if (it != entries_.end()) {
     ++hits_;
+    hits_counter_.Increment();
+    hit_rate_gauge_.Set(hit_rate());
     if (stats != nullptr) stats->AddCacheHit();
     Touch(handle.first_page, &it->second);
     return it->second.payload;
   }
   ++misses_;
+  misses_counter_.Increment();
+  hit_rate_gauge_.Set(hit_rate());
   auto payload = std::make_shared<std::string>();
-  Status s = store_->Read(handle, payload.get(), stats);
+  Stopwatch fill_timer;
+  Status s;
+  {
+    obs::TraceSpan span(trace_, "buffer_pool.fill");
+    s = store_->Read(handle, payload.get(), stats);
+  }
+  fill_ms_.Record(fill_timer.ElapsedMillis());
   if (!s.ok()) return s;
   std::shared_ptr<const std::string> shared = std::move(payload);
   if (capacity_pages_ == 0) return shared;  // caching disabled

@@ -7,10 +7,15 @@
 #include <unordered_map>
 
 #include "rst/common/status.h"
+#include "rst/obs/metrics.h"
 #include "rst/storage/io_stats.h"
 #include "rst/storage/page_store.h"
 
 namespace rst {
+
+namespace obs {
+class QueryTrace;
+}  // namespace obs
 
 /// LRU buffer pool over a PageStore. Payloads are cached whole (a payload is
 /// the unit of access for tree nodes and inverted files); capacity is counted
@@ -39,6 +44,19 @@ class BufferPool {
   size_t resident_payloads() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  /// hits / (hits + misses); 0 before the first access.
+  double hit_rate() const {
+    return hits_ + misses_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) /
+                     static_cast<double>(hits_ + misses_);
+  }
+
+  /// Attaches a query trace: miss fills then record `buffer_pool.fill`
+  /// spans. Null detaches (the default).
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+  obs::QueryTrace* trace() const { return trace_; }
 
   void Clear();
 
@@ -59,8 +77,16 @@ class BufferPool {
   size_t used_pages_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   std::unordered_map<PageId, Entry> entries_;
   std::list<PageId> lru_;  // front = most recent
+  obs::QueryTrace* trace_ = nullptr;
+  /// Registry handles (storage.buffer_pool.*), shared by all pools.
+  obs::Counter hits_counter_;
+  obs::Counter misses_counter_;
+  obs::Counter evictions_counter_;
+  obs::Gauge hit_rate_gauge_;
+  obs::HistogramRef fill_ms_;
 };
 
 }  // namespace rst

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "rst/obs/metrics.h"
+
 namespace rst {
 
 std::string IoStats::ToString() const {
@@ -15,6 +17,14 @@ std::string IoStats::ToString() const {
                 static_cast<unsigned long long>(cache_hits),
                 static_cast<unsigned long long>(TotalIos()));
   return buf;
+}
+
+void IoStats::Publish(const std::string& prefix) const {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter(prefix + ".node_reads").Add(node_reads);
+  registry.GetCounter(prefix + ".payload_blocks").Add(payload_blocks);
+  registry.GetCounter(prefix + ".payload_bytes").Add(payload_bytes);
+  registry.GetCounter(prefix + ".cache_hits").Add(cache_hits);
 }
 
 }  // namespace rst

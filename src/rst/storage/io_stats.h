@@ -6,6 +6,10 @@
 
 namespace rst {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// Simulated I/O accounting, following the methodology both papers report:
 /// visiting a tree node costs one I/O; loading a node's inverted file (or any
 /// serialized payload) costs ceil(bytes / page_size) I/Os. A buffer pool may
@@ -39,6 +43,13 @@ struct IoStats {
   }
 
   std::string ToString() const;
+
+  /// Adds these totals to the global metric registry as counters
+  /// `<prefix>.node_reads`, `.payload_blocks`, `.payload_bytes`,
+  /// `.cache_hits` — the bridge that keeps this struct's public fields intact
+  /// while making every consumer's I/O visible in obs snapshots. Call once
+  /// per completed operation (per query / per build), not per access.
+  void Publish(const std::string& prefix) const;
 };
 
 }  // namespace rst

@@ -1,6 +1,34 @@
 #include "rst/storage/page_store.h"
 
+#include "rst/obs/metrics.h"
+
 namespace rst {
+
+namespace {
+
+/// Process-wide page-store traffic counters; handles are cached so the
+/// per-call cost is one relaxed atomic add.
+struct PageStoreMetrics {
+  obs::Counter writes;
+  obs::Counter pages_written;
+  obs::Counter reads;
+  obs::Counter bytes_read;
+
+  static const PageStoreMetrics& Get() {
+    static const PageStoreMetrics* metrics = [] {
+      auto* m = new PageStoreMetrics();
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      m->writes = registry.GetCounter("storage.page_store.writes");
+      m->pages_written = registry.GetCounter("storage.page_store.pages_written");
+      m->reads = registry.GetCounter("storage.page_store.reads");
+      m->bytes_read = registry.GetCounter("storage.page_store.bytes_read");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 PageHandle PageStore::Write(const std::string& payload) {
   PageHandle handle;
@@ -18,6 +46,9 @@ PageHandle PageStore::Write(const std::string& payload) {
     pages_.push_back(std::move(page));
   }
   payload_bytes_ += payload.size();
+  const PageStoreMetrics& metrics = PageStoreMetrics::Get();
+  metrics.writes.Increment();
+  metrics.pages_written.Add(handle.num_pages);
   return handle;
 }
 
@@ -39,6 +70,9 @@ Status PageStore::Read(const PageHandle& handle, std::string* out,
     return Status::Corruption("short page read");
   }
   if (stats != nullptr) stats->AddPayloadRead(handle.bytes);
+  const PageStoreMetrics& metrics = PageStoreMetrics::Get();
+  metrics.reads.Increment();
+  metrics.bytes_read.Add(handle.bytes);
   return Status::Ok();
 }
 

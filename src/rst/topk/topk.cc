@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <queue>
 
+#include "rst/common/stopwatch.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
+
 namespace rst {
 
 namespace {
@@ -43,23 +47,57 @@ bool ContainsAllTerms(const TermVector& candidate, const TermVector& required) {
 
 }  // namespace
 
+namespace {
+
+/// Cached registry handles — Search runs microseconds-hot (the precompute
+/// baseline and the MaxBRSTkNN joint algorithm issue one per object/user),
+/// so the per-query publishing cost must stay at a few relaxed atomic adds.
+struct TopKMetrics {
+  obs::Counter queries;
+  obs::Counter pq_pops;
+  obs::Counter expansions;
+  obs::HistogramRef latency_ms;
+
+  static const TopKMetrics& Get() {
+    static const TopKMetrics* metrics = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      return new TopKMetrics{
+          registry.GetCounter("topk.queries"),
+          registry.GetCounter("topk.pq_pops"),
+          registry.GetCounter("topk.expansions"),
+          registry.GetHistogram("topk.query.ms",
+                                obs::HistogramSpec::LatencyMs())};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
 std::vector<TopKResult> TopKSearcher::Search(const TopKQuery& query,
-                                             IoStats* stats) const {
+                                             IoStats* stats,
+                                             obs::QueryTrace* trace) const {
   std::vector<TopKResult> results;
   if (query.k == 0 || tree_->size() == 0) return results;
+  Stopwatch timer;
+  obs::TraceSpan search_span(trace, "topk.search");
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
   const double alpha = scorer_->options().alpha;
+  uint64_t pops = 0;
+  uint64_t expansions = 0;
 
   std::priority_queue<QueueItem> pq;
   pq.push({1.0, false, 0, tree_->root()});
   while (!pq.empty() && results.size() < query.k) {
     const QueueItem item = pq.top();
     pq.pop();
+    ++pops;
     if (item.is_object) {
       results.push_back({item.id, item.score});
       continue;
     }
     tree_->ChargeAccess(item.node, stats);
+    ++expansions;
     for (const IurTree::Entry& e : item.node->entries) {
       if (e.is_object()) {
         if (e.id == query.exclude) continue;
@@ -84,6 +122,13 @@ std::vector<TopKResult> TopKSearcher::Search(const TopKQuery& query,
       }
     }
   }
+  const TopKMetrics& metrics = TopKMetrics::Get();
+  metrics.queries.Increment();
+  metrics.pq_pops.Add(pops);
+  metrics.expansions.Add(expansions);
+  metrics.latency_ms.Record(timer.ElapsedMillis());
+  search_span.AddCount("pq_pops", pops);
+  search_span.AddCount("expansions", expansions);
   return results;
 }
 

@@ -47,9 +47,13 @@ class TopKSearcher {
       : tree_(tree), dataset_(dataset), scorer_(scorer) {}
 
   /// Returns exactly min(k, |D| − excluded) results, ordered by descending
-  /// score (ties by ascending id). Charges simulated I/O to `stats`.
+  /// score (ties by ascending id). Charges simulated I/O to `stats`. With a
+  /// trace, records a `topk.search` span (pq_pops / expansions counts);
+  /// aggregate counters (topk.*) always go to the global registry via
+  /// handles cached across calls — the untraced path stays microsecond-hot.
   std::vector<TopKResult> Search(const TopKQuery& query,
-                                 IoStats* stats = nullptr) const;
+                                 IoStats* stats = nullptr,
+                                 obs::QueryTrace* trace = nullptr) const;
 
   /// Upper-bound combined score of `entry` w.r.t. the query (exposed for the
   /// algorithms built on top).

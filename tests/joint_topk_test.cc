@@ -17,7 +17,10 @@ struct JointFixture {
   JointFixture(size_t num_objects, size_t num_users, Weighting weighting,
                double alpha, uint64_t seed = 1)
       : tree(IurTree::Build({}, {})),
-        sim(TextMeasure::kSum, nullptr),
+        // Placeholder measure: kSum requires corpus-max normalizers, which
+        // exist only after the dataset is generated in the body (reassigned
+        // there). EJ keeps the pre-init state assert-clean in Debug builds.
+        sim(TextMeasure::kExtendedJaccard),
         scorer(&sim, {alpha, 1.0}) {
     FlickrLikeConfig config;
     config.num_objects = num_objects;

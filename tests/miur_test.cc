@@ -18,7 +18,10 @@ struct MiurFixture {
   MiurFixture(size_t num_objects, size_t num_users, uint64_t seed)
       : object_tree(IurTree::Build({}, {})),
         user_tree(IurTree::Build({}, {})),
-        sim(TextMeasure::kSum, nullptr),
+        // Placeholder measure: kSum requires corpus-max normalizers, which
+        // exist only after the dataset is generated in the body (reassigned
+        // there). EJ keeps the pre-init state assert-clean in Debug builds.
+        sim(TextMeasure::kExtendedJaccard),
         scorer(&sim, {0.5, 1.0}) {
     FlickrLikeConfig config;
     config.num_objects = num_objects;

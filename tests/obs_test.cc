@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rst/obs/json.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
+
+namespace rst::obs {
+namespace {
+
+// --- MetricRegistry -------------------------------------------------------
+
+TEST(RegistryTest, CounterMergesThreadStripesExactly) {
+  MetricRegistry registry;
+  const Counter counter = registry.GetCounter("test.adds");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 10000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Striped shards must merge without losing a single update.
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_TRUE(snap.counters.count("test.adds"));
+  EXPECT_EQ(snap.counters.at("test.adds"), kThreads * kAddsPerThread);
+}
+
+TEST(RegistryTest, HistogramMergesThreadStripesExactly) {
+  MetricRegistry registry;
+  const HistogramRef hist =
+      registry.GetHistogram("test.hist", HistogramSpec::Linear(1.0, 1.0, 4));
+  constexpr int kThreads = 6;
+  constexpr uint64_t kRecordsPerThread = 5000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kRecordsPerThread; ++i) {
+        hist.Record(static_cast<double>(t % 3));  // values 0, 1, 2
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_TRUE(snap.histograms.count("test.hist"));
+  const HistogramSnapshot& h = snap.histograms.at("test.hist");
+  EXPECT_EQ(h.count, kThreads * kRecordsPerThread);
+  // Threads 0,3 record 0; 1,4 record 1; 2,5 record 2. Bounds {1,2,3,4}:
+  // 0 and 1 land in bucket 0 (v <= 1), 2 in bucket 1.
+  EXPECT_EQ(h.counts[0], 4 * kRecordsPerThread);
+  EXPECT_EQ(h.counts[1], 2 * kRecordsPerThread);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+}
+
+TEST(RegistryTest, HandlesAreIdempotentAndSurviveReset) {
+  MetricRegistry registry;
+  const Counter a = registry.GetCounter("test.counter");
+  const Counter b = registry.GetCounter("test.counter");
+  a.Add(3);
+  b.Add(4);
+  EXPECT_EQ(a.Value(), 7);  // same underlying metric
+
+  const Gauge gauge = registry.GetGauge("test.gauge");
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+
+  registry.Reset();
+  EXPECT_EQ(a.Value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  a.Increment();  // handle must stay valid after Reset
+  EXPECT_EQ(b.Value(), 1);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.count("test.counter"));
+  EXPECT_TRUE(snap.gauges.count("test.gauge"));
+}
+
+TEST(RegistryTest, DefaultConstructedHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  HistogramRef hist;
+  counter.Increment();
+  gauge.Set(1.0);
+  hist.Record(1.0);
+  EXPECT_EQ(counter.Value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+// --- Histogram ------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram hist(HistogramSpec{{1.0, 2.0, 4.0}});
+  hist.Record(1.0);  // == bound 0 -> bucket 0
+  hist.Record(1.5);  // bucket 1
+  hist.Record(2.0);  // == bound 1 -> bucket 1
+  hist.Record(4.0);  // == bound 2 -> bucket 2
+  hist.Record(5.0);  // above all bounds -> overflow
+  const HistogramSnapshot& snap = hist.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 13.5);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 2.7);
+}
+
+TEST(HistogramTest, PercentileReadsCumulativeBuckets) {
+  Histogram hist(HistogramSpec::Linear(1.0, 1.0, 10));  // bounds 1..10
+  for (int v = 1; v <= 100; ++v) hist.Record(static_cast<double>(v % 10 + 1));
+  // Ten values per bucket 1..10; p50 falls in the bucket bounded by 5.
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 1.0);
+
+  Histogram empty(HistogramSpec::Linear(1.0, 1.0, 2));
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, OverflowPercentileReportsObservedMax) {
+  Histogram hist(HistogramSpec{{1.0}});
+  hist.Record(50.0);
+  hist.Record(80.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 80.0);
+}
+
+TEST(HistogramTest, SpecFactories) {
+  const HistogramSpec exp = HistogramSpec::Exponential(1.0, 2.0, 4);
+  ASSERT_EQ(exp.bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp.bounds[3], 8.0);
+
+  const HistogramSpec lin = HistogramSpec::Linear(0.5, 0.25, 3);
+  ASSERT_EQ(lin.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin.bounds[1], 0.75);
+  EXPECT_DOUBLE_EQ(lin.bounds[2], 1.0);
+
+  EXPECT_FALSE(HistogramSpec::LatencyMs().bounds.empty());
+}
+
+TEST(HistogramTest, MergeAccumulatesCountsAndExtremes) {
+  Histogram a(HistogramSpec{{1.0, 2.0}});
+  Histogram b(HistogramSpec{{1.0, 2.0}});
+  a.Record(0.5);
+  b.Record(1.5);
+  b.Record(9.0);
+  a.Merge(b.snapshot());
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+  EXPECT_DOUBLE_EQ(a.snapshot().min, 0.5);
+  EXPECT_DOUBLE_EQ(a.snapshot().max, 9.0);
+  EXPECT_EQ(a.snapshot().counts[0], 1u);
+  EXPECT_EQ(a.snapshot().counts[1], 1u);
+  EXPECT_EQ(a.snapshot().counts[2], 1u);
+}
+
+// --- Snapshot export / round-trip -----------------------------------------
+
+TEST(SnapshotTest, JsonRoundTrip) {
+  MetricRegistry registry;
+  registry.GetCounter("q.count").Add(42);
+  registry.GetGauge("q.gauge").Set(1.25);
+  const HistogramRef hist =
+      registry.GetHistogram("q.lat", HistogramSpec{{1.0, 4.0}});
+  hist.Record(0.5);
+  hist.Record(8.0);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const std::string json = snap.ToJson();
+  const Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  const MetricsSnapshot& back = parsed.value();
+  EXPECT_EQ(back.counters, snap.counters);
+  EXPECT_EQ(back.gauges, snap.gauges);
+  ASSERT_TRUE(back.histograms.count("q.lat"));
+  const HistogramSnapshot& h = back.histograms.at("q.lat");
+  EXPECT_EQ(h.bounds, snap.histograms.at("q.lat").bounds);
+  EXPECT_EQ(h.counts, snap.histograms.at("q.lat").counts);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 8.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 8.0);
+}
+
+TEST(SnapshotTest, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("[1,2,3]").ok());
+}
+
+TEST(SnapshotTest, DeltaSubtractsCountersAndHistograms) {
+  MetricRegistry registry;
+  const Counter counter = registry.GetCounter("d.count");
+  const HistogramRef hist =
+      registry.GetHistogram("d.hist", HistogramSpec{{10.0}});
+  counter.Add(5);
+  hist.Record(1.0);
+  const MetricsSnapshot base = registry.Snapshot();
+
+  counter.Add(3);
+  hist.Record(2.0);
+  registry.GetGauge("d.gauge").Set(7.0);
+  const MetricsSnapshot delta = registry.Snapshot().Delta(base);
+
+  EXPECT_EQ(delta.counters.at("d.count"), 3u);
+  EXPECT_EQ(delta.histograms.at("d.hist").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("d.hist").sum, 2.0);
+  // Gauges keep their current value in a delta.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("d.gauge"), 7.0);
+}
+
+TEST(SnapshotTest, PrometheusTextUsesUnderscores) {
+  MetricRegistry registry;
+  registry.GetCounter("sub.system.events").Add(2);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("sub_system_events"), std::string::npos);
+  EXPECT_EQ(text.find("sub.system.events"), std::string::npos);
+}
+
+// --- QueryTrace -----------------------------------------------------------
+
+TEST(TraceTest, NestingOrderAndMergeByName) {
+  QueryTrace trace("query");
+  trace.Enter("setup");
+  trace.Exit();
+  trace.Enter("probe");
+  for (int i = 0; i < 3; ++i) {
+    trace.Enter("expand");  // merges into one child, calls accumulate
+    trace.AddCount("entries", 4);
+    trace.Exit();
+  }
+  trace.Enter("bound");
+  trace.Exit();
+  trace.Exit();
+  trace.Finish();
+
+  const Span& root = trace.root();
+  EXPECT_EQ(root.name, "query");
+  EXPECT_EQ(root.calls, 1u);
+  ASSERT_EQ(root.children.size(), 2u);  // first-entered order
+  EXPECT_EQ(root.children[0]->name, "setup");
+  EXPECT_EQ(root.children[1]->name, "probe");
+
+  const Span& probe = *root.children[1];
+  ASSERT_EQ(probe.children.size(), 2u);
+  EXPECT_EQ(probe.children[0]->name, "expand");
+  EXPECT_EQ(probe.children[0]->calls, 3u);
+  EXPECT_EQ(probe.children[0]->counts.at("entries"), 12u);
+  EXPECT_EQ(probe.children[1]->name, "bound");
+}
+
+TEST(TraceTest, AddCountTargetsInnermostOpenSpan) {
+  QueryTrace trace;
+  trace.AddCount("root_items", 2);
+  trace.Enter("outer");
+  trace.Enter("inner");
+  trace.AddCount("hits", 5);
+  trace.Exit();
+  trace.AddCount("hits", 1);  // now attributed to "outer"
+  trace.Exit();
+  trace.Finish();
+
+  const Span& root = trace.root();
+  EXPECT_EQ(root.counts.at("root_items"), 2u);
+  const Span& outer = *root.children[0];
+  EXPECT_EQ(outer.counts.at("hits"), 1u);
+  EXPECT_EQ(outer.children[0]->counts.at("hits"), 5u);
+}
+
+TEST(TraceTest, FinishClosesDanglingSpansAndStampsTimes) {
+  QueryTrace trace;
+  trace.Enter("left_open");
+  trace.Finish();
+  const Span& root = trace.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_GE(root.total_ms, root.children[0]->total_ms);
+  EXPECT_GE(root.children[0]->total_ms, 0.0);
+}
+
+TEST(TraceTest, RaiiSpanAndNullTraceAreSafe) {
+  {
+    TraceSpan disabled(nullptr, "noop");
+    disabled.AddCount("ignored", 9);  // must not crash
+  }
+  QueryTrace trace;
+  {
+    TraceSpan span(&trace, "scan");
+    span.AddCount("rows", 7);
+  }
+  trace.Finish();
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  EXPECT_EQ(trace.root().children[0]->counts.at("rows"), 7u);
+}
+
+TEST(TraceTest, JsonExportParsesBack) {
+  QueryTrace trace("rstknn");
+  {
+    TraceSpan span(&trace, "probe");
+    span.AddCount("pq_pops", 3);
+  }
+  trace.Finish();
+
+  const Result<JsonValue> parsed = JsonValue::Parse(trace.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Get("name")->AsString(), "rstknn");
+  const JsonValue* children = root.Get("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->AsArray().size(), 1u);
+  const JsonValue& probe = children->AsArray()[0];
+  EXPECT_EQ(probe.Get("name")->AsString(), "probe");
+  EXPECT_EQ(probe.Get("counts")->Get("pq_pops")->AsUint(), 3u);
+}
+
+TEST(TraceTest, ToStringShowsCallMultiplicity) {
+  QueryTrace trace;
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan span(&trace, "pop");
+  }
+  trace.Finish();
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("pop"), std::string::npos);
+  EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+// --- JsonValue parser -----------------------------------------------------
+
+TEST(JsonTest, ParseScalarsAndContainers) {
+  const Result<JsonValue> parsed =
+      JsonValue::Parse(R"({"a": 1.5, "b": [true, null, "x\n"], "c": -3})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& v = parsed.value();
+  EXPECT_DOUBLE_EQ(v.Get("a")->AsDouble(), 1.5);
+  const std::vector<JsonValue>& arr = v.Get("b")->AsArray();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].AsBool());
+  EXPECT_EQ(arr[1].kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(arr[2].AsString(), "x\n");
+  EXPECT_DOUBLE_EQ(v.Get("c")->AsDouble(), -3.0);
+  EXPECT_EQ(v.Get("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseRejectsTrailingGarbageAndTruncation) {
+  EXPECT_FALSE(JsonValue::Parse("{} extra").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"a": )").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+}
+
+TEST(JsonTest, WriterEscapesAndRoundTrips) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("msg");
+  writer.String("line1\nline2\t\"q\"");
+  writer.Key("n");
+  writer.Uint(18446744073709551615ull);
+  writer.EndObject();
+  const Result<JsonValue> parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Get("msg")->AsString(), "line1\nline2\t\"q\"");
+}
+
+}  // namespace
+}  // namespace rst::obs

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "rst/common/rng.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
 #include "rst/storage/buffer_pool.h"
 #include "rst/storage/codec.h"
 #include "rst/storage/page_store.h"
@@ -223,6 +225,58 @@ TEST(BufferPoolTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(pool.resident_payloads(), 0u);
 }
 
+TEST(BufferPoolTest, EvictionAccountingReachesRegistry) {
+  PageStore store;
+  std::vector<PageHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(store.Write(std::string(PageStore::kPageSize, 'a' + i)));
+  }
+  const obs::MetricsSnapshot before = obs::MetricRegistry::Global().Snapshot();
+  BufferPool pool(&store, /*capacity_pages=*/1);
+  IoStats stats;
+  ASSERT_TRUE(pool.Fetch(handles[0], &stats).ok());
+  ASSERT_TRUE(pool.Fetch(handles[1], &stats).ok());  // evicts 0
+  ASSERT_TRUE(pool.Fetch(handles[2], &stats).ok());  // evicts 1
+  ASSERT_TRUE(pool.Fetch(handles[0], &stats).ok());  // evicts 2
+  EXPECT_EQ(pool.evictions(), 3u);
+  EXPECT_EQ(pool.misses(), 4u);
+  EXPECT_EQ(pool.used_pages(), 1u);
+
+  const obs::MetricsSnapshot delta =
+      obs::MetricRegistry::Global().Snapshot().Delta(before);
+  EXPECT_EQ(delta.counters.at("storage.buffer_pool.evictions"), 3u);
+  EXPECT_EQ(delta.counters.at("storage.buffer_pool.misses"), 4u);
+}
+
+TEST(BufferPoolTest, HitRateTracksHitsOverAccesses) {
+  PageStore store;
+  const PageHandle h = store.Write("payload");
+  BufferPool pool(&store, /*capacity_pages=*/4);
+  EXPECT_DOUBLE_EQ(pool.hit_rate(), 0.0);  // no accesses yet
+  IoStats stats;
+  ASSERT_TRUE(pool.Fetch(h, &stats).ok());  // miss
+  EXPECT_DOUBLE_EQ(pool.hit_rate(), 0.0);
+  ASSERT_TRUE(pool.Fetch(h, &stats).ok());  // hit
+  ASSERT_TRUE(pool.Fetch(h, &stats).ok());  // hit
+  ASSERT_TRUE(pool.Fetch(h, &stats).ok());  // hit
+  EXPECT_DOUBLE_EQ(pool.hit_rate(), 0.75);
+}
+
+TEST(BufferPoolTest, MissFillsRecordTraceSpans) {
+  PageStore store;
+  const PageHandle h = store.Write("abc");
+  BufferPool pool(&store, /*capacity_pages=*/4);
+  obs::QueryTrace trace("test");
+  pool.set_trace(&trace);
+  IoStats stats;
+  ASSERT_TRUE(pool.Fetch(h, &stats).ok());  // miss: fill span
+  ASSERT_TRUE(pool.Fetch(h, &stats).ok());  // hit: no span
+  trace.Finish();
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  EXPECT_EQ(trace.root().children[0]->name, "buffer_pool.fill");
+  EXPECT_EQ(trace.root().children[0]->calls, 1u);
+}
+
 TEST(IoStatsTest, BlockRoundingAndTotal) {
   IoStats stats;
   stats.AddNodeRead();
@@ -238,6 +292,45 @@ TEST(IoStatsTest, BlockRoundingAndTotal) {
   EXPECT_EQ(stats.node_reads, 2u);
   stats.Reset();
   EXPECT_EQ(stats.TotalIos(), 0u);
+}
+
+TEST(IoStatsTest, PayloadBlockCeilEdgeCases) {
+  IoStats stats;
+  stats.AddPayloadRead(0);  // ceil(0/4096) = 0: no block charged
+  EXPECT_EQ(stats.payload_blocks, 0u);
+  EXPECT_EQ(stats.payload_bytes, 0u);
+  stats.AddPayloadRead(4096);  // exactly one page
+  EXPECT_EQ(stats.payload_blocks, 1u);
+  stats.AddPayloadRead(4097);  // one byte over: two pages
+  EXPECT_EQ(stats.payload_blocks, 3u);
+  EXPECT_EQ(stats.payload_bytes, 4096u + 4097u);
+}
+
+TEST(IoStatsTest, ToStringFormatsAllFields) {
+  IoStats stats;
+  EXPECT_EQ(stats.ToString(),
+            "IoStats{nodes=0, blocks=0, bytes=0, hits=0, total=0}");
+  stats.AddNodeRead();
+  stats.AddNodeRead();
+  stats.AddPayloadRead(4097);
+  stats.AddCacheHit();
+  EXPECT_EQ(stats.ToString(),
+            "IoStats{nodes=2, blocks=2, bytes=4097, hits=1, total=4}");
+}
+
+TEST(IoStatsTest, PublishBridgesFieldsToRegistry) {
+  const obs::MetricsSnapshot before = obs::MetricRegistry::Global().Snapshot();
+  IoStats stats;
+  stats.AddNodeRead();
+  stats.AddPayloadRead(IoStats::kPageSize + 1);
+  stats.AddCacheHit();
+  stats.Publish("test.io");
+  const obs::MetricsSnapshot delta =
+      obs::MetricRegistry::Global().Snapshot().Delta(before);
+  EXPECT_EQ(delta.counters.at("test.io.node_reads"), 1u);
+  EXPECT_EQ(delta.counters.at("test.io.payload_blocks"), 2u);
+  EXPECT_EQ(delta.counters.at("test.io.payload_bytes"), IoStats::kPageSize + 1);
+  EXPECT_EQ(delta.counters.at("test.io.cache_hits"), 1u);
 }
 
 }  // namespace

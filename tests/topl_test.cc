@@ -20,7 +20,10 @@ struct TopLFixture {
 
   TopLFixture()
       : tree(IurTree::Build({}, {})),
-        sim(TextMeasure::kSum, nullptr),
+        // Placeholder measure: kSum requires corpus-max normalizers, which
+        // exist only after the dataset is generated in the body (reassigned
+        // there). EJ keeps the pre-init state assert-clean in Debug builds.
+        sim(TextMeasure::kExtendedJaccard),
         scorer(&sim, {0.5, 1.0}) {
     FlickrLikeConfig config;
     config.num_objects = 800;

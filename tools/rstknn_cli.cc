@@ -11,6 +11,15 @@
 //
 // Common flags: --alpha A (0.5), --measure ej|cos|sum (ej; sum for maxbrst),
 // --weighting tfidf|lm|binary (tfidf), --seed S.
+//
+// Observability flags (topk / rstknn / maxbrst):
+//   --trace             print the per-phase span tree of the query to stderr
+//   --metrics-out FILE  write a JSON artifact: {"command", "metrics"
+//                       (registry snapshot: counters/gauges/histograms),
+//                       "trace" (span tree)}. For rstknn this also switches
+//                       node accesses to real reads through a buffer pool,
+//                       so storage.buffer_pool.{hits,misses} are genuine.
+//   --pool-pages N      buffer-pool capacity in 4 KiB pages (default 256)
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +33,9 @@
 #include "rst/data/csv.h"
 #include "rst/data/generators.h"
 #include "rst/maxbrst/maxbrst.h"
+#include "rst/obs/json.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
 #include "rst/rstknn/rstknn.h"
 
 namespace rst {
@@ -32,12 +44,20 @@ namespace {
 class Flags {
  public:
   Flags(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
+    for (int i = 2; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::fprintf(stderr, "expected --flag value, got '%s'\n", argv[i]);
+        std::fprintf(stderr, "expected --flag [value], got '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      // A flag followed by another --flag (or nothing) is boolean, e.g.
+      // --trace.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+        i += 2;
+      } else {
+        values_[argv[i] + 2] = "1";
+        i += 1;
+      }
     }
   }
 
@@ -78,6 +98,56 @@ std::vector<Point> ParseLocations(const std::string& s) {
                    std::strtod(pair.substr(colon + 1).c_str(), nullptr)});
   }
   return out;
+}
+
+/// Observability switches shared by the query commands.
+struct ObsFlags {
+  bool trace = false;           ///< print the span tree to stderr
+  std::string metrics_out;      ///< JSON artifact path ("" = off)
+  size_t pool_pages = 256;
+
+  explicit ObsFlags(const Flags& flags)
+      : trace(flags.Has("trace")),
+        metrics_out(flags.Get("metrics-out", "")),
+        pool_pages(static_cast<size_t>(flags.GetInt("pool-pages", 256))) {}
+
+  bool tracing() const { return trace || !metrics_out.empty(); }
+};
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  return std::fclose(f) == 0 && written == content.size();
+}
+
+/// Finishes the trace and emits the requested artifacts: the span tree on
+/// stderr (--trace) and/or the combined JSON file (--metrics-out) holding the
+/// full registry snapshot of this process plus the span tree.
+int EmitObsArtifacts(const ObsFlags& obs_flags, const std::string& command,
+                     obs::QueryTrace* trace) {
+  if (!obs_flags.tracing()) return 0;
+  trace->Finish();
+  if (obs_flags.trace) {
+    std::fprintf(stderr, "%s", trace->ToString().c_str());
+  }
+  if (obs_flags.metrics_out.empty()) return 0;
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("command");
+  writer.String(command);
+  writer.Key("metrics");
+  obs::MetricRegistry::Global().Snapshot().AppendJson(&writer);
+  writer.Key("trace");
+  trace->AppendJson(&writer);
+  writer.EndObject();
+  if (!WriteFile(obs_flags.metrics_out, writer.TakeString())) {
+    std::fprintf(stderr, "cannot write %s\n", obs_flags.metrics_out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics written to %s\n",
+               obs_flags.metrics_out.c_str());
+  return 0;
 }
 
 WeightingOptions ParseWeighting(const Flags& flags) {
@@ -176,6 +246,34 @@ int CmdStats(const Flags& flags) {
   std::printf("iur-tree:           height %zu, %zu nodes, %llu bytes\n",
               tree.height(), tree.NodeCount(),
               static_cast<unsigned long long>(tree.IndexBytes()));
+
+  // Corpus-level distributions, aggregated with the obs histogram type:
+  // term document frequencies (how skewed the vocabulary is — drives the
+  // text-bound tightness) and per-object document lengths.
+  const Dataset& dataset = data.value();
+  obs::Histogram term_freq(obs::HistogramSpec::Exponential(1.0, 2.0, 16));
+  const CorpusStats& corpus = dataset.stats();
+  size_t used_terms = 0;
+  for (TermId t = 0; t < corpus.vocab_size(); ++t) {
+    const uint32_t df = corpus.DocFreq(t);
+    if (df == 0) continue;
+    ++used_terms;
+    term_freq.Record(static_cast<double>(df));
+  }
+  obs::Histogram doc_len(obs::HistogramSpec::Linear(1.0, 1.0, 64));
+  for (const StObject& o : dataset.objects()) {
+    doc_len.Record(static_cast<double>(o.doc.size()));
+  }
+  std::printf("term doc-freq:      p50 %.0f, p90 %.0f, p99 %.0f, max %.0f "
+              "(%zu used terms)\n",
+              term_freq.Percentile(0.5), term_freq.Percentile(0.9),
+              term_freq.Percentile(0.99), term_freq.snapshot().max,
+              used_terms);
+  std::printf("doc length:         mean %.2f, p50 %.0f, p90 %.0f, p99 %.0f, "
+              "max %.0f\n",
+              doc_len.snapshot().Mean(), doc_len.Percentile(0.5),
+              doc_len.Percentile(0.9), doc_len.Percentile(0.99),
+              doc_len.snapshot().max);
   return 0;
 }
 
@@ -197,9 +295,12 @@ int CmdTopK(const Flags& flags) {
   query.loc = {flags.GetDouble("x", 0), flags.GetDouble("y", 0)};
   query.doc = &qdoc;
   query.k = static_cast<size_t>(flags.GetInt("k", 10));
+  const ObsFlags obs_flags(flags);
+  obs::QueryTrace trace("topk");
   IoStats io;
   Stopwatch timer;
-  const auto results = searcher.Search(query, &io);
+  const auto results =
+      searcher.Search(query, &io, obs_flags.tracing() ? &trace : nullptr);
   const double ms = timer.ElapsedMillis();
   for (const TopKResult& r : results) {
     std::printf("%u\t%.6f\n", r.id, r.score);
@@ -207,7 +308,7 @@ int CmdTopK(const Flags& flags) {
   std::fprintf(stderr, "%zu results in %.2f ms, %llu simulated I/Os\n",
                results.size(), ms,
                static_cast<unsigned long long>(io.TotalIos()));
-  return 0;
+  return EmitObsArtifacts(obs_flags, "topk", &trace);
 }
 
 int CmdRstknn(const Flags& flags) {
@@ -240,8 +341,24 @@ int CmdRstknn(const Flags& flags) {
     query.doc = &qdoc;
   }
   query.k = static_cast<size_t>(flags.GetInt("k", 10));
+
+  const ObsFlags obs_flags(flags);
+  obs::QueryTrace trace("rstknn");
+  RstknnOptions options;
+  // With a metrics artifact requested, switch to real I/O through a buffer
+  // pool so the reported hit/miss/fill metrics are genuine reads of the
+  // serialized index rather than simulated charges.
+  BufferPool pool(&tree.page_store(), obs_flags.pool_pages);
+  if (obs_flags.tracing()) {
+    options.trace = &trace;
+  }
+  if (!obs_flags.metrics_out.empty()) {
+    pool.set_trace(options.trace);
+    options.pool = &pool;
+  }
+
   Stopwatch timer;
-  const RstknnResult result = searcher.Search(query);
+  const RstknnResult result = searcher.Search(query, options);
   const double ms = timer.ElapsedMillis();
   for (ObjectId id : result.answers) std::printf("%u\n", id);
   std::fprintf(stderr,
@@ -251,7 +368,15 @@ int CmdRstknn(const Flags& flags) {
                static_cast<unsigned long long>(result.stats.entries_created),
                static_cast<unsigned long long>(result.stats.pruned_entries),
                static_cast<unsigned long long>(result.stats.io.TotalIos()));
-  return 0;
+  if (options.pool != nullptr) {
+    std::fprintf(stderr, "buffer pool: %llu hits, %llu misses, %llu evictions "
+                 "(%.1f%% hit rate)\n",
+                 static_cast<unsigned long long>(pool.hits()),
+                 static_cast<unsigned long long>(pool.misses()),
+                 static_cast<unsigned long long>(pool.evictions()),
+                 100.0 * pool.hit_rate());
+  }
+  return EmitObsArtifacts(obs_flags, "rstknn", &trace);
 }
 
 int CmdMaxBrst(const Flags& flags) {
@@ -280,9 +405,15 @@ int CmdMaxBrst(const Flags& flags) {
     return 2;
   }
 
+  const ObsFlags obs_flags(flags);
+  obs::QueryTrace trace("maxbrst");
+  obs::QueryTrace* trace_ptr = obs_flags.tracing() ? &trace : nullptr;
+
   JointTopKProcessor proc(&tree, &dataset, &scorer);
   Stopwatch timer;
+  if (trace_ptr != nullptr) trace_ptr->Enter("joint_topk");
   const JointTopKResult joint = proc.Process(users.value(), query.k);
+  if (trace_ptr != nullptr) trace_ptr->Exit();
   const double topk_ms = timer.ElapsedMillis();
 
   MaxBrstSolver solver(&dataset, &scorer);
@@ -291,7 +422,7 @@ int CmdMaxBrst(const Flags& flags) {
                                    : KeywordSelect::kApprox;
   timer.Restart();
   const MaxBrstResult best =
-      solver.Solve(users.value(), joint.rsk, query, method);
+      solver.Solve(users.value(), joint.rsk, query, method, trace_ptr);
   const double sel_ms = timer.ElapsedMillis();
 
   if (best.location_index == SIZE_MAX) {
@@ -307,7 +438,7 @@ int CmdMaxBrst(const Flags& flags) {
   std::fprintf(stderr, "joint top-k %.2f ms (%llu I/Os), selection %.2f ms\n",
                topk_ms,
                static_cast<unsigned long long>(joint.io.TotalIos()), sel_ms);
-  return 0;
+  return EmitObsArtifacts(obs_flags, "maxbrst", &trace);
 }
 
 int Usage() {
