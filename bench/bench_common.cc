@@ -4,6 +4,7 @@
 #include <map>
 
 #include "rst/common/stopwatch.h"
+#include "rst/exec/batch_runner.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
 
@@ -30,6 +31,16 @@ size_t DefaultObjects() {
 size_t Reps() {
   static const size_t reps = EnvSize("RST_BENCH_REPS", 2);
   return reps;
+}
+
+size_t Threads() {
+  static const size_t threads = EnvSize("RST_BENCH_THREADS", 1);
+  return threads;
+}
+
+exec::ThreadPool& SharedPool() {
+  static auto* pool = new exec::ThreadPool(Threads());
+  return *pool;
 }
 
 void PrintTitle(const std::string& title) {
@@ -225,16 +236,36 @@ CorePoint RunCorePoint(const CoreParams& params, bool run_baseline) {
 
   auto run_variant = [&](const IurTree& tree,
                          const RstknnOptions& options) -> CoreVariantPoint {
-    RstknnSearcher searcher(&tree, &env.dataset, &scorer);
     CoreVariantPoint variant;
     size_t answers = 0;
     Stopwatch timer;
-    for (ObjectId qid : env.queries) {
-      const StObject& q = env.dataset.object(qid);
-      const RstknnResult r =
-          searcher.Search({q.loc, &q.doc, params.k, qid}, options);
-      variant.io += static_cast<double>(r.stats.io.TotalIos()) * inv_q;
-      answers += r.answers.size();
+    if (Threads() > 1) {
+      // Batched path: same queries, same per-query algorithm, results keyed
+      // by query index — only the wall clock changes.
+      std::vector<RstknnQuery> queries;
+      queries.reserve(env.queries.size());
+      for (ObjectId qid : env.queries) {
+        const StObject& q = env.dataset.object(qid);
+        queries.push_back({q.loc, &q.doc, params.k, qid});
+      }
+      const exec::BatchRunner runner(&tree, &env.dataset, &scorer,
+                                     &SharedPool());
+      timer.Restart();
+      const std::vector<RstknnResult> results =
+          runner.RunRstknn(queries, options);
+      for (const RstknnResult& r : results) {
+        variant.io += static_cast<double>(r.stats.io.TotalIos()) * inv_q;
+        answers += r.answers.size();
+      }
+    } else {
+      RstknnSearcher searcher(&tree, &env.dataset, &scorer);
+      for (ObjectId qid : env.queries) {
+        const StObject& q = env.dataset.object(qid);
+        const RstknnResult r =
+            searcher.Search({q.loc, &q.doc, params.k, qid}, options);
+        variant.io += static_cast<double>(r.stats.io.TotalIos()) * inv_q;
+        answers += r.answers.size();
+      }
     }
     variant.query_ms = timer.ElapsedMillis() * inv_q;
     point.answer_size = answers / env.queries.size();

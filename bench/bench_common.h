@@ -10,6 +10,10 @@
 //                       1M–8M on server hardware — shapes, not absolutes).
 //   RST_BENCH_REPS    — user-set repetitions averaged per point (default 2;
 //                       the 2016 paper averages 100).
+//   RST_BENCH_THREADS — query-evaluation threads (default 1 = serial). At
+//                       >1 every RSTkNN query set runs through the
+//                       rst::exec::BatchRunner; answers are identical to the
+//                       serial path by the batch determinism contract.
 
 #include <cstdio>
 #include <string>
@@ -24,10 +28,18 @@
 #include "rst/rstknn/rstknn.h"
 #include "rst/text/similarity.h"
 
+#include "rst/exec/thread_pool.h"
+
 namespace rst::bench {
 
 size_t DefaultObjects();
 size_t Reps();
+size_t Threads();
+
+/// Process-wide pool sized by Threads(), shared by every batched
+/// measurement in the binary. ThreadPool(1) degenerates to inline serial
+/// execution, so it is always safe to route through.
+exec::ThreadPool& SharedPool();
 
 /// Fixed-width table printing.
 void PrintTitle(const std::string& title);

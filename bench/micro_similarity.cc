@@ -30,6 +30,52 @@ void BM_Dot(benchmark::State& state) {
 }
 BENCHMARK(BM_Dot)->Arg(8)->Arg(64)->Arg(512);
 
+/// The classic two-pointer merge, inlined as the reference the adaptive
+/// (galloping) dispatch in TermVector::Dot must beat on skewed inputs.
+double TwoPointerDot(const TermVector& a, const TermVector& b) {
+  const TermWeight* pa = a.entries().data();
+  const TermWeight* ea = pa + a.size();
+  const TermWeight* pb = b.entries().data();
+  const TermWeight* eb = pb + b.size();
+  double dot = 0.0;
+  while (pa != ea && pb != eb) {
+    if (pa->term < pb->term) {
+      ++pa;
+    } else if (pb->term < pa->term) {
+      ++pb;
+    } else {
+      dot += static_cast<double>(pa->weight) * pb->weight;
+      ++pa;
+      ++pb;
+    }
+  }
+  return dot;
+}
+
+// Skewed intersection: a short query document (8 terms) against a fat node
+// summary (range(0) terms) — the dominant shape in IUR-tree bound work.
+void BM_DotSkewed(benchmark::State& state) {
+  Rng rng(21);
+  const TermVector small = MakeDoc(&rng, 8, 8192);
+  const TermVector large =
+      MakeDoc(&rng, static_cast<size_t>(state.range(0)), 8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.Dot(large));
+  }
+}
+BENCHMARK(BM_DotSkewed)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DotSkewedTwoPointer(benchmark::State& state) {
+  Rng rng(21);  // same seed: identical inputs as BM_DotSkewed
+  const TermVector small = MakeDoc(&rng, 8, 8192);
+  const TermVector large =
+      MakeDoc(&rng, static_cast<size_t>(state.range(0)), 8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoPointerDot(small, large));
+  }
+}
+BENCHMARK(BM_DotSkewedTwoPointer)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_ExtendedJaccardSim(benchmark::State& state) {
   Rng rng(2);
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,0 +1,76 @@
+#ifndef RST_EXEC_BATCH_RUNNER_H_
+#define RST_EXEC_BATCH_RUNNER_H_
+
+#include <vector>
+
+#include "rst/data/dataset.h"
+#include "rst/exec/thread_pool.h"
+#include "rst/iurtree/iurtree.h"
+#include "rst/rstknn/rstknn.h"
+#include "rst/topk/topk.h"
+
+namespace rst {
+namespace exec {
+
+/// Aggregate accounting for one batch run.
+struct BatchStats {
+  /// Sum of every query's RstknnStats (for RunTopK only the nested IoStats
+  /// is populated).
+  RstknnStats total;
+  uint64_t queries = 0;
+  uint64_t answers = 0;  ///< total result rows across the batch
+  double wall_ms = 0.0;
+  /// Per-worker time spent inside queries (indexed by worker id); the
+  /// imbalance between entries is the scheduling overhead to look at.
+  std::vector<double> worker_busy_ms;
+};
+
+/// Evaluates batches of RSTkNN (and top-k / MaxBRSTkNN candidate-scoring)
+/// queries concurrently over a shared read-only IurTree + Dataset.
+///
+/// Determinism contract: results are written into slots keyed by query index
+/// and each query runs the unmodified single-query algorithm, so the output
+/// vector is byte-identical to running the same queries serially — at any
+/// thread count, regardless of scheduling.
+///
+/// What is shared vs. per-worker: the tree, dataset, scorer and (optional)
+/// BufferPool are shared read-only/thread-safe; each worker owns a
+/// ProbeScratch, an RstknnStats accumulator and a busy-time stopwatch, so
+/// the query hot path takes no locks. Query traces are single-threaded by
+/// design and therefore ignored in batch mode (options.trace is forced to
+/// null). Per-query registry publishes are suppressed and replaced by ONE
+/// per-batch aggregated publish (rstknn.* totals plus exec.batch.* timings).
+class BatchRunner {
+ public:
+  /// All referents must outlive the runner. `pool` is borrowed, not owned —
+  /// callers typically keep one pool for many batches.
+  BatchRunner(const IurTree* tree, const Dataset* dataset,
+              const StScorer* scorer, ThreadPool* pool)
+      : tree_(tree), dataset_(dataset), scorer_(scorer), pool_(pool) {}
+
+  /// Runs every query through RstknnSearcher::Search. `options.trace` and
+  /// `options.scratch` are overridden per worker; `options.pool` (real-I/O
+  /// mode) is honored and requires the concurrent-reader-safe BufferPool.
+  std::vector<RstknnResult> RunRstknn(const std::vector<RstknnQuery>& queries,
+                                      const RstknnOptions& options,
+                                      BatchStats* batch_stats = nullptr) const;
+
+  /// Runs every query through TopKSearcher::Search — the kernel both the
+  /// precompute baseline and the MaxBRSTkNN candidate-scoring pass (per-user
+  /// top-k) batch over. Simulated I/O is aggregated into
+  /// batch_stats->total.io.
+  std::vector<std::vector<TopKResult>> RunTopK(
+      const std::vector<TopKQuery>& queries,
+      BatchStats* batch_stats = nullptr) const;
+
+ private:
+  const IurTree* tree_;
+  const Dataset* dataset_;
+  const StScorer* scorer_;
+  ThreadPool* pool_;
+};
+
+}  // namespace exec
+}  // namespace rst
+
+#endif  // RST_EXEC_BATCH_RUNNER_H_

@@ -1,0 +1,102 @@
+#include "rst/exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace rst {
+namespace exec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t spawn = num_threads > 1 ? num_threads - 1 : 0;
+  threads_.reserve(spawn);
+  for (size_t i = 0; i < spawn; ++i) {
+    // Pool workers are 1..spawn; the caller participates as worker 0.
+    threads_.emplace_back([this, worker = i + 1] { WorkerLoop(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunChunks(Job* job, size_t worker) {
+  for (;;) {
+    const size_t begin = job->next.fetch_add(job->chunk,
+                                             std::memory_order_relaxed);
+    if (begin >= job->count) return;
+    const size_t end = std::min(begin + job->chunk, job->count);
+    try {
+      for (size_t i = begin; i < end; ++i) (*job->fn)(i, worker);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job->error) job->error = std::current_exception();
+      }
+      // Park the cursor past the end so no further chunks are claimed;
+      // chunks already in flight finish on their own.
+      job->next.store(job->count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      job = job_;
+      seen_generation = generation_;
+    }
+    RunChunks(job, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--job->active_workers == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t chunk,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (threads_.empty()) {
+    // Inline serial path: exceptions propagate directly.
+    for (size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.count = count;
+  job.chunk = chunk;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.active_workers = threads_.size();
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(&job, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return job.active_workers == 0; });
+  job_ = nullptr;
+  if (job.error) {
+    std::exception_ptr error = job.error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace exec
+}  // namespace rst

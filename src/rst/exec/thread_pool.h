@@ -1,0 +1,81 @@
+#ifndef RST_EXEC_THREAD_POOL_H_
+#define RST_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rst {
+namespace exec {
+
+/// A fixed-size thread pool specialized for data-parallel loops over query
+/// batches. Deliberately work-stealing-free: one ParallelFor runs at a time,
+/// and workers claim contiguous index chunks from a single shared atomic
+/// cursor (a "chunk queue"). That keeps the dispatch path one fetch_add per
+/// chunk, makes scheduling trivially fair for coarse items like queries, and
+/// leaves nothing scheduler-dependent in the *results* — callers write into
+/// slots keyed by item index, so output is deterministic regardless of which
+/// worker ran which chunk.
+///
+/// The calling thread participates as worker 0; a pool of `num_threads`
+/// spawns `num_threads - 1` background threads. `ThreadPool(1)` spawns
+/// nothing and runs every loop inline, so the serial path stays the serial
+/// path.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 is treated as 1 (fully inline).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread.
+  size_t num_threads() const { return threads_.size() + 1; }
+
+  /// Runs `fn(index, worker)` for every index in [0, count), blocking until
+  /// all invocations finish. `worker` is in [0, num_threads()) and is stable
+  /// within one invocation — callers use it to index per-worker scratch.
+  /// Indices are handed out in chunks of `chunk` (>= 1) consecutive items.
+  ///
+  /// If any invocation throws, remaining unclaimed chunks are abandoned,
+  /// in-flight chunks run to completion, and the first exception (in
+  /// completion order) is rethrown on the calling thread. ParallelFor calls
+  /// are serialized: the pool runs one loop at a time.
+  void ParallelFor(size_t count, size_t chunk,
+                   const std::function<void(size_t index, size_t worker)>& fn);
+
+ private:
+  struct Job {
+    size_t count = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};  ///< shared chunk cursor
+    size_t active_workers = 0;    ///< pool workers still running (under mu_)
+    std::exception_ptr error;     ///< first exception (under mu_)
+  };
+
+  void WorkerLoop(size_t worker);
+  /// Claims and runs chunks until the cursor is exhausted. Returns normally
+  /// even when an invocation throws (the error lands in job->error).
+  void RunChunks(Job* job, size_t worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes workers for a new job
+  std::condition_variable done_cv_;  ///< wakes the caller when workers drain
+  Job* job_ = nullptr;               ///< current job (under mu_)
+  uint64_t generation_ = 0;          ///< bumps per job so workers join once
+  bool stop_ = false;
+  std::mutex run_mu_;  ///< serializes ParallelFor callers
+};
+
+}  // namespace exec
+}  // namespace rst
+
+#endif  // RST_EXEC_THREAD_POOL_H_

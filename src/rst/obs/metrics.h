@@ -158,8 +158,19 @@ class MetricRegistry {
 
   MetricsSnapshot Snapshot() const;
 
-  /// Zeroes every metric (registrations survive). Not safe against
-  /// concurrent writers; tests and single-threaded tools only.
+  /// Zeroes every metric (registrations survive — handles held anywhere
+  /// remain valid and keep working).
+  ///
+  /// Concurrency guarantee: safe to call while other threads update metrics
+  /// through live handles, and safe relative to concurrent Snapshot()/
+  /// registration (all three serialize on the registry mutex; updates stay
+  /// lock-free). Every cell is zeroed with an atomic store, so no update is
+  /// ever torn or lost-and-corrupted. What is NOT guaranteed under
+  /// concurrent writers is a point-in-time cut: an in-flight increment may
+  /// land either before the reset (zeroed with the rest) or after it
+  /// (surviving into the next window), and a histogram Record racing the
+  /// reset may briefly leave count/sum/min/max mutually skewed by that one
+  /// sample. Quiesce writers first when an exact zero reading matters.
   void Reset();
 
  private:

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "rst/common/stopwatch.h"
@@ -74,11 +75,78 @@ void CollectObjectIds(const Entry& entry, ObjectId exclude,
   for (const Entry& e : entry.child->entries) CollectObjectIds(e, exclude, out);
 }
 
-/// Per-query state threaded through the competitor probes.
+/// Memoized blended bounds of (candidate, other) for one candidate's two
+/// probes. The spatial legs are kept so a later lazy cluster refinement can
+/// recombine them with tighter text bounds. Refined bounds are strictly
+/// tighter and remain valid brackets, so reusing them across the guaranteed
+/// and potential probes never changes answers — only the redundant kernel
+/// evaluations disappear.
+struct CandPairBounds {
+  double spatial_min = 0.0;
+  double spatial_max = 0.0;
+  double mn = 0.0;
+  double mx = 0.0;
+  bool refined = false;
+};
+
+/// Key/hash for the contribution-list pair memo (ordered entry pair).
+struct EntryPairKey {
+  const Entry* a = nullptr;
+  const Entry* b = nullptr;
+  bool operator==(const EntryPairKey& o) const { return a == o.a && b == o.b; }
+};
+struct EntryPairKeyHash {
+  size_t operator()(const EntryPairKey& k) const {
+    const size_t h1 = std::hash<const void*>()(k.a);
+    const size_t h2 = std::hash<const void*>()(k.b);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+struct PairBoundsValue {
+  double mn = 0.0;
+  double mx = 0.0;
+};
+
+}  // namespace
+
+/// The working memory behind the public ProbeScratch handle. Entry pair
+/// bounds are pure functions of immutable tree nodes, so the memos are safe
+/// to keep for as long as their scope allows: cand_bounds spans one
+/// candidate's two probes, pair_bounds spans one whole contribution-list
+/// query. clear() keeps hash-table buckets, which is the point of reuse.
+struct ProbeScratch::Impl {
+  std::unordered_set<const IurTree::Node*> self_path;
+  std::unordered_set<const IurTree::Node*> charged;
+  std::unordered_map<const IurTree::Entry*, CandPairBounds> cand_bounds;
+  bool self_tb_valid = false;
+  TextBounds self_tb;
+  std::unordered_map<EntryPairKey, PairBoundsValue, EntryPairKeyHash>
+      pair_bounds;
+
+  void ResetForQuery() {
+    self_path.clear();
+    charged.clear();
+    pair_bounds.clear();
+    ResetForCandidate();
+  }
+  void ResetForCandidate() {
+    cand_bounds.clear();
+    self_tb_valid = false;
+  }
+};
+
+ProbeScratch::ProbeScratch() : impl_(std::make_unique<Impl>()) {}
+ProbeScratch::~ProbeScratch() = default;
+
+namespace {
+
+/// Per-query state threaded through the competitor probes. `mem` carries the
+/// query's excluded-path / charged-node sets and the per-candidate bound
+/// memo; one ProbeContext spans both probes of one candidate.
 struct ProbeContext {
   const Candidate* cand;
-  const std::unordered_set<const Node*>* exclude_path;
-  std::unordered_set<const Node*>* charged;
+  ProbeScratch::Impl* mem;
   const RstknnOptions* options;
 };
 
@@ -100,7 +168,7 @@ size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
                                         RstknnStats* stats) const {
   const ProbeContext& ctx = *static_cast<const ProbeContext*>(ctx_ptr);
   const Candidate& cand = *ctx.cand;
-  const auto& exclude_path = *ctx.exclude_path;
+  const auto& exclude_path = ctx.mem->self_path;
   const Entry& e = *cand.entry;
   const double alpha = scorer_->options().alpha;
   ++stats->probes;
@@ -108,17 +176,23 @@ size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
     // The branch-and-bound keeps every opened node resident for the whole
     // query (the contribution lists reference them), so each node costs its
     // I/O once per query regardless of how many probes revisit it.
-    if (ctx.charged->insert(node).second) {
+    if (ctx.mem->charged.insert(node).second) {
       ChargeNode(tree_, *ctx.options, node, stats);
     }
   };
 
   size_t count = 0;
   // Self term: the candidate's own other objects compete among themselves.
+  // The pair text bounds are threshold-independent, so the potential probe
+  // reuses what the guaranteed probe computed.
   uint32_t own = e.count() - (cand.contains_self ? 1 : 0);
   if (own > 1) {
-    const TextBounds tb = EntryPairTextBounds(e, e, scorer_->text());
-    ++stats->bound_computations;
+    if (!ctx.mem->self_tb_valid) {
+      ctx.mem->self_tb = EntryPairTextBounds(e, e, scorer_->text());
+      ctx.mem->self_tb_valid = true;
+      ++stats->bound_computations;
+    }
+    const TextBounds& tb = ctx.mem->self_tb;
     const double intra =
         guaranteed
             ? alpha * scorer_->SpatialSim(MaxDistance(e.rect, e.rect)) +
@@ -133,27 +207,36 @@ size_t RstknnSearcher::CountCompetitors(const void* ctx_ptr, double threshold,
   // Pair bounds with lazy cluster refinement: the cheap blended-summary
   // bound decides most entries outright; per-cluster bounds (up to
   // |clusters|^2 kernel evaluations) are computed only when the blended
-  // bound straddles the threshold and could change the outcome.
+  // bound straddles the threshold and could change the outcome. Results are
+  // memoized per candidate (keyed by the other entry) so the potential probe
+  // reuses the guaranteed probe's kernels; a pair refined once stays refined
+  // — tighter bounds are still valid brackets at the other threshold.
   auto pair_bounds = [&](const Entry& other) {
-    const double spatial_min =
-        alpha * scorer_->SpatialSim(MaxDistance(e.rect, other.rect));
-    const double spatial_max =
-        alpha * scorer_->SpatialSim(MinDistance(e.rect, other.rect));
-    ++stats->bound_computations;
-    double mn = spatial_min + (1.0 - alpha) *
-                                  scorer_->text().MinSim(e.summary,
-                                                         other.summary);
-    double mx = spatial_max + (1.0 - alpha) *
-                                  scorer_->text().MaxSim(e.summary,
-                                                         other.summary);
-    if (!other.clusters.empty() && mn <= threshold && mx > threshold) {
+    auto [it, inserted] = ctx.mem->cand_bounds.try_emplace(&other);
+    CandPairBounds& cb = it->second;
+    if (inserted) {
+      cb.spatial_min =
+          alpha * scorer_->SpatialSim(MaxDistance(e.rect, other.rect));
+      cb.spatial_max =
+          alpha * scorer_->SpatialSim(MinDistance(e.rect, other.rect));
+      ++stats->bound_computations;
+      cb.mn = cb.spatial_min + (1.0 - alpha) *
+                                   scorer_->text().MinSim(e.summary,
+                                                          other.summary);
+      cb.mx = cb.spatial_max + (1.0 - alpha) *
+                                   scorer_->text().MaxSim(e.summary,
+                                                          other.summary);
+    }
+    if (!cb.refined && !other.clusters.empty() && cb.mn <= threshold &&
+        cb.mx > threshold) {
       const TextBounds tb =
           EntryTextBoundsVsClusters(e.summary, other, scorer_->text());
       ++stats->bound_computations;
-      mn = spatial_min + (1.0 - alpha) * tb.min_sim;
-      mx = spatial_max + (1.0 - alpha) * tb.max_sim;
+      cb.mn = cb.spatial_min + (1.0 - alpha) * tb.min_sim;
+      cb.mx = cb.spatial_max + (1.0 - alpha) * tb.max_sim;
+      cb.refined = true;
     }
-    return std::make_pair(mn, mx);
+    return std::make_pair(cb.mn, cb.mx);
   };
 
   auto is_own_subtree = [&](const Node* node) {
@@ -222,6 +305,18 @@ void RstknnStats::Publish(const std::string& prefix) const {
   io.Publish(prefix + ".io");
 }
 
+RstknnStats& RstknnStats::Merge(const RstknnStats& other) {
+  io += other.io;
+  entries_created += other.entries_created;
+  expansions += other.expansions;
+  pruned_entries += other.pruned_entries;
+  reported_entries += other.reported_entries;
+  bound_computations += other.bound_computations;
+  probes += other.probes;
+  pq_pops += other.pq_pops;
+  return *this;
+}
+
 RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
                                     const RstknnOptions& options) const {
   // Handles are cached so the per-query registry cost is two atomic adds
@@ -250,10 +345,12 @@ RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
                  ? SearchContributionList(query, options)
                  : SearchProbe(query, options);
   }
-  metrics.queries.Increment();
-  metrics.answers.Add(result.answers.size());
-  metrics.latency_ms.Record(timer.ElapsedMillis());
-  result.stats.Publish("rstknn");
+  if (options.publish_metrics) {
+    metrics.queries.Increment();
+    metrics.answers.Add(result.answers.size());
+    metrics.latency_ms.Record(timer.ElapsedMillis());
+    result.stats.Publish("rstknn");
+  }
   return result;
 }
 
@@ -266,11 +363,19 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
   const double alpha = scorer_->options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
 
-  std::unordered_set<const Node*> self_path;
+  // Working memory: reuse the caller's scratch (clearing keeps hash-table
+  // buckets warm across a batch) or allocate a query-local one.
+  std::unique_ptr<ProbeScratch> local_scratch;
+  if (options.scratch == nullptr) local_scratch = std::make_unique<ProbeScratch>();
+  ProbeScratch::Impl* mem =
+      (options.scratch != nullptr ? options.scratch : local_scratch.get())
+          ->impl_.get();
+  mem->ResetForQuery();
+  std::unordered_set<const Node*>& self_path = mem->self_path;
   if (query.self != IurTree::kNoObject) {
     CollectPath(tree_->root(), query.self, &self_path);
   }
-  std::unordered_set<const Node*> charged;  // nodes already paid for
+  std::unordered_set<const Node*>& charged = mem->charged;  // nodes paid for
 
   // Candidates live in a deque-like pool; the work queue orders them by a
   // static priority (upper-bound similarity to q, optionally biased by
@@ -325,7 +430,8 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
 
     // Prune test: at least k competitors are guaranteed to beat q for every
     // object of the candidate (MaxST(q,E) < kNNL(E)).
-    const ProbeContext ctx{cand, &self_path, &charged, &options};
+    mem->ResetForCandidate();
+    const ProbeContext ctx{cand, mem, &options};
     size_t guaranteed;
     {
       obs::TraceSpan span(trace, "probe.guaranteed");
@@ -421,11 +527,17 @@ RstknnResult RstknnSearcher::SearchContributionList(
   const double alpha = scorer_->options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
 
-  std::unordered_set<const Node*> self_path;
+  std::unique_ptr<ProbeScratch> local_scratch;
+  if (options.scratch == nullptr) local_scratch = std::make_unique<ProbeScratch>();
+  ProbeScratch::Impl* mem =
+      (options.scratch != nullptr ? options.scratch : local_scratch.get())
+          ->impl_.get();
+  mem->ResetForQuery();
+  std::unordered_set<const Node*>& self_path = mem->self_path;
   if (query.self != IurTree::kNoObject) {
     CollectPath(tree_->root(), query.self, &self_path);
   }
-  std::unordered_set<const Node*> charged;
+  std::unordered_set<const Node*>& charged = mem->charged;
 
   enum class State { kUndecided, kPruned, kReported };
   struct FlatEntry {
@@ -477,17 +589,26 @@ RstknnResult RstknnSearcher::SearchContributionList(
     span.AddCount("entries", child_node->entries.size());
   };
 
+  // Pair bounds are pure functions of the two (immutable) entries, and each
+  // pick recomputes its list against every live entry — memoizing across
+  // picks turns the per-round cost from |live|² kernel evaluations into
+  // lookups for every pair already seen.
   auto pair_bounds = [&](const FlatEntry& a, const FlatEntry& b) {
-    const TextBounds tb =
-        EntryPairTextBounds(*a.entry, *b.entry, scorer_->text());
-    ++result.stats.bound_computations;
-    const double mn =
-        alpha * scorer_->SpatialSim(MaxDistance(a.entry->rect, b.entry->rect)) +
-        (1.0 - alpha) * tb.min_sim;
-    const double mx =
-        alpha * scorer_->SpatialSim(MinDistance(a.entry->rect, b.entry->rect)) +
-        (1.0 - alpha) * tb.max_sim;
-    return std::make_pair(mn, mx);
+    auto [it, inserted] = mem->pair_bounds.try_emplace({a.entry, b.entry});
+    if (inserted) {
+      const TextBounds tb =
+          EntryPairTextBounds(*a.entry, *b.entry, scorer_->text());
+      ++result.stats.bound_computations;
+      it->second.mn =
+          alpha *
+              scorer_->SpatialSim(MaxDistance(a.entry->rect, b.entry->rect)) +
+          (1.0 - alpha) * tb.min_sim;
+      it->second.mx =
+          alpha *
+              scorer_->SpatialSim(MinDistance(a.entry->rect, b.entry->rect)) +
+          (1.0 - alpha) * tb.max_sim;
+    }
+    return std::make_pair(it->second.mn, it->second.mx);
   };
 
   charged.insert(tree_->root());

@@ -1,6 +1,7 @@
 #ifndef RST_RSTKNN_RSTKNN_H_
 #define RST_RSTKNN_RSTKNN_H_
 
+#include <memory>
 #include <vector>
 
 #include "rst/data/dataset.h"
@@ -50,6 +51,28 @@ enum class ExpandPolicy {
   kTextEntropy,
 };
 
+/// Reusable per-thread working memory for RstknnSearcher: the query-path /
+/// charged-node hash sets and the per-candidate bound-memoization cache that
+/// the probes allocate. A searcher given a scratch clears it instead of
+/// reallocating, so hash-table buckets survive across the queries of a batch.
+/// A ProbeScratch may be reused across queries but must never be shared by
+/// two concurrent queries — rst::exec::BatchRunner keeps one per worker.
+class ProbeScratch {
+ public:
+  ProbeScratch();
+  ~ProbeScratch();
+
+  ProbeScratch(const ProbeScratch&) = delete;
+  ProbeScratch& operator=(const ProbeScratch&) = delete;
+
+  /// Internal state, defined in rstknn.cc (opaque to callers).
+  struct Impl;
+
+ private:
+  friend class RstknnSearcher;
+  std::unique_ptr<Impl> impl_;
+};
+
 struct RstknnOptions {
   RstknnAlgorithm algorithm = RstknnAlgorithm::kProbe;
   ExpandPolicy expand = ExpandPolicy::kBestFirst;
@@ -64,6 +87,14 @@ struct RstknnOptions {
   /// instead of the simulated ChargeAccess. The pool must wrap the tree's
   /// page store and the tree must have finalized storage.
   BufferPool* pool = nullptr;
+  /// Optional reusable working memory (see ProbeScratch). Null allocates
+  /// fresh scratch per query — correct, just slower for batches.
+  ProbeScratch* scratch = nullptr;
+  /// When false, Search() skips the per-query registry publish (rstknn.*
+  /// counters and the latency histogram). Batch execution sets this so a
+  /// batch lands in the registry as ONE aggregated publish instead of N
+  /// per-query ones; the returned RstknnStats are unaffected.
+  bool publish_metrics = true;
 };
 
 struct RstknnStats {
@@ -80,6 +111,9 @@ struct RstknnStats {
   /// registry under `prefix`: e.g. "rstknn" yields rstknn.expansions, ...,
   /// rstknn.io.node_reads. The searchers call this once per completed query.
   void Publish(const std::string& prefix) const;
+
+  /// Accumulates another query's stats into this one (batch aggregation).
+  RstknnStats& Merge(const RstknnStats& other);
 };
 
 struct RstknnResult {

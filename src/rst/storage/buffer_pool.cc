@@ -1,6 +1,7 @@
 #include "rst/storage/buffer_pool.h"
 
 #include <cassert>
+#include <mutex>
 
 #include "rst/common/stopwatch.h"
 #include "rst/obs/trace.h"
@@ -18,52 +19,56 @@ BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
                                    obs::HistogramSpec::LatencyMs());
 }
 
-void BufferPool::Touch(PageId key, Entry* entry) {
-  if (entry->in_lru) {
-    lru_.erase(entry->lru_pos);
-  }
-  lru_.push_front(key);
-  entry->lru_pos = lru_.begin();
-  entry->in_lru = true;
+size_t BufferPool::resident_payloads() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
 }
 
-void BufferPool::EvictUntilFits(size_t incoming_pages) {
-  while (used_pages_ + incoming_pages > capacity_pages_ && !lru_.empty()) {
-    // Scan from the least-recently-used end for an unpinned victim.
-    auto it = lru_.end();
-    bool evicted = false;
-    while (it != lru_.begin()) {
-      --it;
-      auto entry_it = entries_.find(*it);
-      assert(entry_it != entries_.end());
-      if (entry_it->second.pin_count == 0) {
-        used_pages_ -= entry_it->second.num_pages;
-        lru_.erase(it);
-        entries_.erase(entry_it);
-        ++evictions_;
-        evictions_counter_.Increment();
-        evicted = true;
-        break;
+void BufferPool::EvictUntilFitsLocked(size_t incoming_pages) {
+  while (used_pages_.load(std::memory_order_relaxed) + incoming_pages >
+         capacity_pages_) {
+    // The unpinned entry with the smallest recency stamp IS the
+    // least-recently-used victim the old intrusive list produced.
+    auto victim = entries_.end();
+    uint64_t victim_stamp = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const Entry& entry = *it->second;
+      if (entry.pin_count.load(std::memory_order_relaxed) != 0) continue;
+      const uint64_t stamp = entry.last_access.load(std::memory_order_relaxed);
+      if (victim == entries_.end() || stamp < victim_stamp) {
+        victim = it;
+        victim_stamp = stamp;
       }
     }
-    if (!evicted) break;  // everything pinned; admit over capacity
+    if (victim == entries_.end()) break;  // everything pinned; admit over cap
+    used_pages_.fetch_sub(victim->second->num_pages,
+                          std::memory_order_relaxed);
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_counter_.Increment();
   }
 }
 
 Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
     const PageHandle& handle, IoStats* stats) {
-  auto it = entries_.find(handle.first_page);
-  if (it != entries_.end()) {
-    ++hits_;
-    hits_counter_.Increment();
-    hit_rate_gauge_.Set(hit_rate());
-    if (stats != nullptr) stats->AddCacheHit();
-    Touch(handle.first_page, &it->second);
-    return it->second.payload;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(handle.first_page);
+    if (it != entries_.end()) {
+      Entry& entry = *it->second;
+      entry.last_access.store(NextStamp(), std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_counter_.Increment();
+      hit_rate_gauge_.Set(hit_rate());
+      if (stats != nullptr) stats->AddCacheHit();
+      return entry.payload;  // shared_ptr copy under the shared lock
+    }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   misses_counter_.Increment();
   hit_rate_gauge_.Set(hit_rate());
+  // The store read happens outside any pool lock so concurrent misses fill
+  // in parallel; a payload raced in by another thread is adopted below.
   auto payload = std::make_shared<std::string>();
   Stopwatch fill_timer;
   Status s;
@@ -75,44 +80,63 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
   if (!s.ok()) return s;
   std::shared_ptr<const std::string> shared = std::move(payload);
   if (capacity_pages_ == 0) return shared;  // caching disabled
-  EvictUntilFits(handle.num_pages);
-  Entry entry;
-  entry.payload = shared;
-  entry.num_pages = handle.num_pages;
-  auto [pos, inserted] = entries_.emplace(handle.first_page, std::move(entry));
-  assert(inserted);
-  used_pages_ += handle.num_pages;
-  Touch(handle.first_page, &pos->second);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(handle.first_page);
+  if (it != entries_.end()) {
+    // Lost the fill race: keep the resident copy (it may be pinned).
+    it->second->last_access.store(NextStamp(), std::memory_order_relaxed);
+    return it->second->payload;
+  }
+  EvictUntilFitsLocked(handle.num_pages);
+  auto entry = std::make_unique<Entry>();
+  entry->payload = shared;
+  entry->num_pages = handle.num_pages;
+  entry->last_access.store(NextStamp(), std::memory_order_relaxed);
+  used_pages_.fetch_add(handle.num_pages, std::memory_order_relaxed);
+  entries_.emplace(handle.first_page, std::move(entry));
   return shared;
 }
 
 Status BufferPool::Pin(const PageHandle& handle, IoStats* stats) {
-  auto it = entries_.find(handle.first_page);
-  if (it == entries_.end()) {
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = entries_.find(handle.first_page);
+      if (it != entries_.end()) {
+        it->second->pin_count.fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      }
+    }
     auto fetched = Fetch(handle, stats);
     if (!fetched.ok()) return fetched.status();
-    it = entries_.find(handle.first_page);
-    if (it == entries_.end()) {
+    if (capacity_pages_ == 0) {
       return Status::FailedPrecondition("cannot pin with caching disabled");
     }
+    // Retry: the fetched payload could have been evicted before we pin it.
   }
-  ++it->second.pin_count;
-  return Status::Ok();
 }
 
 Status BufferPool::Unpin(const PageHandle& handle) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(handle.first_page);
-  if (it == entries_.end() || it->second.pin_count == 0) {
+  if (it == entries_.end()) {
     return Status::FailedPrecondition("unpin of non-pinned payload");
   }
-  --it->second.pin_count;
+  // CAS so concurrent unpins cannot drive the count below zero.
+  uint32_t pins = it->second->pin_count.load(std::memory_order_relaxed);
+  do {
+    if (pins == 0) {
+      return Status::FailedPrecondition("unpin of non-pinned payload");
+    }
+  } while (!it->second->pin_count.compare_exchange_weak(
+      pins, pins - 1, std::memory_order_relaxed));
   return Status::Ok();
 }
 
 void BufferPool::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
-  lru_.clear();
-  used_pages_ = 0;
+  used_pages_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rst

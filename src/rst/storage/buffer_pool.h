@@ -1,8 +1,9 @@
 #ifndef RST_STORAGE_BUFFER_POOL_H_
 #define RST_STORAGE_BUFFER_POOL_H_
 
-#include <list>
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -21,6 +22,23 @@ class QueryTrace;
 /// the unit of access for tree nodes and inverted files); capacity is counted
 /// in pages. Fetch returns a shared payload that remains valid after
 /// eviction. Pinned payloads are never evicted.
+///
+/// Thread safety: safe for concurrent readers (Fetch/Pin/Unpin from any
+/// number of threads). The hit path takes only a shared lock — recency is an
+/// atomic stamp per entry (from a global atomic clock) instead of a linked
+/// list, so hits never mutate shared structure. Misses read the PageStore
+/// outside any lock, then insert under the exclusive lock; two threads
+/// missing the same payload concurrently may both read the store (each
+/// counted as a miss — accounting stays consistent: hits + misses ==
+/// accesses), after which one copy is adopted. Eviction picks the unpinned
+/// entry with the smallest stamp, which is exactly the list-LRU victim, so
+/// single-threaded behavior (victim order, admit-over-capacity when all
+/// pinned, capacity 0 disabling caching) is unchanged.
+///
+/// `set_trace` remains single-threaded by design (QueryTrace is not
+/// thread-safe): attach a trace only when one thread uses the pool. IoStats
+/// passed to Fetch/Pin are charged per caller and are not shared between
+/// threads.
 class BufferPool {
  public:
   /// `store` must outlive the pool. `capacity_pages` == 0 disables caching
@@ -40,21 +58,26 @@ class BufferPool {
   Status Unpin(const PageHandle& handle);
 
   size_t capacity_pages() const { return capacity_pages_; }
-  size_t used_pages() const { return used_pages_; }
-  size_t resident_payloads() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t used_pages() const {
+    return used_pages_.load(std::memory_order_relaxed);
+  }
+  size_t resident_payloads() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   /// hits / (hits + misses); 0 before the first access.
   double hit_rate() const {
-    return hits_ + misses_ == 0
+    const uint64_t h = hits();
+    const uint64_t m = misses();
+    return h + m == 0
                ? 0.0
-               : static_cast<double>(hits_) /
-                     static_cast<double>(hits_ + misses_);
+               : static_cast<double>(h) / static_cast<double>(h + m);
   }
 
   /// Attaches a query trace: miss fills then record `buffer_pool.fill`
-  /// spans. Null detaches (the default).
+  /// spans. Null detaches (the default). Single-threaded use only.
   void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
   obs::QueryTrace* trace() const { return trace_; }
 
@@ -64,22 +87,30 @@ class BufferPool {
   struct Entry {
     std::shared_ptr<const std::string> payload;
     uint32_t num_pages = 0;
-    uint32_t pin_count = 0;
-    std::list<PageId>::iterator lru_pos;
-    bool in_lru = false;
+    std::atomic<uint32_t> pin_count{0};
+    /// Recency stamp from clock_; larger = more recent. Atomic so the
+    /// shared-lock hit path can refresh it.
+    std::atomic<uint64_t> last_access{0};
   };
 
-  void Touch(PageId key, Entry* entry);
-  void EvictUntilFits(size_t incoming_pages);
+  uint64_t NextStamp() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Requires mu_ held exclusively.
+  void EvictUntilFitsLocked(size_t incoming_pages);
 
   const PageStore* store_;
-  size_t capacity_pages_;
-  size_t used_pages_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  std::unordered_map<PageId, Entry> entries_;
-  std::list<PageId> lru_;  // front = most recent
+  const size_t capacity_pages_;
+  std::atomic<size_t> used_pages_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> clock_{0};
+  mutable std::shared_mutex mu_;
+  /// Entries are heap-allocated so their atomics keep a stable address
+  /// across map rehashes. Guarded by mu_ (shared for lookup, exclusive for
+  /// insert/erase).
+  std::unordered_map<PageId, std::unique_ptr<Entry>> entries_;
   obs::QueryTrace* trace_ = nullptr;
   /// Registry handles (storage.buffer_pool.*), shared by all pools.
   obs::Counter hits_counter_;

@@ -6,6 +6,74 @@
 
 namespace rst {
 
+namespace {
+
+/// Skew ratio |large| / |small| above which the merge kernels switch from
+/// the linear two-pointer walk to galloping (exponential + binary search)
+/// over the large side. Below it the branch-predictable linear walk wins;
+/// above it the cost drops from O(|a|+|b|) to O(|small| · log |large|).
+/// The crossover matters in practice: node summaries near the IUR-tree root
+/// union thousands of terms while leaf documents and intersection summaries
+/// hold a handful.
+constexpr size_t kGallopRatio = 16;
+
+bool Skewed(size_t small, size_t large) {
+  return small * kGallopRatio < large;
+}
+
+/// First element of [first, last) with term >= `term`: doubling probes
+/// narrow an octave, then binary search inside it. Amortized O(log gap)
+/// when called with monotonically increasing `term` and an advancing
+/// `first`.
+const TermWeight* GallopLowerBound(const TermWeight* first,
+                                   const TermWeight* last, TermId term) {
+  if (first == last || first->term >= term) return first;
+  // Invariant entering the search: (first + step/2)->term < term.
+  size_t step = 1;
+  while (first + step < last && (first + step)->term < term) step <<= 1;
+  const TermWeight* lo = first + (step >> 1) + 1;
+  const TermWeight* hi = std::min(first + step, last);
+  const TermWeight* pos = std::lower_bound(
+      lo, hi, term,
+      [](const TermWeight& e, TermId t) { return e.term < t; });
+  // All of [lo, hi) < term means the probe element (== hi) is the answer.
+  return pos;
+}
+
+double DotGalloped(const std::vector<TermWeight>& small,
+                   const std::vector<TermWeight>& large) {
+  double dot = 0.0;
+  const TermWeight* cur = large.data();
+  const TermWeight* end = large.data() + large.size();
+  for (const TermWeight& e : small) {
+    cur = GallopLowerBound(cur, end, e.term);
+    if (cur == end) break;
+    if (cur->term == e.term) {
+      dot += static_cast<double>(e.weight) * cur->weight;
+      ++cur;
+    }
+  }
+  return dot;
+}
+
+size_t OverlapGalloped(const std::vector<TermWeight>& small,
+                       const std::vector<TermWeight>& large) {
+  size_t overlap = 0;
+  const TermWeight* cur = large.data();
+  const TermWeight* end = large.data() + large.size();
+  for (const TermWeight& e : small) {
+    cur = GallopLowerBound(cur, end, e.term);
+    if (cur == end) break;
+    if (cur->term == e.term) {
+      ++overlap;
+      ++cur;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
+
 TermVector TermVector::FromUnsorted(std::vector<TermWeight> entries) {
   std::sort(entries.begin(), entries.end(),
             [](const TermWeight& a, const TermWeight& b) {
@@ -61,6 +129,12 @@ float TermVector::Get(TermId term) const {
 bool TermVector::Contains(TermId term) const { return Get(term) > 0.0f; }
 
 double TermVector::Dot(const TermVector& other) const {
+  if (Skewed(entries_.size(), other.entries_.size())) {
+    return DotGalloped(entries_, other.entries_);
+  }
+  if (Skewed(other.entries_.size(), entries_.size())) {
+    return DotGalloped(other.entries_, entries_);
+  }
   double dot = 0.0;
   auto a = entries_.begin();
   auto b = other.entries_.begin();
@@ -79,6 +153,12 @@ double TermVector::Dot(const TermVector& other) const {
 }
 
 size_t TermVector::OverlapCount(const TermVector& other) const {
+  if (Skewed(entries_.size(), other.entries_.size())) {
+    return OverlapGalloped(entries_, other.entries_);
+  }
+  if (Skewed(other.entries_.size(), entries_.size())) {
+    return OverlapGalloped(other.entries_, entries_);
+  }
   size_t overlap = 0;
   auto a = entries_.begin();
   auto b = other.entries_.begin();
@@ -96,7 +176,37 @@ size_t TermVector::OverlapCount(const TermVector& other) const {
   return overlap;
 }
 
+namespace {
+
+/// Skewed union: walk the small side and bulk-copy the runs of the large
+/// side between its terms — the runs are trivially-copyable memmoves instead
+/// of per-element compare/branch steps.
+TermVector UnionMaxSkewed(const std::vector<TermWeight>& small,
+                          const std::vector<TermWeight>& large) {
+  std::vector<TermWeight> out;
+  out.reserve(small.size() + large.size());
+  const TermWeight* cur = large.data();
+  const TermWeight* end = large.data() + large.size();
+  for (const TermWeight& e : small) {
+    const TermWeight* pos = GallopLowerBound(cur, end, e.term);
+    out.insert(out.end(), cur, pos);
+    if (pos != end && pos->term == e.term) {
+      out.push_back({e.term, std::max(e.weight, pos->weight)});
+      cur = pos + 1;
+    } else {
+      out.push_back(e);
+      cur = pos;
+    }
+  }
+  out.insert(out.end(), cur, end);
+  return TermVector::FromSorted(std::move(out));
+}
+
+}  // namespace
+
 TermVector TermVector::UnionMax(const TermVector& a, const TermVector& b) {
+  if (Skewed(a.size(), b.size())) return UnionMaxSkewed(a.entries_, b.entries_);
+  if (Skewed(b.size(), a.size())) return UnionMaxSkewed(b.entries_, a.entries_);
   std::vector<TermWeight> out;
   out.reserve(a.size() + b.size());
   auto ia = a.entries_.begin();
@@ -116,7 +226,37 @@ TermVector TermVector::UnionMax(const TermVector& a, const TermVector& b) {
   return FromSorted(std::move(out));
 }
 
+namespace {
+
+/// Skewed intersection: the result can hold at most |small| terms, so walk
+/// the small side and gallop in the large one.
+TermVector IntersectMinGalloped(const std::vector<TermWeight>& small,
+                                const std::vector<TermWeight>& large) {
+  std::vector<TermWeight> out;
+  out.reserve(small.size());
+  const TermWeight* cur = large.data();
+  const TermWeight* end = large.data() + large.size();
+  for (const TermWeight& e : small) {
+    cur = GallopLowerBound(cur, end, e.term);
+    if (cur == end) break;
+    if (cur->term == e.term) {
+      const float w = std::min(e.weight, cur->weight);
+      if (w > 0.0f) out.push_back({e.term, w});
+      ++cur;
+    }
+  }
+  return TermVector::FromSorted(std::move(out));
+}
+
+}  // namespace
+
 TermVector TermVector::IntersectMin(const TermVector& a, const TermVector& b) {
+  if (Skewed(a.size(), b.size())) {
+    return IntersectMinGalloped(a.entries_, b.entries_);
+  }
+  if (Skewed(b.size(), a.size())) {
+    return IntersectMinGalloped(b.entries_, a.entries_);
+  }
   std::vector<TermWeight> out;
   auto ia = a.entries_.begin();
   auto ib = b.entries_.begin();
@@ -136,6 +276,39 @@ TermVector TermVector::IntersectMin(const TermVector& a, const TermVector& b) {
 }
 
 TermVector TermVector::Restrict(const TermVector& filter) const {
+  if (Skewed(entries_.size(), filter.entries_.size())) {
+    // This vector is tiny: keep each of its entries whose term the filter
+    // contains, galloping through the filter.
+    std::vector<TermWeight> out;
+    out.reserve(entries_.size());
+    const TermWeight* cur = filter.entries_.data();
+    const TermWeight* end = cur + filter.entries_.size();
+    for (const TermWeight& e : entries_) {
+      cur = GallopLowerBound(cur, end, e.term);
+      if (cur == end) break;
+      if (cur->term == e.term) {
+        out.push_back(e);
+        ++cur;
+      }
+    }
+    return FromSorted(std::move(out));
+  }
+  if (Skewed(filter.entries_.size(), entries_.size())) {
+    // The filter is tiny: look each filter term up in this vector.
+    std::vector<TermWeight> out;
+    out.reserve(filter.entries_.size());
+    const TermWeight* cur = entries_.data();
+    const TermWeight* end = cur + entries_.size();
+    for (const TermWeight& e : filter.entries_) {
+      cur = GallopLowerBound(cur, end, e.term);
+      if (cur == end) break;
+      if (cur->term == e.term) {
+        out.push_back(*cur);
+        ++cur;
+      }
+    }
+    return FromSorted(std::move(out));
+  }
   std::vector<TermWeight> out;
   auto ia = entries_.begin();
   auto ib = filter.entries_.begin();

@@ -23,8 +23,12 @@ struct TermWeight {
 /// non-negative weights. This is the representation of both object documents
 /// and the intersection/union summaries stored in IUR-/MIR-tree nodes.
 ///
-/// All binary operations (dot product, union-max, intersect-min) run in
-/// O(|a| + |b|) by merging the sorted entry lists.
+/// All binary operations (dot product, union-max, intersect-min, restrict)
+/// merge the sorted entry lists. The merges are adaptive: balanced inputs
+/// take the linear two-pointer walk (O(|a| + |b|)); when one side is much
+/// shorter the kernel gallops (exponential + binary search) through the long
+/// side instead, costing O(|small| · log |large|) — the common shape when a
+/// leaf document meets a root-level union summary.
 class TermVector {
  public:
   TermVector() = default;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -337,6 +338,51 @@ TEST(TraceTest, ToStringShowsCallMultiplicity) {
   const std::string text = trace.ToString();
   EXPECT_NE(text.find("pop"), std::string::npos);
   EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetRacesWritersWithoutCorruption) {
+  // Backs the documented Reset() guarantee: concurrent handle updates plus
+  // Reset()/Snapshot() never tear a value. We cannot assert an exact final
+  // count (an in-flight add may land on either side of a reset), only that
+  // every observed value is one a sequential interleaving could produce.
+  MetricRegistry registry;
+  const Counter counter = registry.GetCounter("stress.counter");
+  const HistogramRef hist =
+      registry.GetHistogram("stress.hist", HistogramSpec::Linear(1.0, 1.0, 8));
+  constexpr size_t kWriters = 4;
+  constexpr uint64_t kAddsPerWriter = 20000;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kAddsPerWriter; ++i) {
+        counter.Add(1);
+        hist.Record(3.0);
+      }
+    });
+  }
+  std::thread resetter([&] {
+    for (int i = 0; i < 50; ++i) {
+      registry.Reset();
+      const MetricsSnapshot snap = registry.Snapshot();
+      const uint64_t c = snap.counters.at("stress.counter");
+      EXPECT_LE(c, kWriters * kAddsPerWriter);
+      const HistogramSnapshot& h = snap.histograms.at("stress.hist");
+      EXPECT_LE(h.count, kWriters * kAddsPerWriter);
+      // Every sample is 3.0; atomic (never torn) accumulation means the sum
+      // stays an exact multiple of 3 no matter how Reset interleaves.
+      EXPECT_DOUBLE_EQ(std::fmod(h.sum, 3.0), 0.0);
+      EXPECT_LE(h.sum, 3.0 * kWriters * kAddsPerWriter);
+    }
+  });
+  for (std::thread& th : writers) th.join();
+  resetter.join();
+
+  registry.Reset();
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("stress.counter"), 0u);
+  EXPECT_EQ(final_snap.histograms.at("stress.hist").count, 0u);
 }
 
 // --- JsonValue parser -----------------------------------------------------

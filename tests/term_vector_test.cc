@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "rst/common/rng.h"
 #include "rst/text/vocabulary.h"
 
@@ -108,6 +111,71 @@ TEST(TermVectorTest, UnionIntersectBracketProperty) {
         EXPECT_EQ(intr.Get(t), std::min(a.Get(t), b.Get(t)));
       } else {
         EXPECT_FALSE(intr.Contains(t));
+      }
+    }
+  }
+}
+
+// Reference two-pointer implementations the adaptive (galloping) kernels
+// must agree with at every skew ratio, including both sides of the
+// gallop-dispatch threshold.
+double RefDot(const TermVector& a, const TermVector& b) {
+  double dot = 0.0;
+  for (const TermWeight& e : a.entries()) {
+    dot += static_cast<double>(e.weight) * b.Get(e.term);
+  }
+  return dot;
+}
+
+size_t RefOverlap(const TermVector& a, const TermVector& b) {
+  size_t n = 0;
+  for (const TermWeight& e : a.entries()) n += b.Contains(e.term) ? 1 : 0;
+  return n;
+}
+
+TermVector RandomVec(Rng* rng, size_t size, TermId universe) {
+  std::vector<TermWeight> entries;
+  entries.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    entries.push_back(
+        {static_cast<TermId>(rng->UniformInt(uint64_t{universe})),
+         static_cast<float>(rng->Uniform(0.1, 4.0))});
+  }
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+TEST(TermVectorTest, SkewedKernelsMatchLinearReference) {
+  Rng rng(99);
+  // Size pairs straddling the galloping threshold (ratio 16): balanced,
+  // just-below, just-above, and extreme skew — in both argument orders.
+  const std::pair<size_t, size_t> shapes[] = {
+      {8, 8}, {8, 100}, {4, 65}, {3, 200}, {2, 1500}, {1, 40}, {0, 50}};
+  for (const auto& [small, large] : shapes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const TermVector a = RandomVec(&rng, small, 4000);
+      const TermVector b = RandomVec(&rng, large, 4000);
+      for (const auto& [x, y] : {std::pair(a, b), std::pair(b, a)}) {
+        EXPECT_NEAR(x.Dot(y), RefDot(x, y), 1e-9);
+        EXPECT_EQ(x.OverlapCount(y), RefOverlap(x, y));
+
+        const TermVector inter = TermVector::IntersectMin(x, y);
+        const TermVector uni = TermVector::UnionMax(x, y);
+        for (const TermWeight& e : inter.entries()) {
+          EXPECT_EQ(e.weight, std::min(x.Get(e.term), y.Get(e.term)));
+        }
+        EXPECT_EQ(inter.size(), RefOverlap(x, y));
+        for (const TermWeight& e : uni.entries()) {
+          EXPECT_EQ(e.weight, std::max(x.Get(e.term), y.Get(e.term)));
+        }
+        size_t distinct = x.size() + y.size() - RefOverlap(x, y);
+        EXPECT_EQ(uni.size(), distinct);
+
+        const TermVector restricted = x.Restrict(y);
+        EXPECT_EQ(restricted.size(), RefOverlap(x, y));
+        for (const TermWeight& e : restricted.entries()) {
+          EXPECT_EQ(e.weight, x.Get(e.term));  // keeps x's weights
+          EXPECT_TRUE(y.Contains(e.term));
+        }
       }
     }
   }

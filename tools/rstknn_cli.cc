@@ -6,6 +6,11 @@
 //   rstknn_cli stats    --data F
 //   rstknn_cli topk     --data F --x X --y Y --keywords "1 2 3" --k K
 //   rstknn_cli rstknn   --data F (--id QID | --x X --y Y --keywords "...") --k K
+//                       batch mode: --ids "3 5 7" [--threads N] evaluates
+//                       the listed query objects through the rst::exec
+//                       BatchRunner (N concurrent workers, default 1) and
+//                       prints "<query_id>\t<answer_id>" per answer; results
+//                       are identical to running each id serially.
 //   rstknn_cli maxbrst  --data F --users F2 --locations "x:y;x:y"
 //                       --keywords "1 2 3" --ws W --k K [--method exact]
 //
@@ -32,6 +37,7 @@
 #include "rst/common/stopwatch.h"
 #include "rst/data/csv.h"
 #include "rst/data/generators.h"
+#include "rst/exec/batch_runner.h"
 #include "rst/maxbrst/maxbrst.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
@@ -311,6 +317,70 @@ int CmdTopK(const Flags& flags) {
   return EmitObsArtifacts(obs_flags, "topk", &trace);
 }
 
+/// Batch mode (--ids): evaluates every listed query object through the
+/// BatchRunner. Traces are single-threaded by design, so --trace only
+/// annotates the artifact with the batch, not per-query spans.
+int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
+                   const IurTree& tree, const StScorer& scorer) {
+  std::vector<ObjectId> ids;
+  for (TermId t : ParseTerms(flags.Get("ids", ""))) {
+    ids.push_back(static_cast<ObjectId>(t));
+  }
+  if (ids.empty()) {
+    std::fprintf(stderr, "--ids must list at least one object id\n");
+    return 2;
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  std::vector<RstknnQuery> queries;
+  queries.reserve(ids.size());
+  for (ObjectId qid : ids) {
+    if (qid >= dataset.size()) {
+      std::fprintf(stderr, "--ids entry %u out of range\n", qid);
+      return 2;
+    }
+    queries.push_back(
+        {dataset.object(qid).loc, &dataset.object(qid).doc, k, qid});
+  }
+
+  const ObsFlags obs_flags(flags);
+  RstknnOptions options;
+  BufferPool pool(&tree.page_store(), obs_flags.pool_pages);
+  if (!obs_flags.metrics_out.empty()) options.pool = &pool;
+
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  exec::ThreadPool thread_pool(threads);
+  const exec::BatchRunner runner(&tree, &dataset, &scorer, &thread_pool);
+  exec::BatchStats batch_stats;
+  const std::vector<RstknnResult> results =
+      runner.RunRstknn(queries, options, &batch_stats);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (ObjectId id : results[i].answers) {
+      std::printf("%u\t%u\n", ids[i], id);
+    }
+  }
+  double busy_ms = 0.0;
+  for (double ms : batch_stats.worker_busy_ms) busy_ms += ms;
+  std::fprintf(stderr,
+               "%llu reverse neighbors across %zu queries in %.2f ms wall "
+               "(%zu threads, %.2f ms busy, %llu I/Os)\n",
+               static_cast<unsigned long long>(batch_stats.answers),
+               queries.size(), batch_stats.wall_ms, thread_pool.num_threads(),
+               busy_ms,
+               static_cast<unsigned long long>(
+                   batch_stats.total.io.TotalIos()));
+  if (options.pool != nullptr) {
+    std::fprintf(stderr, "buffer pool: %llu hits, %llu misses, %llu evictions "
+                 "(%.1f%% hit rate)\n",
+                 static_cast<unsigned long long>(pool.hits()),
+                 static_cast<unsigned long long>(pool.misses()),
+                 static_cast<unsigned long long>(pool.evictions()),
+                 100.0 * pool.hit_rate());
+  }
+  obs::QueryTrace trace("rstknn");  // batch runs carry no per-query spans
+  return EmitObsArtifacts(obs_flags, "rstknn", &trace);
+}
+
 int CmdRstknn(const Flags& flags) {
   auto data = LoadData(flags);
   if (!data.ok()) {
@@ -322,6 +392,7 @@ int CmdRstknn(const Flags& flags) {
   TextSimilarity sim(ParseMeasure(flags, TextMeasure::kExtendedJaccard),
                      &dataset.corpus_max());
   StScorer scorer(&sim, {flags.GetDouble("alpha", 0.5), dataset.max_dist()});
+  if (flags.Has("ids")) return CmdRstknnBatch(flags, dataset, tree, scorer);
   RstknnSearcher searcher(&tree, &dataset, &scorer);
 
   RstknnQuery query;
