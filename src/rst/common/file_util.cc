@@ -1,0 +1,58 @@
+#include "rst/common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace rst {
+
+namespace {
+
+std::string ErrnoMessage(std::string_view action, const std::string& path) {
+  std::string msg;
+  msg.append(action);
+  msg.append(" '");
+  msg.append(path);
+  msg.append("': ");
+  msg.append(std::strerror(errno));
+  return msg;
+}
+
+}  // namespace
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument(ErrnoMessage("cannot open for write", path));
+  }
+  const size_t written = content.empty()
+                             ? 0
+                             : std::fwrite(content.data(), 1, content.size(), f);
+  const bool write_ok = written == content.size();
+  const bool close_ok = std::fclose(f) == 0;
+  if (!write_ok || !close_ok) {
+    return Status::Internal(ErrnoMessage("short write to", path));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(ErrnoMessage("cannot open for read", path));
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    return Status::Internal(ErrnoMessage("read error on", path));
+  }
+  return content;
+}
+
+}  // namespace rst

@@ -1,9 +1,13 @@
 #include "rst/exec/batch_runner.h"
 
 #include <memory>
+#include <utility>
 
 #include "rst/common/stopwatch.h"
+#include "rst/obs/explain.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/slow_log.h"
+#include "rst/obs/trace.h"
 
 namespace rst {
 namespace exec {
@@ -64,17 +68,42 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
     scratches.push_back(std::make_unique<ProbeScratch>());
   }
 
+  // Slow-query capture: one shared (read-only) explain index for the whole
+  // batch; each query owns a PRIVATE trace + recorder, so the single-threaded
+  // trace contract holds even though the batch is parallel.
+  std::unique_ptr<ExplainIndex> explain_index;
+  if (slow_log_ != nullptr) explain_index = std::make_unique<ExplainIndex>(*tree_);
+
   const RstknnSearcher searcher(tree_, dataset_, scorer_);
   Stopwatch wall;
   pool_->ParallelFor(
       queries.size(), /*chunk=*/1, [&](size_t i, size_t w) {
         Stopwatch query_timer;
         RstknnOptions worker_options = options;
-        worker_options.trace = nullptr;  // traces are single-threaded
+        worker_options.trace = nullptr;  // a shared trace would race
         worker_options.scratch = scratches[w].get();
         worker_options.publish_metrics = false;
+        std::unique_ptr<obs::QueryTrace> trace;
+        obs::ExplainRecorder recorder;
+        if (slow_log_ != nullptr) {
+          trace = std::make_unique<obs::QueryTrace>("rstknn.batch");
+          worker_options.trace = trace.get();
+          worker_options.explain = &recorder;
+          worker_options.explain_index = explain_index.get();
+        }
         results[i] = searcher.Search(queries[i], worker_options);
         const double ms = query_timer.ElapsedMillis();
+        if (slow_log_ != nullptr && slow_log_->ShouldCapture(ms)) {
+          trace->Finish();
+          obs::SlowQueryRecord record;
+          record.query_index = i;
+          record.label = "rstknn.batch";
+          record.elapsed_ms = ms;
+          record.answers = results[i].answers.size();
+          record.trace_json = trace->ToJson();
+          record.explain_json = recorder.ToJson();
+          slow_log_->Insert(std::move(record));
+        }
         metrics.rstknn_query_ms.Record(ms);
         slots[w].busy_ms += ms;
         slots[w].answers += results[i].answers.size();

@@ -10,6 +10,11 @@
 #include "rst/topk/topk.h"
 
 namespace rst {
+
+namespace obs {
+class SlowQueryLog;
+}  // namespace obs
+
 namespace exec {
 
 /// Aggregate accounting for one batch run.
@@ -36,10 +41,13 @@ struct BatchStats {
 /// What is shared vs. per-worker: the tree, dataset, scorer and (optional)
 /// BufferPool are shared read-only/thread-safe; each worker owns a
 /// ProbeScratch, an RstknnStats accumulator and a busy-time stopwatch, so
-/// the query hot path takes no locks. Query traces are single-threaded by
-/// design and therefore ignored in batch mode (options.trace is forced to
-/// null). Per-query registry publishes are suppressed and replaced by ONE
-/// per-batch aggregated publish (rstknn.* totals plus exec.batch.* timings).
+/// the query hot path takes no locks. A caller-supplied options.trace would
+/// be SHARED across workers — traces are single-threaded by design, so it is
+/// forced to null; with a slow-query log attached (set_slow_log) each query
+/// instead gets its own private QueryTrace + ExplainRecorder, which is safe,
+/// and over-threshold queries are captured in full. Per-query registry
+/// publishes are suppressed and replaced by ONE per-batch aggregated publish
+/// (rstknn.* totals plus exec.batch.* timings).
 class BatchRunner {
  public:
   /// All referents must outlive the runner. `pool` is borrowed, not owned —
@@ -48,9 +56,16 @@ class BatchRunner {
               const StScorer* scorer, ThreadPool* pool)
       : tree_(tree), dataset_(dataset), scorer_(scorer), pool_(pool) {}
 
-  /// Runs every query through RstknnSearcher::Search. `options.trace` and
-  /// `options.scratch` are overridden per worker; `options.pool` (real-I/O
-  /// mode) is honored and requires the concurrent-reader-safe BufferPool.
+  /// Attaches a slow-query capture sink for RunRstknn (see the class comment;
+  /// the log must outlive the runner's batches). Null disables capture — the
+  /// default, and the zero-overhead path. Read the log only between batches
+  /// (its Snapshot/ToJson are quiesced-only).
+  void set_slow_log(obs::SlowQueryLog* slow_log) { slow_log_ = slow_log; }
+
+  /// Runs every query through RstknnSearcher::Search. `options.trace`,
+  /// `options.scratch`, `options.explain` and `options.explain_index` are
+  /// overridden per worker; `options.pool` (real-I/O mode) is honored and
+  /// requires the concurrent-reader-safe BufferPool.
   std::vector<RstknnResult> RunRstknn(const std::vector<RstknnQuery>& queries,
                                       const RstknnOptions& options,
                                       BatchStats* batch_stats = nullptr) const;
@@ -68,6 +83,7 @@ class BatchRunner {
   const Dataset* dataset_;
   const StScorer* scorer_;
   ThreadPool* pool_;
+  obs::SlowQueryLog* slow_log_ = nullptr;
 };
 
 }  // namespace exec

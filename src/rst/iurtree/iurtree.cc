@@ -639,6 +639,32 @@ TextBounds EntryTextBounds(const IurTree::Entry& entry,
   return bounds;
 }
 
+ExplainIndex::ExplainIndex(const IurTree& tree) {
+  // Preorder over entries in node order: parents get smaller ids than their
+  // descendants, siblings number left to right — the same order every build
+  // of the same tree produces.
+  uint64_t next_id = 1;
+  struct Frame {
+    const IurTree::Node* node;
+    uint32_t level;
+  };
+  std::vector<Frame> stack;
+  if (tree.root() != nullptr) stack.push_back({tree.root(), 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    // Children are pushed in reverse so they pop in entry order; preorder ids
+    // still only depend on structure either way.
+    for (size_t i = frame.node->entries.size(); i-- > 0;) {
+      const IurTree::Entry& e = frame.node->entries[i];
+      if (!e.is_object()) stack.push_back({e.child.get(), frame.level + 1});
+    }
+    for (const IurTree::Entry& e : frame.node->entries) {
+      info_.emplace(&e, Info{next_id++, frame.level});
+    }
+  }
+}
+
 TextBounds EntryPairTextBounds(const IurTree::Entry& a, const IurTree::Entry& b,
                                const TextSimilarity& sim) {
   if (a.clusters.empty() && b.clusters.empty()) {

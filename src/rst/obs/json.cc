@@ -128,6 +128,11 @@ void JsonWriter::Null() {
   out_.append("null");
 }
 
+void JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  out_.append(json);
+}
+
 /// Recursive-descent parser over a string_view; positions are tracked for
 /// error messages.
 class JsonParser {

@@ -67,6 +67,10 @@ class JsonWriter {
   void Double(double value);
   void Bool(bool value);
   void Null();
+  /// Splices `json` in verbatim as one value (commas still handled). The
+  /// caller guarantees it is a complete, well-formed JSON value — used to
+  /// embed pre-serialized trace/explain documents without re-parsing.
+  void RawValue(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string TakeString() { return std::move(out_); }

@@ -116,8 +116,16 @@ void Histogram::Record(double value) {
   ++snap_.count;
 }
 
-void Histogram::Merge(const HistogramSnapshot& other) {
-  assert(other.bounds == snap_.bounds);
+Status Histogram::Merge(const HistogramSnapshot& other) {
+  if (other.bounds != snap_.bounds) {
+    return Status::InvalidArgument(
+        "histogram merge: bucket bounds mismatch (" +
+        std::to_string(other.bounds.size()) + " vs " +
+        std::to_string(snap_.bounds.size()) + " bounds)");
+  }
+  if (other.counts.size() != snap_.counts.size()) {
+    return Status::InvalidArgument("histogram merge: bucket count mismatch");
+  }
   for (size_t i = 0; i < snap_.counts.size(); ++i) {
     snap_.counts[i] += other.counts[i];
   }
@@ -132,6 +140,7 @@ void Histogram::Merge(const HistogramSnapshot& other) {
     }
   }
   snap_.count += other.count;
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------
@@ -373,7 +382,10 @@ std::string MetricsSnapshot::ToJson() const {
 Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
   auto parsed = JsonValue::Parse(json);
   if (!parsed.ok()) return parsed.status();
-  const JsonValue& root = parsed.value();
+  return FromJsonValue(parsed.value());
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJsonValue(const JsonValue& root) {
   if (!root.is_object()) return Status::Corruption("snapshot: not an object");
   MetricsSnapshot snap;
   if (const JsonValue* counters = root.Get("counters")) {

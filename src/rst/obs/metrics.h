@@ -12,6 +12,7 @@
 
 namespace rst::obs {
 
+class JsonValue;
 class JsonWriter;
 class MetricRegistry;
 
@@ -54,7 +55,10 @@ class Histogram {
   explicit Histogram(HistogramSpec spec);
 
   void Record(double value);
-  void Merge(const HistogramSnapshot& other);
+  /// Accumulates another snapshot. Mismatched bucket bounds are rejected
+  /// with InvalidArgument and the histogram is left untouched — merging
+  /// incompatible layouts would silently credit counts to wrong buckets.
+  Status Merge(const HistogramSnapshot& other);
 
   uint64_t count() const { return snap_.count; }
   double sum() const { return snap_.sum; }
@@ -79,6 +83,10 @@ struct MetricsSnapshot {
   std::string ToJson() const;
   void AppendJson(JsonWriter* writer) const;
   static Result<MetricsSnapshot> FromJson(const std::string& json);
+  /// Same, from an already-parsed document — lets tooling accept both a bare
+  /// snapshot and wrapper schemas (e.g. the CLI's {"metrics": {...}}) by
+  /// picking the object to decode itself.
+  static Result<MetricsSnapshot> FromJsonValue(const JsonValue& root);
 
   /// Prometheus text exposition ('.' in names becomes '_').
   std::string ToPrometheusText() const;

@@ -1,0 +1,96 @@
+#include "rst/obs/slow_log.h"
+
+#include <algorithm>
+
+#include "rst/obs/json.h"
+#include "rst/obs/metrics.h"
+
+namespace rst::obs {
+
+SlowQueryLog::SlowQueryLog(double threshold_ms, size_t capacity)
+    : threshold_ms_(threshold_ms), slots_(std::max<size_t>(capacity, 1)) {}
+
+SlowQueryLog::~SlowQueryLog() = default;
+
+bool SlowQueryLog::Insert(SlowQueryRecord record) {
+  static const Counter slow_queries =
+      MetricRegistry::Global().GetCounter("exec.slow_queries");
+  slow_queries.Increment();
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ticket = seq_.fetch_add(1, std::memory_order_relaxed);
+  record.seq = ticket;
+  Slot& slot = slots_[ticket % slots_.size()];
+  // Claim the slot. A kWriting predecessor means the ring wrapped a full
+  // capacity while that writer was still filling the slot — extremely slow
+  // consumer relative to capacity. Drop rather than block or tear: the state
+  // is left kWriting and the in-flight writer's release-store completes it.
+  const uint32_t prev = slot.state.exchange(kWriting, std::memory_order_acquire);
+  if (prev == kWriting) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slot.record = std::move(record);
+  slot.state.store(kReady, std::memory_order_release);
+  return true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::vector<SlowQueryRecord> records;
+  records.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    if (slot.state.load(std::memory_order_acquire) == kReady) {
+      records.push_back(slot.record);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              return a.seq < b.seq;
+            });
+  return records;
+}
+
+void SlowQueryLog::AppendJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("threshold_ms");
+  writer->Double(threshold_ms_);
+  writer->Key("capacity");
+  writer->Uint(slots_.size());
+  writer->Key("captured");
+  writer->Uint(captured());
+  writer->Key("dropped");
+  writer->Uint(dropped());
+  writer->Key("records");
+  writer->BeginArray();
+  for (const SlowQueryRecord& record : Snapshot()) {
+    writer->BeginObject();
+    writer->Key("seq");
+    writer->Uint(record.seq);
+    writer->Key("query_index");
+    writer->Uint(record.query_index);
+    writer->Key("label");
+    writer->String(record.label);
+    writer->Key("elapsed_ms");
+    writer->Double(record.elapsed_ms);
+    writer->Key("answers");
+    writer->Uint(record.answers);
+    if (!record.trace_json.empty()) {
+      writer->Key("trace");
+      writer->RawValue(record.trace_json);
+    }
+    if (!record.explain_json.empty()) {
+      writer->Key("explain");
+      writer->RawValue(record.explain_json);
+    }
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->EndObject();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  JsonWriter writer;
+  AppendJson(&writer);
+  return writer.TakeString();
+}
+
+}  // namespace rst::obs

@@ -1,0 +1,97 @@
+#ifndef RST_OBS_SLOW_LOG_H_
+#define RST_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rst::obs {
+
+class JsonWriter;
+
+/// One captured slow query: the full diagnostics that existed at completion
+/// time, serialized so the record is self-contained after the query's trace
+/// and recorder are gone.
+struct SlowQueryRecord {
+  uint64_t seq = 0;          ///< capture ticket (global order of captures)
+  uint64_t query_index = 0;  ///< index within the batch (0 for serial paths)
+  std::string label;         ///< execution path, e.g. "rstknn.batch"
+  double elapsed_ms = 0.0;
+  uint64_t answers = 0;
+  std::string trace_json;    ///< QueryTrace::ToJson(), "" when untraced
+  std::string explain_json;  ///< ExplainRecorder::ToJson(), "" when absent
+};
+
+/// Lock-free ring buffer of the most recent slow queries. Writers (batch
+/// workers, the serial path) call ShouldCapture + Insert; the ring keeps the
+/// newest `capacity` records, overwriting the oldest.
+///
+/// Concurrency: Insert is lock-free — a writer claims a ticket with one
+/// fetch_add, exchanges the target slot's state to `writing`, fills it, and
+/// release-stores `ready`. If two writers collide on one slot (the ring
+/// wrapped a full capacity while a write was in flight) the later writer
+/// drops its record (counted in dropped()) rather than blocking or tearing.
+/// Snapshot/ToJson read slot payloads non-atomically and are therefore
+/// QUIESCED-ONLY: call them after the batch has joined (exec::BatchRunner
+/// returns only after all workers finish), never concurrently with Insert.
+///
+/// Every Insert also bumps the global `exec.slow_queries` counter — note
+/// this counter is timing-derived and thus NOT deterministic; bench_diff
+/// skips it when gating.
+class SlowQueryLog {
+ public:
+  /// `threshold_ms`: queries at or above this latency are captured.
+  /// `capacity`: ring size (clamped to >= 1).
+  explicit SlowQueryLog(double threshold_ms, size_t capacity = 64);
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  double threshold_ms() const { return threshold_ms_; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Cheap pre-check so callers skip building trace/explain JSON for fast
+  /// queries.
+  bool ShouldCapture(double elapsed_ms) const {
+    return elapsed_ms >= threshold_ms_;
+  }
+
+  /// Captures one record (record.seq is assigned here). Thread-safe,
+  /// lock-free; returns false when the record was dropped on a slot
+  /// collision.
+  bool Insert(SlowQueryRecord record);
+
+  /// Records captured / dropped-on-collision since construction.
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// The resident records, oldest first. Quiesced-only (see class comment).
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  /// {"threshold_ms":..,"captured":..,"dropped":..,"records":[...]} with
+  /// trace/explain embedded as raw JSON. Quiesced-only.
+  std::string ToJson() const;
+  void AppendJson(JsonWriter* writer) const;
+
+ private:
+  enum SlotState : uint32_t { kEmpty = 0, kWriting = 1, kReady = 2 };
+  struct Slot {
+    std::atomic<uint32_t> state{kEmpty};
+    SlowQueryRecord record;
+  };
+
+  const double threshold_ms_;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace rst::obs
+
+#endif  // RST_OBS_SLOW_LOG_H_

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "rst/common/stopwatch.h"
+#include "rst/obs/explain.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/trace.h"
 #include "rst/storage/codec.h"
@@ -148,6 +149,37 @@ struct ProbeContext {
   const Candidate* cand;
   ProbeScratch::Impl* mem;
   const RstknnOptions* options;
+};
+
+/// Per-query EXPLAIN state: the recorder (reset + stamped here) and the
+/// entry-numbering index — the caller's shared one or a private fallback.
+/// Everything is a no-op when no recorder is attached.
+struct ExplainSink {
+  obs::ExplainRecorder* recorder = nullptr;
+  const ExplainIndex* index = nullptr;
+  std::unique_ptr<ExplainIndex> local_index;
+
+  ExplainSink(const IurTree* tree, const RstknnOptions& options,
+              std::string_view algorithm) {
+    recorder = options.explain;
+    if (recorder == nullptr) return;
+    recorder->Reset();
+    recorder->SetAlgorithm(algorithm);
+    index = options.explain_index;
+    if (index == nullptr) {
+      local_index = std::make_unique<ExplainIndex>(*tree);
+      index = local_index.get();
+    }
+  }
+
+  void Record(const Entry& entry, double q_min, double q_max,
+              obs::ExplainVerdict verdict, obs::ExplainBound bound,
+              uint64_t decided_objects) const {
+    if (recorder == nullptr) return;
+    const ExplainIndex::Info info = index->Lookup(&entry);
+    recorder->Record({info.id, info.level, verdict, bound, q_min, q_max,
+                      decided_objects});
+  }
 };
 
 }  // namespace
@@ -360,6 +392,7 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
   if (tree_->size() == 0 || query.k == 0) return result;
   obs::QueryTrace* trace = options.trace;
   if (trace != nullptr) trace->Enter("setup");
+  const ExplainSink explain(tree_, options, "probe");
   const double alpha = scorer_->options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
 
@@ -445,6 +478,13 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
     }
     if (guaranteed >= query.k) {
       ++result.stats.pruned_entries;
+      const bool object = cand->entry->is_object();
+      explain.Record(*cand->entry, cand->q_min, cand->q_max,
+                     object ? obs::ExplainVerdict::kReportMiss
+                            : obs::ExplainVerdict::kPrune,
+                     object ? obs::ExplainBound::kExact
+                            : obs::ExplainBound::kLowerBound,
+                     cand->entry->count() - (cand->contains_self ? 1 : 0));
       continue;
     }
     // For an object candidate the guaranteed probe descends every straddling
@@ -452,6 +492,9 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
     // than k competitors beat q ⇒ the object is an answer. No second probe.
     if (cand->entry->is_object()) {
       ++result.stats.reported_entries;
+      explain.Record(*cand->entry, cand->q_min, cand->q_max,
+                     obs::ExplainVerdict::kReportHit, obs::ExplainBound::kExact,
+                     1);
       result.answers.push_back(cand->entry->id);
       continue;
     }
@@ -470,6 +513,10 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
     }
     if (potential < query.k) {
       ++result.stats.reported_entries;
+      explain.Record(*cand->entry, cand->q_min, cand->q_max,
+                     obs::ExplainVerdict::kReportHit,
+                     obs::ExplainBound::kUpperBound,
+                     cand->entry->count() - (cand->contains_self ? 1 : 0));
       CollectObjectIds(*cand->entry, query.self, &result.answers);
       continue;
     }
@@ -482,6 +529,8 @@ RstknnResult RstknnSearcher::SearchProbe(const RstknnQuery& query,
       ChargeNode(tree_, options, child_node, &result.stats);
     }
     ++result.stats.expansions;
+    explain.Record(*cand->entry, cand->q_min, cand->q_max,
+                   obs::ExplainVerdict::kExpand, obs::ExplainBound::kNone, 0);
     std::vector<const Node*> child_path = cand->path;
     child_path.push_back(child_node);
     for (const Entry& ce : child_node->entries) {
@@ -524,6 +573,7 @@ RstknnResult RstknnSearcher::SearchContributionList(
     const RstknnQuery& query, const RstknnOptions& options) const {
   RstknnResult result;
   if (tree_->size() == 0 || query.k == 0) return result;
+  const ExplainSink explain(tree_, options, "contribution_list");
   const double alpha = scorer_->options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
 
@@ -585,6 +635,8 @@ RstknnResult RstknnSearcher::SearchContributionList(
     }
     fe.alive = false;
     ++result.stats.expansions;
+    explain.Record(*fe.entry, fe.q_min, fe.q_max, obs::ExplainVerdict::kExpand,
+                   obs::ExplainBound::kNone, 0);
     for (const Entry& ce : child_node->entries) add_entry(ce, inherited);
     span.AddCount("entries", child_node->entries.size());
   };
@@ -686,11 +738,18 @@ RstknnResult RstknnSearcher::SearchContributionList(
     if (cand.q_max < knn_lower) {
       cand.state = State::kPruned;
       ++result.stats.pruned_entries;
+      explain.Record(*cand.entry, cand.q_min, cand.q_max,
+                     cand.entry->is_object() ? obs::ExplainVerdict::kReportMiss
+                                             : obs::ExplainVerdict::kPrune,
+                     obs::ExplainBound::kLowerBound, capacity(cand));
       continue;
     }
     if (cand.q_min >= knn_upper) {
       cand.state = State::kReported;
       ++result.stats.reported_entries;
+      explain.Record(*cand.entry, cand.q_min, cand.q_max,
+                     obs::ExplainVerdict::kReportHit,
+                     obs::ExplainBound::kUpperBound, capacity(cand));
       CollectObjectIds(*cand.entry, query.self, &result.answers);
       continue;
     }

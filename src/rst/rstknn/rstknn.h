@@ -12,6 +12,10 @@
 
 namespace rst {
 
+namespace obs {
+class ExplainRecorder;
+}  // namespace obs
+
 /// The Reverse Spatial-Textual k Nearest Neighbor query (SIGMOD 2011):
 /// given a query object q = (loc, doc), return every object o whose top-k
 /// most spatial-textually similar objects (among the rest of the collection)
@@ -95,6 +99,18 @@ struct RstknnOptions {
   /// batch lands in the registry as ONE aggregated publish instead of N
   /// per-query ones; the returned RstknnStats are unaffected.
   bool publish_metrics = true;
+  /// Optional EXPLAIN recorder (DESIGN.md §9): the search resets it, stamps
+  /// the algorithm, and records every branch-and-bound decision — which
+  /// entry, which bound fired, prune/expand/report verdict. Decision totals
+  /// reconcile exactly with the returned RstknnStats
+  /// (ExplainRecorder::CheckReconciles). Null (the default) costs one branch
+  /// per decision.
+  obs::ExplainRecorder* explain = nullptr;
+  /// Deterministic entry numbering behind explain node ids. Shareable
+  /// read-only across queries and threads; when null while `explain` is set,
+  /// the search builds a private index (an O(tree) walk per query — share
+  /// one across a batch instead).
+  const ExplainIndex* explain_index = nullptr;
 };
 
 struct RstknnStats {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
 
 namespace rst {
@@ -25,6 +26,21 @@ void IoStats::Publish(const std::string& prefix) const {
   registry.GetCounter(prefix + ".payload_blocks").Add(payload_blocks);
   registry.GetCounter(prefix + ".payload_bytes").Add(payload_bytes);
   registry.GetCounter(prefix + ".cache_hits").Add(cache_hits);
+}
+
+void IoStats::AppendJson(obs::JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("node_reads");
+  writer->Uint(node_reads);
+  writer->Key("payload_blocks");
+  writer->Uint(payload_blocks);
+  writer->Key("payload_bytes");
+  writer->Uint(payload_bytes);
+  writer->Key("cache_hits");
+  writer->Uint(cache_hits);
+  writer->Key("total_ios");
+  writer->Uint(TotalIos());
+  writer->EndObject();
 }
 
 }  // namespace rst

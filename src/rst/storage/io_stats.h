@@ -7,6 +7,7 @@
 namespace rst {
 
 namespace obs {
+class JsonWriter;
 class MetricRegistry;
 }  // namespace obs
 
@@ -50,6 +51,11 @@ struct IoStats {
   /// while making every consumer's I/O visible in obs snapshots. Call once
   /// per completed operation (per query / per build), not per access.
   void Publish(const std::string& prefix) const;
+
+  /// {"node_reads":..,"payload_blocks":..,"payload_bytes":..,
+  ///  "cache_hits":..,"total_ios":..} — used by the slow-query log and the
+  ///  CLI to embed per-query I/O in JSON artifacts.
+  void AppendJson(obs::JsonWriter* writer) const;
 };
 
 }  // namespace rst

@@ -1,0 +1,51 @@
+#include "rst/common/file_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace rst {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(FileUtilTest, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("rst_file_util_roundtrip.txt");
+  const std::string content = std::string("line one\nline two\n\0bin", 22);
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  const Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, WriteTruncatesExistingFile) {
+  const std::string path = TempPath("rst_file_util_truncate.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "a much longer first payload").ok());
+  ASSERT_TRUE(WriteStringToFile(path, "short").ok());
+  const Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "short");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, WriteToUnwritablePathReturnsStatusWithPath) {
+  const std::string path = "/nonexistent-dir-for-rst-tests/out.json";
+  const Status status = WriteStringToFile(path, "payload");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(path), std::string::npos);
+}
+
+TEST(FileUtilTest, ReadMissingFileIsNotFound) {
+  const Result<std::string> read =
+      ReadFileToString(TempPath("rst_file_util_missing.txt"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rst

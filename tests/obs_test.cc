@@ -160,7 +160,7 @@ TEST(HistogramTest, MergeAccumulatesCountsAndExtremes) {
   a.Record(0.5);
   b.Record(1.5);
   b.Record(9.0);
-  a.Merge(b.snapshot());
+  ASSERT_TRUE(a.Merge(b.snapshot()).ok());
   EXPECT_EQ(a.count(), 3u);
   EXPECT_DOUBLE_EQ(a.sum(), 11.0);
   EXPECT_DOUBLE_EQ(a.snapshot().min, 0.5);
@@ -168,6 +168,45 @@ TEST(HistogramTest, MergeAccumulatesCountsAndExtremes) {
   EXPECT_EQ(a.snapshot().counts[0], 1u);
   EXPECT_EQ(a.snapshot().counts[1], 1u);
   EXPECT_EQ(a.snapshot().counts[2], 1u);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBoundsUntouched) {
+  Histogram a(HistogramSpec{{1.0, 2.0}});
+  Histogram b(HistogramSpec{{1.0, 2.0, 4.0}});
+  a.Record(0.5);
+  b.Record(3.0);
+  const Status s = a.Merge(b.snapshot());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The target histogram must be left exactly as it was.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5);
+  EXPECT_EQ(a.snapshot().counts[0], 1u);
+  EXPECT_EQ(a.snapshot().counts[1], 0u);
+  EXPECT_EQ(a.snapshot().counts[2], 0u);
+
+  // Same bound count but different values is just as incompatible.
+  Histogram c(HistogramSpec{{1.0, 3.0}});
+  c.Record(2.0);
+  EXPECT_EQ(a.Merge(c.snapshot()).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(HistogramTest, PercentileEmptyHistogramIsZero) {
+  Histogram empty(HistogramSpec{{1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileAllValuesInOverflowBucket) {
+  Histogram hist(HistogramSpec{{1.0, 2.0}});
+  hist.Record(10.0);
+  hist.Record(20.0);
+  hist.Record(30.0);
+  // Every quantile resolves to the overflow bucket -> the observed max.
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.01), 30.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 30.0);
 }
 
 // --- Snapshot export / round-trip -----------------------------------------

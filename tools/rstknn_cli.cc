@@ -21,10 +21,27 @@
 //   --trace             print the per-phase span tree of the query to stderr
 //   --metrics-out FILE  write a JSON artifact: {"command", "metrics"
 //                       (registry snapshot: counters/gauges/histograms),
-//                       "trace" (span tree)}. For rstknn this also switches
-//                       node accesses to real reads through a buffer pool,
-//                       so storage.buffer_pool.{hits,misses} are genuine.
+//                       "trace" (span tree), "explain" (with --explain),
+//                       "slow_log" (with --slow-log-ms)}. For rstknn this
+//                       also switches node accesses to real reads through a
+//                       buffer pool, so storage.buffer_pool.{hits,misses}
+//                       are genuine.
 //   --pool-pages N      buffer-pool capacity in 4 KiB pages (default 256)
+//
+// EXPLAIN / slow-query flags (rstknn only):
+//   --explain           print the per-level branch-and-bound decision
+//                       summary (which bound fired, prune/expand/report) to
+//                       stderr and embed it in the --metrics-out artifact
+//   --explain-log N     also keep the first N raw decisions (0 = summary
+//                       only, the default)
+//   --algo probe|cl     algorithm realization: competitor probes (default)
+//                       or the 2011 contribution-list scheme
+//   --slow-log-ms X     capture queries slower than X ms (trace + explain
+//                       summary) into an in-process ring buffer
+//   --slow-log-out FILE write the captured slow queries as JSON
+//
+// Output-file errors (--metrics-out / --slow-log-out on an unwritable path)
+// exit non-zero with the underlying Status message.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,13 +51,16 @@
 #include <string>
 #include <vector>
 
+#include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
 #include "rst/data/csv.h"
 #include "rst/data/generators.h"
 #include "rst/exec/batch_runner.h"
 #include "rst/maxbrst/maxbrst.h"
+#include "rst/obs/explain.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/slow_log.h"
 #include "rst/obs/trace.h"
 #include "rst/rstknn/rstknn.h"
 
@@ -111,48 +131,76 @@ struct ObsFlags {
   bool trace = false;           ///< print the span tree to stderr
   std::string metrics_out;      ///< JSON artifact path ("" = off)
   size_t pool_pages = 256;
+  bool explain = false;         ///< record + print branch-and-bound decisions
+  size_t explain_log = 0;       ///< raw decision-log cap (0 = summary only)
+  double slow_log_ms = -1.0;    ///< capture threshold (< 0 = off)
+  std::string slow_log_out;     ///< slow-query JSON path ("" = stderr note)
 
   explicit ObsFlags(const Flags& flags)
       : trace(flags.Has("trace")),
         metrics_out(flags.Get("metrics-out", "")),
-        pool_pages(static_cast<size_t>(flags.GetInt("pool-pages", 256))) {}
+        pool_pages(static_cast<size_t>(flags.GetInt("pool-pages", 256))),
+        explain(flags.Has("explain")),
+        explain_log(static_cast<size_t>(flags.GetInt("explain-log", 0))),
+        slow_log_ms(flags.Has("slow-log-ms") ? flags.GetDouble("slow-log-ms", 0)
+                                             : -1.0),
+        slow_log_out(flags.Get("slow-log-out", "")) {}
 
   bool tracing() const { return trace || !metrics_out.empty(); }
+  bool slow_logging() const { return slow_log_ms >= 0.0; }
 };
 
-bool WriteFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  return std::fclose(f) == 0 && written == content.size();
-}
-
 /// Finishes the trace and emits the requested artifacts: the span tree on
-/// stderr (--trace) and/or the combined JSON file (--metrics-out) holding the
-/// full registry snapshot of this process plus the span tree.
+/// stderr (--trace), the combined JSON file (--metrics-out) holding the full
+/// registry snapshot of this process plus the span tree (and, when recorded,
+/// the explain report and slow-query log), and the standalone slow-query
+/// file (--slow-log-out). Unwritable paths exit non-zero with the Status
+/// message.
 int EmitObsArtifacts(const ObsFlags& obs_flags, const std::string& command,
-                     obs::QueryTrace* trace) {
-  if (!obs_flags.tracing()) return 0;
-  trace->Finish();
+                     obs::QueryTrace* trace,
+                     const obs::ExplainRecorder* explain = nullptr,
+                     const obs::SlowQueryLog* slow_log = nullptr) {
+  if (obs_flags.tracing()) trace->Finish();
   if (obs_flags.trace) {
     std::fprintf(stderr, "%s", trace->ToString().c_str());
   }
-  if (obs_flags.metrics_out.empty()) return 0;
-  obs::JsonWriter writer;
-  writer.BeginObject();
-  writer.Key("command");
-  writer.String(command);
-  writer.Key("metrics");
-  obs::MetricRegistry::Global().Snapshot().AppendJson(&writer);
-  writer.Key("trace");
-  trace->AppendJson(&writer);
-  writer.EndObject();
-  if (!WriteFile(obs_flags.metrics_out, writer.TakeString())) {
-    std::fprintf(stderr, "cannot write %s\n", obs_flags.metrics_out.c_str());
-    return 1;
+  if (!obs_flags.metrics_out.empty()) {
+    obs::JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("command");
+    writer.String(command);
+    writer.Key("metrics");
+    obs::MetricRegistry::Global().Snapshot().AppendJson(&writer);
+    writer.Key("trace");
+    trace->AppendJson(&writer);
+    if (explain != nullptr) {
+      writer.Key("explain");
+      explain->AppendJson(&writer);
+    }
+    if (slow_log != nullptr) {
+      writer.Key("slow_log");
+      slow_log->AppendJson(&writer);
+    }
+    writer.EndObject();
+    const Status s = WriteStringToFile(obs_flags.metrics_out, writer.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "--metrics-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n",
+                 obs_flags.metrics_out.c_str());
   }
-  std::fprintf(stderr, "metrics written to %s\n",
-               obs_flags.metrics_out.c_str());
+  if (!obs_flags.slow_log_out.empty() && slow_log != nullptr) {
+    const Status s = WriteStringToFile(obs_flags.slow_log_out,
+                                       slow_log->ToJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "--slow-log-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "slow-query log (%llu captured) written to %s\n",
+                 static_cast<unsigned long long>(slow_log->captured()),
+                 obs_flags.slow_log_out.c_str());
+  }
   return 0;
 }
 
@@ -169,6 +217,14 @@ TextMeasure ParseMeasure(const Flags& flags, TextMeasure fallback) {
   if (m == "cos") return TextMeasure::kCosine;
   if (m == "sum") return TextMeasure::kSum;
   return fallback;
+}
+
+RstknnAlgorithm ParseAlgorithm(const Flags& flags) {
+  const std::string a = flags.Get("algo", "probe");
+  if (a == "cl" || a == "contribution-list") {
+    return RstknnAlgorithm::kContributionList;
+  }
+  return RstknnAlgorithm::kProbe;
 }
 
 int CmdGen(const Flags& flags) {
@@ -344,12 +400,15 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
 
   const ObsFlags obs_flags(flags);
   RstknnOptions options;
+  options.algorithm = ParseAlgorithm(flags);
   BufferPool pool(&tree.page_store(), obs_flags.pool_pages);
   if (!obs_flags.metrics_out.empty()) options.pool = &pool;
 
   const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   exec::ThreadPool thread_pool(threads);
-  const exec::BatchRunner runner(&tree, &dataset, &scorer, &thread_pool);
+  exec::BatchRunner runner(&tree, &dataset, &scorer, &thread_pool);
+  obs::SlowQueryLog slow_log(obs_flags.slow_log_ms);
+  if (obs_flags.slow_logging()) runner.set_slow_log(&slow_log);
   exec::BatchStats batch_stats;
   const std::vector<RstknnResult> results =
       runner.RunRstknn(queries, options, &batch_stats);
@@ -377,8 +436,16 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                  static_cast<unsigned long long>(pool.evictions()),
                  100.0 * pool.hit_rate());
   }
+  if (obs_flags.slow_logging()) {
+    std::fprintf(stderr, "slow-query log: %llu captured over %.2f ms "
+                 "(%llu dropped)\n",
+                 static_cast<unsigned long long>(slow_log.captured()),
+                 slow_log.threshold_ms(),
+                 static_cast<unsigned long long>(slow_log.dropped()));
+  }
   obs::QueryTrace trace("rstknn");  // batch runs carry no per-query spans
-  return EmitObsArtifacts(obs_flags, "rstknn", &trace);
+  return EmitObsArtifacts(obs_flags, "rstknn", &trace, /*explain=*/nullptr,
+                          obs_flags.slow_logging() ? &slow_log : nullptr);
 }
 
 int CmdRstknn(const Flags& flags) {
@@ -416,21 +483,45 @@ int CmdRstknn(const Flags& flags) {
   const ObsFlags obs_flags(flags);
   obs::QueryTrace trace("rstknn");
   RstknnOptions options;
+  options.algorithm = ParseAlgorithm(flags);
   // With a metrics artifact requested, switch to real I/O through a buffer
   // pool so the reported hit/miss/fill metrics are genuine reads of the
   // serialized index rather than simulated charges.
   BufferPool pool(&tree.page_store(), obs_flags.pool_pages);
-  if (obs_flags.tracing()) {
+  if (obs_flags.tracing() || obs_flags.slow_logging()) {
     options.trace = &trace;
   }
   if (!obs_flags.metrics_out.empty()) {
     pool.set_trace(options.trace);
     options.pool = &pool;
   }
+  obs::ExplainRecorder recorder(obs_flags.explain_log);
+  if (obs_flags.explain) options.explain = &recorder;
 
   Stopwatch timer;
   const RstknnResult result = searcher.Search(query, options);
   const double ms = timer.ElapsedMillis();
+
+  if (obs_flags.explain) {
+    std::fprintf(stderr, "%s", recorder.ToString().c_str());
+    const Status reconciled = recorder.CheckReconciles(
+        result.stats.expansions, result.stats.pruned_entries,
+        result.stats.reported_entries);
+    if (!reconciled.ok()) {
+      std::fprintf(stderr, "WARNING: %s\n", reconciled.ToString().c_str());
+    }
+  }
+  obs::SlowQueryLog slow_log(obs_flags.slow_log_ms);
+  if (obs_flags.slow_logging() && slow_log.ShouldCapture(ms)) {
+    trace.Finish();
+    obs::SlowQueryRecord record;
+    record.label = "rstknn";
+    record.elapsed_ms = ms;
+    record.answers = result.answers.size();
+    record.trace_json = trace.ToJson();
+    if (obs_flags.explain) record.explain_json = recorder.ToJson();
+    slow_log.Insert(std::move(record));
+  }
   for (ObjectId id : result.answers) std::printf("%u\n", id);
   std::fprintf(stderr,
                "%zu reverse neighbors in %.2f ms (%llu entries, %llu pruned, "
@@ -447,7 +538,9 @@ int CmdRstknn(const Flags& flags) {
                  static_cast<unsigned long long>(pool.evictions()),
                  100.0 * pool.hit_rate());
   }
-  return EmitObsArtifacts(obs_flags, "rstknn", &trace);
+  return EmitObsArtifacts(obs_flags, "rstknn", &trace,
+                          obs_flags.explain ? &recorder : nullptr,
+                          obs_flags.slow_logging() ? &slow_log : nullptr);
 }
 
 int CmdMaxBrst(const Flags& flags) {
