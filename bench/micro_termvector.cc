@@ -101,6 +101,55 @@ void BM_OverlapLinearRef(benchmark::State& state) {
 }
 BENCHMARK(BM_OverlapLinearRef)->Apply(SkewArgs);
 
+// Span-kernel rows: the (const TermWeight*, size_t) overloads the frozen
+// flat-layout index calls on pool slices. The member methods delegate to
+// these same kernels, so each row first asserts bit-exact agreement — the
+// benchmark doubles as the span/vector equivalence check.
+void BM_DotSpan(benchmark::State& state) {
+  Rng rng(11);  // same seed: identical inputs as BM_DotAdaptive
+  const TermVector a = MakeDoc(&rng, state.range(0), 8192);
+  const TermVector b = MakeDoc(&rng, state.range(1), 8192);
+  if (DotSpan(a.entries().data(), a.size(), b.entries().data(), b.size()) !=
+      a.Dot(b)) {
+    state.SkipWithError("DotSpan diverged from TermVector::Dot");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DotSpan(a.entries().data(), a.size(), b.entries().data(), b.size()));
+  }
+}
+BENCHMARK(BM_DotSpan)->Apply(SkewArgs);
+
+void BM_OverlapSpan(benchmark::State& state) {
+  Rng rng(12);
+  const TermVector a = MakeDoc(&rng, state.range(0), 8192);
+  const TermVector b = MakeDoc(&rng, state.range(1), 8192);
+  if (OverlapCountSpan(a.entries().data(), a.size(), b.entries().data(),
+                       b.size()) != a.OverlapCount(b)) {
+    state.SkipWithError("OverlapCountSpan diverged from OverlapCount");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OverlapCountSpan(a.entries().data(), a.size(),
+                                              b.entries().data(), b.size()));
+  }
+}
+BENCHMARK(BM_OverlapSpan)->Apply(SkewArgs);
+
+void BM_NormSquaredSpan(benchmark::State& state) {
+  Rng rng(16);
+  const TermVector a = MakeDoc(&rng, state.range(1), 8192);
+  if (NormSquaredSpan(a.entries().data(), a.size()) != a.NormSquared()) {
+    state.SkipWithError("NormSquaredSpan diverged from NormSquared");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormSquaredSpan(a.entries().data(), a.size()));
+  }
+}
+BENCHMARK(BM_NormSquaredSpan)->Apply(SkewArgs);
+
 void BM_IntersectMinSkewed(benchmark::State& state) {
   Rng rng(13);
   const TermVector a = MakeDoc(&rng, state.range(0), 8192);

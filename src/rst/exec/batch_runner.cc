@@ -1,7 +1,10 @@
 #include "rst/exec/batch_runner.h"
 
+#include <cassert>
 #include <memory>
 #include <utility>
+
+#include "rst/frozen/frozen.h"
 
 #include "rst/common/stopwatch.h"
 #include "rst/obs/explain.h"
@@ -70,11 +73,17 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
 
   // Slow-query capture: one shared (read-only) explain index for the whole
   // batch; each query owns a PRIVATE trace + recorder, so the single-threaded
-  // trace contract holds even though the batch is parallel.
+  // trace contract holds even though the batch is parallel. A frozen-backed
+  // runner needs no index — the frozen layout's entry indices ARE the
+  // explain numbering.
   std::unique_ptr<ExplainIndex> explain_index;
-  if (slow_log_ != nullptr) explain_index = std::make_unique<ExplainIndex>(*tree_);
+  if (slow_log_ != nullptr && tree_ != nullptr) {
+    explain_index = std::make_unique<ExplainIndex>(*tree_);
+  }
 
-  const RstknnSearcher searcher(tree_, dataset_, scorer_);
+  const RstknnSearcher searcher =
+      frozen_ != nullptr ? RstknnSearcher(frozen_, dataset_, scorer_)
+                         : RstknnSearcher(tree_, dataset_, scorer_);
   Stopwatch wall;
   pool_->ParallelFor(
       queries.size(), /*chunk=*/1, [&](size_t i, size_t w) {
@@ -136,6 +145,7 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
 
 std::vector<std::vector<TopKResult>> BatchRunner::RunTopK(
     const std::vector<TopKQuery>& queries, BatchStats* batch_stats) const {
+  assert(tree_ != nullptr && "RunTopK is pointer-tree-only");
   const BatchMetrics& metrics = BatchMetrics::Get();
   const size_t workers = pool_->num_threads();
   std::vector<std::vector<TopKResult>> results(queries.size());

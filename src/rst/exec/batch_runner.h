@@ -56,6 +56,15 @@ class BatchRunner {
               const StScorer* scorer, ThreadPool* pool)
       : tree_(tree), dataset_(dataset), scorer_(scorer), pool_(pool) {}
 
+  /// Batches over a frozen flat-layout snapshot (rst::frozen) instead of the
+  /// pointer tree. RunRstknn behaves identically (the determinism contract
+  /// extends across views: same queries ⇒ byte-identical results either
+  /// way); RunTopK is pointer-tree-only and must not be called on a
+  /// frozen-backed runner.
+  BatchRunner(const frozen::FrozenTree* frozen, const Dataset* dataset,
+              const StScorer* scorer, ThreadPool* pool)
+      : frozen_(frozen), dataset_(dataset), scorer_(scorer), pool_(pool) {}
+
   /// Attaches a slow-query capture sink for RunRstknn (see the class comment;
   /// the log must outlive the runner's batches). Null disables capture — the
   /// default, and the zero-overhead path. Read the log only between batches
@@ -79,7 +88,8 @@ class BatchRunner {
       BatchStats* batch_stats = nullptr) const;
 
  private:
-  const IurTree* tree_;
+  const IurTree* tree_ = nullptr;
+  const frozen::FrozenTree* frozen_ = nullptr;
   const Dataset* dataset_;
   const StScorer* scorer_;
   ThreadPool* pool_;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "rst/common/stopwatch.h"
+#include "rst/exec/thread_pool.h"
 #include "rst/iurtree/cluster.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/trace.h"
@@ -24,6 +25,7 @@ struct BuildMetrics {
   obs::Counter leaves_total;
   obs::Gauge last_build_ms;
   obs::Gauge last_node_count;
+  obs::Gauge parallel_ms;  ///< slab-sort phase of the last bulk load
   obs::HistogramRef fanout;
 
   static const BuildMetrics& Get() {
@@ -35,6 +37,7 @@ struct BuildMetrics {
       m->leaves_total = registry.GetCounter("iurtree.build.leaf_nodes");
       m->last_build_ms = registry.GetGauge("iurtree.build.last_ms");
       m->last_node_count = registry.GetGauge("iurtree.build.last_node_count");
+      m->parallel_ms = registry.GetGauge("iurtree.build.parallel_ms");
       // Fanout never exceeds max_entries (<= 64 in every configuration used
       // here); linear buckets of width 4 resolve underfull nodes.
       m->fanout = registry.GetHistogram("iurtree.fanout",
@@ -127,76 +130,106 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
   IurTree tree(options);
   tree.clustered_ = cluster_of != nullptr;
   tree.size_ = items.size();
-  if (items.empty()) {
-    tree.FinalizeStorage();
-    PublishBuildMetrics(tree, build_timer.ElapsedMillis());
-    return tree;
+
+  // The slab y-sorts are the only parallel phase; the slabs are disjoint
+  // ranges of the x-sorted level array, so the packed tree is identical at
+  // every thread count. The pool is created lazily — pure serial builds
+  // (build_threads <= 1) never construct one.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (options.build_threads > 1) {
+    pool = std::make_unique<exec::ThreadPool>(options.build_threads);
   }
+  double parallel_ms = 0.0;
 
-  const size_t cap = options.max_entries;
+  if (!items.empty()) {
+    const size_t cap = options.max_entries;
 
-  if (trace != nullptr) trace->Enter("pack");
-  std::vector<Entry> level;
-  level.reserve(items.size());
-  for (const Item& item : items) {
-    Entry e;
-    e.rect = Rect::FromPoint(item.loc);
-    e.summary = TextSummary::FromDoc(*item.doc);
-    e.id = item.id;
-    if (cluster_of != nullptr) {
-      e.clusters.push_back({(*cluster_of)[item.id], e.summary});
-    }
-    level.push_back(std::move(e));
-  }
-
-  bool leaf_level = true;
-  while (level.size() > cap || leaf_level) {
-    const size_t n = level.size();
-    const size_t num_nodes = (n + cap - 1) / cap;
-    const size_t num_slabs = static_cast<size_t>(
-        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
-    const size_t slab_size = ((num_nodes + num_slabs - 1) / num_slabs) * cap;
-
-    std::sort(level.begin(), level.end(), [](const Entry& a, const Entry& b) {
-      return a.rect.Center().x < b.rect.Center().x;
-    });
-
-    std::vector<Entry> parents;
-    for (size_t slab_begin = 0; slab_begin < n; slab_begin += slab_size) {
-      const size_t slab_end = std::min(slab_begin + slab_size, n);
-      std::sort(level.begin() + slab_begin, level.begin() + slab_end,
-                [](const Entry& a, const Entry& b) {
-                  return a.rect.Center().y < b.rect.Center().y;
-                });
-      for (size_t begin = slab_begin; begin < slab_end; begin += cap) {
-        const size_t end = std::min(begin + cap, slab_end);
-        auto node = std::make_unique<Node>();
-        node->leaf = leaf_level;
-        node->entries.reserve(end - begin);
-        for (size_t i = begin; i < end; ++i) {
-          node->entries.push_back(std::move(level[i]));
-        }
-        parents.push_back(MakeParentEntry(std::move(node)));
+    if (trace != nullptr) trace->Enter("pack");
+    std::vector<Entry> level;
+    level.reserve(items.size());
+    for (const Item& item : items) {
+      Entry e;
+      e.rect = Rect::FromPoint(item.loc);
+      e.summary = TextSummary::FromDoc(*item.doc);
+      e.id = item.id;
+      if (cluster_of != nullptr) {
+        e.clusters.push_back({(*cluster_of)[item.id], e.summary});
       }
+      level.push_back(std::move(e));
     }
-    level = std::move(parents);
-    leaf_level = false;
-    if (level.size() == 1) break;
+
+    bool leaf_level = true;
+    while (level.size() > cap || leaf_level) {
+      const size_t n = level.size();
+      const size_t num_nodes = (n + cap - 1) / cap;
+      const size_t num_slabs = static_cast<size_t>(
+          std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+      const size_t slab_size = ((num_nodes + num_slabs - 1) / num_slabs) * cap;
+
+      std::sort(level.begin(), level.end(), [](const Entry& a, const Entry& b) {
+        return a.rect.Center().x < b.rect.Center().x;
+      });
+
+      std::vector<std::pair<size_t, size_t>> slabs;
+      slabs.reserve((n + slab_size - 1) / slab_size);
+      for (size_t slab_begin = 0; slab_begin < n; slab_begin += slab_size) {
+        slabs.push_back({slab_begin, std::min(slab_begin + slab_size, n)});
+      }
+      const auto sort_slab = [&level](const std::pair<size_t, size_t>& slab) {
+        std::sort(level.begin() + static_cast<ptrdiff_t>(slab.first),
+                  level.begin() + static_cast<ptrdiff_t>(slab.second),
+                  [](const Entry& a, const Entry& b) {
+                    return a.rect.Center().y < b.rect.Center().y;
+                  });
+      };
+      {
+        Stopwatch slab_timer;
+        if (pool != nullptr && slabs.size() > 1) {
+          pool->ParallelFor(slabs.size(), 1, [&](size_t s, size_t /*worker*/) {
+            sort_slab(slabs[s]);
+          });
+        } else {
+          for (const auto& slab : slabs) sort_slab(slab);
+        }
+        parallel_ms += slab_timer.ElapsedMillis();
+      }
+
+      std::vector<Entry> parents;
+      for (const auto& [slab_begin, slab_end] : slabs) {
+        for (size_t begin = slab_begin; begin < slab_end; begin += cap) {
+          const size_t end = std::min(begin + cap, slab_end);
+          auto node = std::make_unique<Node>();
+          node->leaf = leaf_level;
+          node->entries.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            node->entries.push_back(std::move(level[i]));
+          }
+          parents.push_back(MakeParentEntry(std::move(node)));
+        }
+      }
+      level = std::move(parents);
+      leaf_level = false;
+      if (level.size() == 1) break;
+    }
+
+    if (level.size() == 1 && level.front().child) {
+      tree.root_ = std::move(level.front().child);
+    } else {
+      auto root = std::make_unique<Node>();
+      root->leaf = false;
+      for (Entry& e : level) root->entries.push_back(std::move(e));
+      tree.root_ = std::move(root);
+    }
+    if (trace != nullptr) trace->Exit();  // pack
   }
 
-  if (level.size() == 1 && level.front().child) {
-    tree.root_ = std::move(level.front().child);
-  } else {
-    auto root = std::make_unique<Node>();
-    root->leaf = false;
-    for (Entry& e : level) root->entries.push_back(std::move(e));
-    tree.root_ = std::move(root);
-  }
-  if (trace != nullptr) trace->Exit();  // pack
+  // Single publish point: every path — empty input, single-leaf small input,
+  // full STR pack — finalizes and publishes exactly once, here.
   {
     obs::TraceSpan finalize_span(trace, "finalize_storage");
     tree.FinalizeStorage();
   }
+  BuildMetrics::Get().parallel_ms.Set(parallel_ms);
   PublishBuildMetrics(tree, build_timer.ElapsedMillis());
   return tree;
 }

@@ -39,6 +39,10 @@ struct IurTreeOptions {
   /// Serialize node records and inverted files into the page store so that
   /// index size is byte-accurate and node accesses can be charged.
   bool store_payloads = true;
+  /// Worker threads for the STR bulk-load slab sorts. The slabs are disjoint
+  /// ranges of one level array, so the resulting tree is identical at every
+  /// thread count. 1 = fully serial (no pool is created).
+  size_t build_threads = 1;
 };
 
 /// Min/max text-similarity bounds of a node/entry against a query summary.
@@ -127,6 +131,10 @@ class IurTree {
   size_t height() const;
   size_t NodeCount() const;
   bool clustered() const { return clustered_; }
+  /// True when the serialized payloads are in sync with the tree (after a
+  /// payload-storing build or FinalizeStorage(), until the next
+  /// Insert/Delete). Gates payload re-encoding in frozen::FrozenTree::Freeze.
+  bool storage_finalized() const { return !storage_dirty_; }
 
   /// Total serialized bytes (node records + inverted files).
   uint64_t IndexBytes() const;

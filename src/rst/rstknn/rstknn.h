@@ -16,6 +16,10 @@ namespace obs {
 class ExplainRecorder;
 }  // namespace obs
 
+namespace frozen {
+class FrozenTree;
+}  // namespace frozen
+
 /// The Reverse Spatial-Textual k Nearest Neighbor query (SIGMOD 2011):
 /// given a query object q = (loc, doc), return every object o whose top-k
 /// most spatial-textually similar objects (among the rest of the collection)
@@ -71,9 +75,9 @@ class ProbeScratch {
 
   /// Internal state, defined in rstknn.cc (opaque to callers).
   struct Impl;
+  Impl* impl() const { return impl_.get(); }
 
  private:
-  friend class RstknnSearcher;
   std::unique_ptr<Impl> impl_;
 };
 
@@ -88,8 +92,10 @@ struct RstknnOptions {
   obs::QueryTrace* trace = nullptr;
   /// Optional real-I/O mode: node accesses read the serialized inverted
   /// files through this pool (hits/misses land in the buffer-pool metrics)
-  /// instead of the simulated ChargeAccess. The pool must wrap the tree's
-  /// page store and the tree must have finalized storage.
+  /// instead of the simulated ChargeAccess. The pool must wrap the searched
+  /// tree's page store (IurTree::page_store(), or FrozenTree::page_store()
+  /// when searching a frozen snapshot) and that tree must carry finalized
+  /// payloads.
   BufferPool* pool = nullptr;
   /// Optional reusable working memory (see ProbeScratch). Null allocates
   /// fresh scratch per query — correct, just slower for batches.
@@ -149,25 +155,23 @@ class RstknnSearcher {
                  const StScorer* scorer)
       : tree_(tree), dataset_(dataset), scorer_(scorer) {}
 
+  /// Searches a frozen flat-layout snapshot (rst::frozen) instead of the
+  /// pointer tree. Both algorithms run the exact same templated code over a
+  /// thin tree view, so answers, RstknnStats, and EXPLAIN output are
+  /// byte-identical to a pointer-tree search over the tree the snapshot was
+  /// frozen from. `options.explain_index` is ignored in this mode — the
+  /// frozen layout stores entries in explain preorder, so ids are read
+  /// straight off entry indices.
+  RstknnSearcher(const frozen::FrozenTree* frozen, const Dataset* dataset,
+                 const StScorer* scorer)
+      : frozen_(frozen), dataset_(dataset), scorer_(scorer) {}
+
   RstknnResult Search(const RstknnQuery& query,
                       const RstknnOptions& options = RstknnOptions()) const;
 
  private:
-  /// Early-terminating competitor-count probe implementing the kNNL/kNNU
-  /// contribution-list bounds as a best-first tree traversal (see the
-  /// definition in rstknn.cc). `ctx_ptr` is an internal ProbeContext
-  /// carrying the candidate, the excluded query object's node path, and the
-  /// per-query charged-node set.
-  size_t CountCompetitors(const void* ctx_ptr, double threshold, size_t k,
-                          ObjectId exclude, bool guaranteed,
-                          RstknnStats* stats) const;
-
-  RstknnResult SearchProbe(const RstknnQuery& query,
-                           const RstknnOptions& options) const;
-  RstknnResult SearchContributionList(const RstknnQuery& query,
-                                      const RstknnOptions& options) const;
-
-  const IurTree* tree_;
+  const IurTree* tree_ = nullptr;
+  const frozen::FrozenTree* frozen_ = nullptr;
   const Dataset* dataset_;
   const StScorer* scorer_;
 };

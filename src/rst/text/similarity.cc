@@ -34,12 +34,12 @@ double Cosine(const TermVector& a, const TermVector& b) {
 /// Cauchy–Schwarz leg keeps the bound far below 1 even when intersection
 /// vectors are empty — without it, node-level pruning in the RSTkNN
 /// branch-and-bound never fires (DESIGN.md §3.1).
-double ExtendedJaccardMax(const TextSummary& a, const TextSummary& b,
+double ExtendedJaccardMax(const SummarySpan& a, const SummarySpan& b,
                           EjBoundMode mode) {
-  const double x = a.uni.Dot(b.uni);
+  const double x = Dot(a.uni, b.uni);
   if (x <= 0.0) return 0.0;  // no shared term anywhere in the two groups
-  const double na = a.intr.NormSquared();
-  const double nb = b.intr.NormSquared();
+  const double na = a.intr.norm_squared;
+  const double nb = b.intr.norm_squared;
   double den;
   if (na * nb >= x * x) {
     den = na + nb - x;  // A+B ≥ 2√(AB) ≥ 2x, so den ≥ x > 0
@@ -55,26 +55,26 @@ double ExtendedJaccardMax(const TextSummary& a, const TextSummary& b,
   return Clamp01(x / den);
 }
 
-double ExtendedJaccardMin(const TextSummary& a, const TextSummary& b) {
-  const double x = a.intr.Dot(b.intr);
+double ExtendedJaccardMin(const SummarySpan& a, const SummarySpan& b) {
+  const double x = Dot(a.intr, b.intr);
   if (x <= 0.0) return 0.0;
-  const double den = a.uni.NormSquared() + b.uni.NormSquared() - x;
+  const double den = a.uni.norm_squared + b.uni.norm_squared - x;
   if (den <= 0.0) return 1.0;  // unreachable with x <= den by Cauchy–Schwarz
   return Clamp01(x / den);
 }
 
-double CosineMax(const TextSummary& a, const TextSummary& b) {
-  const double x = a.uni.Dot(b.uni);
+double CosineMax(const SummarySpan& a, const SummarySpan& b) {
+  const double x = Dot(a.uni, b.uni);
   if (x <= 0.0) return 0.0;
-  const double n2 = a.intr.NormSquared() * b.intr.NormSquared();
+  const double n2 = a.intr.norm_squared * b.intr.norm_squared;
   if (n2 <= 0.0) return 1.0;  // some doc may be ~parallel; cannot tighten
   return Clamp01(x / std::sqrt(n2));
 }
 
-double CosineMin(const TextSummary& a, const TextSummary& b) {
-  const double x = a.intr.Dot(b.intr);
+double CosineMin(const SummarySpan& a, const SummarySpan& b) {
+  const double x = Dot(a.intr, b.intr);
   if (x <= 0.0) return 0.0;
-  const double n2 = a.uni.NormSquared() * b.uni.NormSquared();
+  const double n2 = a.uni.norm_squared * b.uni.norm_squared;
   assert(n2 > 0.0);
   return Clamp01(x / std::sqrt(n2));
 }
@@ -162,17 +162,18 @@ double TextSimilarity::SumSim(const TermVector& object,
   return Clamp01(num / den);
 }
 
-double TextSimilarity::SumBound(const TextSummary& object,
-                                const TextSummary& user, bool upper) const {
-  const TermVector& obj_side = upper ? object.uni : object.intr;
+double TextSimilarity::SumBound(const SummarySpan& object,
+                                const SummarySpan& user, bool upper) const {
+  const TermSpan& obj_side = upper ? object.uni : object.intr;
   std::vector<RatioTerm> required;
   std::vector<RatioTerm> optional;
-  required.reserve(user.intr.size());
-  optional.reserve(user.uni.size());
-  for (const TermWeight& e : user.uni.entries()) {
-    const RatioTerm t{static_cast<double>(obj_side.Get(e.term)),
-                      CorpusMax(e.term)};
-    if (user.intr.Contains(e.term)) {
+  required.reserve(user.intr.len);
+  optional.reserve(user.uni.len);
+  for (const TermWeight* e = user.uni.data; e != user.uni.data + user.uni.len;
+       ++e) {
+    const RatioTerm t{static_cast<double>(obj_side.Get(e->term)),
+                      CorpusMax(e->term)};
+    if (user.intr.Contains(e->term)) {
       required.push_back(t);
     } else {
       optional.push_back(t);
@@ -194,8 +195,8 @@ double TextSimilarity::Sim(const TermVector& object,
   return 0.0;
 }
 
-double TextSimilarity::MaxSim(const TextSummary& object,
-                              const TextSummary& user) const {
+double TextSimilarity::MaxSim(const SummarySpan& object,
+                              const SummarySpan& user) const {
   switch (measure_) {
     case TextMeasure::kExtendedJaccard:
       return ExtendedJaccardMax(object, user, ej_bound_);
@@ -207,8 +208,8 @@ double TextSimilarity::MaxSim(const TextSummary& object,
   return 1.0;
 }
 
-double TextSimilarity::MinSim(const TextSummary& object,
-                              const TextSummary& user) const {
+double TextSimilarity::MinSim(const SummarySpan& object,
+                              const SummarySpan& user) const {
   switch (measure_) {
     case TextMeasure::kExtendedJaccard:
       return ExtendedJaccardMin(object, user);
@@ -231,14 +232,14 @@ double StScorer::Score(const Point& op, const TermVector& od, const Point& up,
          (1.0 - options_.alpha) * text_->Sim(od, ud);
 }
 
-double StScorer::MaxScore(const Rect& orect, const TextSummary& osum,
-                          const Rect& urect, const TextSummary& usum) const {
+double StScorer::MaxScore(const Rect& orect, const SummarySpan& osum,
+                          const Rect& urect, const SummarySpan& usum) const {
   return options_.alpha * SpatialSim(MinDistance(orect, urect)) +
          (1.0 - options_.alpha) * text_->MaxSim(osum, usum);
 }
 
-double StScorer::MinScore(const Rect& orect, const TextSummary& osum,
-                          const Rect& urect, const TextSummary& usum) const {
+double StScorer::MinScore(const Rect& orect, const SummarySpan& osum,
+                          const Rect& urect, const SummarySpan& usum) const {
   return options_.alpha * SpatialSim(MaxDistance(orect, urect)) +
          (1.0 - options_.alpha) * text_->MinSim(osum, usum);
 }

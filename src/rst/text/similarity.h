@@ -32,6 +32,40 @@ struct TextSummary {
   }
 };
 
+/// Non-owning view of one sorted term-weight run together with its cached
+/// squared norm — the summary currency of the frozen flat-layout index
+/// (rst::frozen), whose term weights live in shared contiguous pools instead
+/// of per-node TermVector allocations. AsSpan() adapts a TermVector in O(1),
+/// so pointer-tree and frozen-view code feed the exact same span kernels.
+struct TermSpan {
+  const TermWeight* data = nullptr;
+  uint32_t len = 0;
+  double norm_squared = 0.0;
+
+  float Get(TermId term) const { return GetSpan(data, len, term); }
+  bool Contains(TermId term) const { return ContainsSpan(data, len, term); }
+};
+
+inline TermSpan AsSpan(const TermVector& v) {
+  return TermSpan{v.entries().data(), static_cast<uint32_t>(v.size()),
+                  v.NormSquared()};
+}
+
+inline double Dot(const TermSpan& a, const TermSpan& b) {
+  return DotSpan(a.data, a.len, b.data, b.len);
+}
+
+/// Span view of a TextSummary (or of a frozen entry's summary slices).
+struct SummarySpan {
+  TermSpan uni;
+  TermSpan intr;
+  uint32_t count = 0;
+};
+
+inline SummarySpan AsSpan(const TextSummary& s) {
+  return SummarySpan{AsSpan(s.uni), AsSpan(s.intr), s.count};
+}
+
 /// Text relevance measures.
 ///
 ///  * kExtendedJaccard — EJ(u,v) = <u,v> / (|u|² + |v|² − <u,v>); the 2011
@@ -85,10 +119,19 @@ class TextSimilarity {
   double Sim(const TermVector& object, const TermVector& user) const;
 
   /// Upper bound over all (object doc, user doc) pairs drawn from A and B.
-  double MaxSim(const TextSummary& object, const TextSummary& user) const;
+  /// The span overload is the single implementation; the TextSummary form
+  /// adapts and forwards, so pointer-tree and frozen-view bounds are
+  /// bit-identical.
+  double MaxSim(const SummarySpan& object, const SummarySpan& user) const;
+  double MaxSim(const TextSummary& object, const TextSummary& user) const {
+    return MaxSim(AsSpan(object), AsSpan(user));
+  }
 
   /// Lower bound over all (object doc, user doc) pairs drawn from A and B.
-  double MinSim(const TextSummary& object, const TextSummary& user) const;
+  double MinSim(const SummarySpan& object, const SummarySpan& user) const;
+  double MinSim(const TextSummary& object, const TextSummary& user) const {
+    return MinSim(AsSpan(object), AsSpan(user));
+  }
 
  private:
   double CorpusMax(TermId t) const {
@@ -96,7 +139,7 @@ class TextSimilarity {
   }
 
   double SumSim(const TermVector& object, const TermVector& user) const;
-  double SumBound(const TextSummary& object, const TextSummary& user,
+  double SumBound(const SummarySpan& object, const SummarySpan& user,
                   bool upper) const;
 
   TextMeasure measure_;
@@ -130,11 +173,21 @@ class StScorer {
                const TermVector& ud) const;
 
   /// Upper/lower combined-score bounds between two summarized groups with
-  /// bounding rectangles. For point entries pass a degenerate Rect.
+  /// bounding rectangles. For point entries pass a degenerate Rect. The span
+  /// overloads are what the frozen view calls; the TextSummary forms adapt
+  /// and forward.
+  double MaxScore(const Rect& orect, const SummarySpan& osum, const Rect& urect,
+                  const SummarySpan& usum) const;
+  double MinScore(const Rect& orect, const SummarySpan& osum, const Rect& urect,
+                  const SummarySpan& usum) const;
   double MaxScore(const Rect& orect, const TextSummary& osum, const Rect& urect,
-                  const TextSummary& usum) const;
+                  const TextSummary& usum) const {
+    return MaxScore(orect, AsSpan(osum), urect, AsSpan(usum));
+  }
   double MinScore(const Rect& orect, const TextSummary& osum, const Rect& urect,
-                  const TextSummary& usum) const;
+                  const TextSummary& usum) const {
+    return MinScore(orect, AsSpan(osum), urect, AsSpan(usum));
+  }
 
  private:
   const TextSimilarity* text_;

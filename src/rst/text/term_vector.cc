@@ -40,31 +40,31 @@ const TermWeight* GallopLowerBound(const TermWeight* first,
   return pos;
 }
 
-double DotGalloped(const std::vector<TermWeight>& small,
-                   const std::vector<TermWeight>& large) {
+double DotGalloped(const TermWeight* small, size_t small_len,
+                   const TermWeight* large, size_t large_len) {
   double dot = 0.0;
-  const TermWeight* cur = large.data();
-  const TermWeight* end = large.data() + large.size();
-  for (const TermWeight& e : small) {
-    cur = GallopLowerBound(cur, end, e.term);
+  const TermWeight* cur = large;
+  const TermWeight* end = large + large_len;
+  for (const TermWeight* e = small; e != small + small_len; ++e) {
+    cur = GallopLowerBound(cur, end, e->term);
     if (cur == end) break;
-    if (cur->term == e.term) {
-      dot += static_cast<double>(e.weight) * cur->weight;
+    if (cur->term == e->term) {
+      dot += static_cast<double>(e->weight) * cur->weight;
       ++cur;
     }
   }
   return dot;
 }
 
-size_t OverlapGalloped(const std::vector<TermWeight>& small,
-                       const std::vector<TermWeight>& large) {
+size_t OverlapGalloped(const TermWeight* small, size_t small_len,
+                       const TermWeight* large, size_t large_len) {
   size_t overlap = 0;
-  const TermWeight* cur = large.data();
-  const TermWeight* end = large.data() + large.size();
-  for (const TermWeight& e : small) {
-    cur = GallopLowerBound(cur, end, e.term);
+  const TermWeight* cur = large;
+  const TermWeight* end = large + large_len;
+  for (const TermWeight* e = small; e != small + small_len; ++e) {
+    cur = GallopLowerBound(cur, end, e->term);
     if (cur == end) break;
-    if (cur->term == e.term) {
+    if (cur->term == e->term) {
       ++overlap;
       ++cur;
     }
@@ -73,6 +73,72 @@ size_t OverlapGalloped(const std::vector<TermWeight>& small,
 }
 
 }  // namespace
+
+double DotSpan(const TermWeight* a, size_t a_len, const TermWeight* b,
+               size_t b_len) {
+  if (Skewed(a_len, b_len)) return DotGalloped(a, a_len, b, b_len);
+  if (Skewed(b_len, a_len)) return DotGalloped(b, b_len, a, a_len);
+  double dot = 0.0;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      dot += static_cast<double>(ia->weight) * ib->weight;
+      ++ia;
+      ++ib;
+    }
+  }
+  return dot;
+}
+
+size_t OverlapCountSpan(const TermWeight* a, size_t a_len, const TermWeight* b,
+                        size_t b_len) {
+  if (Skewed(a_len, b_len)) return OverlapGalloped(a, a_len, b, b_len);
+  if (Skewed(b_len, a_len)) return OverlapGalloped(b, b_len, a, a_len);
+  size_t overlap = 0;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+float GetSpan(const TermWeight* a, size_t a_len, TermId term) {
+  const TermWeight* it = std::lower_bound(
+      a, a + a_len, term,
+      [](const TermWeight& e, TermId t) { return e.term < t; });
+  if (it == a + a_len || it->term != term) return 0.0f;
+  return it->weight;
+}
+
+bool ContainsSpan(const TermWeight* a, size_t a_len, TermId term) {
+  return GetSpan(a, a_len, term) > 0.0f;
+}
+
+double NormSquaredSpan(const TermWeight* a, size_t a_len) {
+  double norm_squared = 0.0;
+  for (const TermWeight* e = a; e != a + a_len; ++e) {
+    norm_squared += static_cast<double>(e->weight) * e->weight;
+  }
+  return norm_squared;
+}
 
 TermVector TermVector::FromUnsorted(std::vector<TermWeight> entries) {
   std::sort(entries.begin(), entries.end(),
@@ -119,61 +185,19 @@ void TermVector::RecomputeCaches() {
 }
 
 float TermVector::Get(TermId term) const {
-  const auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), term,
-      [](const TermWeight& e, TermId t) { return e.term < t; });
-  if (it == entries_.end() || it->term != term) return 0.0f;
-  return it->weight;
+  return GetSpan(entries_.data(), entries_.size(), term);
 }
 
 bool TermVector::Contains(TermId term) const { return Get(term) > 0.0f; }
 
 double TermVector::Dot(const TermVector& other) const {
-  if (Skewed(entries_.size(), other.entries_.size())) {
-    return DotGalloped(entries_, other.entries_);
-  }
-  if (Skewed(other.entries_.size(), entries_.size())) {
-    return DotGalloped(other.entries_, entries_);
-  }
-  double dot = 0.0;
-  auto a = entries_.begin();
-  auto b = other.entries_.begin();
-  while (a != entries_.end() && b != other.entries_.end()) {
-    if (a->term < b->term) {
-      ++a;
-    } else if (b->term < a->term) {
-      ++b;
-    } else {
-      dot += static_cast<double>(a->weight) * b->weight;
-      ++a;
-      ++b;
-    }
-  }
-  return dot;
+  return DotSpan(entries_.data(), entries_.size(), other.entries_.data(),
+                 other.entries_.size());
 }
 
 size_t TermVector::OverlapCount(const TermVector& other) const {
-  if (Skewed(entries_.size(), other.entries_.size())) {
-    return OverlapGalloped(entries_, other.entries_);
-  }
-  if (Skewed(other.entries_.size(), entries_.size())) {
-    return OverlapGalloped(other.entries_, entries_);
-  }
-  size_t overlap = 0;
-  auto a = entries_.begin();
-  auto b = other.entries_.begin();
-  while (a != entries_.end() && b != other.entries_.end()) {
-    if (a->term < b->term) {
-      ++a;
-    } else if (b->term < a->term) {
-      ++b;
-    } else {
-      ++overlap;
-      ++a;
-      ++b;
-    }
-  }
-  return overlap;
+  return OverlapCountSpan(entries_.data(), entries_.size(),
+                          other.entries_.data(), other.entries_.size());
 }
 
 namespace {

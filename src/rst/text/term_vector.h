@@ -91,6 +91,26 @@ class TermVector {
   double weight_sum_ = 0.0;
 };
 
+/// Span kernels: non-owning variants of the read-only merge kernels over raw
+/// sorted runs (term ids ascending, unique, weights >= 0). TermVector
+/// delegates to these, and the frozen flat-layout index (rst::frozen) calls
+/// them directly on its shared term-weight pools — both paths execute the
+/// exact same adaptive galloping code, so every similarity/bound double is
+/// bit-identical between the pointer tree and the frozen view.
+double DotSpan(const TermWeight* a, size_t a_len, const TermWeight* b,
+               size_t b_len);
+size_t OverlapCountSpan(const TermWeight* a, size_t a_len, const TermWeight* b,
+                        size_t b_len);
+
+/// Weight of `term` in a sorted span, 0 if absent. O(log n).
+float GetSpan(const TermWeight* a, size_t a_len, TermId term);
+bool ContainsSpan(const TermWeight* a, size_t a_len, TermId term);
+
+/// Sum of squared weights accumulated in entry order — the same addition
+/// sequence as the TermVector construction cache, so the result matches
+/// TermVector::NormSquared() bit-for-bit.
+double NormSquaredSpan(const TermWeight* a, size_t a_len);
+
 }  // namespace rst
 
 #endif  // RST_TEXT_TERM_VECTOR_H_

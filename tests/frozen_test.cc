@@ -1,0 +1,403 @@
+#include "rst/frozen/frozen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rst/common/file_util.h"
+#include "rst/data/generators.h"
+#include "rst/exec/batch_runner.h"
+#include "rst/exec/thread_pool.h"
+#include "rst/iurtree/cluster.h"
+#include "rst/obs/explain.h"
+#include "rst/rstknn/rstknn.h"
+
+namespace rst {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::vector<uint32_t> cluster_of;
+  IurTree tree;
+  TextSimilarity sim;
+  StScorer scorer;
+
+  explicit Fixture(size_t n, bool clustered = false, uint64_t seed = 7)
+      : tree(IurTree::Build({}, {})), sim(TextMeasure::kExtendedJaccard),
+        scorer(&sim, {0.5, 1.0}) {
+    FlickrLikeConfig config;
+    config.num_objects = n;
+    config.vocab_size = 200;
+    config.seed = seed;
+    dataset = GenFlickrLike(config, {Weighting::kTfIdf, 0.1});
+    if (clustered) {
+      std::vector<TermVector> docs;
+      for (const StObject& o : dataset.objects()) docs.push_back(o.doc);
+      ClusteringOptions copts;
+      copts.num_clusters = 6;
+      copts.outlier_threshold = 0.1;
+      cluster_of = ClusterDocuments(docs, copts).assignment;
+    }
+    IurTreeOptions topts;
+    topts.max_entries = 8;
+    topts.min_entries = 4;
+    tree = IurTree::BuildFromDataset(dataset, topts,
+                                     clustered ? &cluster_of : nullptr);
+    scorer = StScorer(&sim, {0.5, dataset.max_dist()});
+  }
+};
+
+void ExpectStatsEqual(const RstknnStats& a, const RstknnStats& b) {
+  EXPECT_EQ(a.io.node_reads, b.io.node_reads);
+  EXPECT_EQ(a.io.payload_blocks, b.io.payload_blocks);
+  EXPECT_EQ(a.io.payload_bytes, b.io.payload_bytes);
+  EXPECT_EQ(a.io.cache_hits, b.io.cache_hits);
+  EXPECT_EQ(a.entries_created, b.entries_created);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.pruned_entries, b.pruned_entries);
+  EXPECT_EQ(a.reported_entries, b.reported_entries);
+  EXPECT_EQ(a.bound_computations, b.bound_computations);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.pq_pops, b.pq_pops);
+}
+
+// ---------------------------------------------------------------------------
+// Structural equivalence of the frozen layout
+
+TEST(FrozenTreeTest, LayoutMatchesExplainNumbering) {
+  const Fixture f(300, /*clustered=*/true);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  ASSERT_TRUE(frozen.CheckInvariants().ok())
+      << frozen.CheckInvariants().ToString();
+  EXPECT_EQ(frozen.size(), f.tree.size());
+  EXPECT_TRUE(frozen.clustered());
+  EXPECT_EQ(frozen.num_nodes(), f.tree.NodeCount());
+
+  // Every pointer entry's explain id must address the identical frozen
+  // entry: the frozen array order IS the explain preorder (id = index + 1).
+  const ExplainIndex index(f.tree);
+  ASSERT_EQ(index.size(), frozen.num_entries());
+  std::vector<const IurTree::Node*> stack{f.tree.root()};
+  size_t objects = 0;
+  while (!stack.empty()) {
+    const IurTree::Node* node = stack.back();
+    stack.pop_back();
+    for (const IurTree::Entry& entry : node->entries) {
+      const ExplainIndex::Info info = index.Lookup(&entry);
+      ASSERT_GE(info.id, 1u);
+      const uint32_t e = static_cast<uint32_t>(info.id - 1);
+      ASSERT_LT(e, frozen.num_entries());
+      EXPECT_EQ(frozen.EntryLevel(e), info.level);
+      EXPECT_EQ(frozen.EntryRect(e).min_x, entry.rect.min_x);
+      EXPECT_EQ(frozen.EntryRect(e).max_y, entry.rect.max_y);
+      EXPECT_EQ(frozen.IsObject(e), entry.is_object());
+      EXPECT_EQ(frozen.Count(e), entry.count());
+      if (entry.is_object()) {
+        EXPECT_EQ(frozen.ObjectIdOf(e), entry.id);
+        ++objects;
+      } else {
+        stack.push_back(entry.child.get());
+      }
+      // Summaries must be the same term-by-term data (shared span kernels
+      // then guarantee bit-identical bounds).
+      const SummarySpan ps = AsSpan(entry.summary);
+      const SummarySpan fs = frozen.Summary(e);
+      ASSERT_EQ(fs.uni.len, ps.uni.len);
+      ASSERT_EQ(fs.intr.len, ps.intr.len);
+      EXPECT_EQ(fs.uni.norm_squared, ps.uni.norm_squared);
+      for (uint32_t t = 0; t < fs.uni.len; ++t) {
+        EXPECT_EQ(fs.uni.data[t].term, ps.uni.data[t].term);
+        EXPECT_EQ(fs.uni.data[t].weight, ps.uni.data[t].weight);
+      }
+      ASSERT_EQ(frozen.NumClusters(e), entry.clusters.size());
+      for (uint32_t c = 0; c < frozen.NumClusters(e); ++c) {
+        EXPECT_EQ(frozen.ClusterId(e, c), entry.clusters[c].first);
+        EXPECT_EQ(frozen.ClusterCount(e, c), entry.clusters[c].second.count);
+      }
+    }
+  }
+  EXPECT_EQ(objects, f.tree.size());
+}
+
+TEST(FrozenTreeTest, PayloadsMatchPointerTreeByteForByte) {
+  const Fixture f(250, /*clustered=*/true);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  ASSERT_TRUE(frozen.has_payloads());
+  // Identical re-encode order ⇒ identical page handles and total bytes, so
+  // I/O accounting (simulated and real) agrees between the views.
+  EXPECT_EQ(frozen.IndexBytes(), f.tree.IndexBytes());
+  const PageHandle root_ptr = f.tree.root()->invfile_handle;
+  const PageHandle root_frz = frozen.invfile_handle(frozen.root());
+  EXPECT_EQ(root_frz.first_page, root_ptr.first_page);
+  EXPECT_EQ(root_frz.num_pages, root_ptr.num_pages);
+  EXPECT_EQ(root_frz.bytes, root_ptr.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism matrix: {probe, contribution-list} × {IUR, CIUR} × {1, 8}
+// threads — answers, stats, and explain JSON byte-identical across views.
+
+struct MatrixCase {
+  RstknnAlgorithm algorithm;
+  bool clustered;
+};
+
+class FrozenMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(FrozenMatrixTest, FrozenViewIsByteIdentical) {
+  const MatrixCase param = GetParam();
+  const Fixture f(300, param.clustered);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+
+  // Serial: answers + stats + explain JSON per query.
+  const RstknnSearcher pointer_search(&f.tree, &f.dataset, &f.scorer);
+  const RstknnSearcher frozen_search(&frozen, &f.dataset, &f.scorer);
+  for (ObjectId qid : {ObjectId{3}, ObjectId{123}, ObjectId{222}}) {
+    const StObject& qobj = f.dataset.object(qid);
+    const RstknnQuery query{qobj.loc, &qobj.doc, 8, qid};
+    RstknnOptions options;
+    options.algorithm = param.algorithm;
+    options.publish_metrics = false;
+    obs::ExplainRecorder pointer_explain;
+    obs::ExplainRecorder frozen_explain;
+    options.explain = &pointer_explain;
+    const RstknnResult from_pointer = pointer_search.Search(query, options);
+    options.explain = &frozen_explain;
+    const RstknnResult from_frozen = frozen_search.Search(query, options);
+    EXPECT_EQ(from_pointer.answers, from_frozen.answers);
+    ExpectStatsEqual(from_pointer.stats, from_frozen.stats);
+    EXPECT_EQ(pointer_explain.ToJson(), frozen_explain.ToJson());
+  }
+
+  // Batched at 1 and 8 threads: the BatchRunner determinism contract must
+  // extend across views at every thread count.
+  std::vector<RstknnQuery> queries;
+  for (ObjectId qid = 0; qid < 40; ++qid) {
+    const StObject& qobj = f.dataset.object(qid);
+    queries.push_back({qobj.loc, &qobj.doc, 8, qid});
+  }
+  RstknnOptions options;
+  options.algorithm = param.algorithm;
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    exec::ThreadPool pool(threads);
+    const exec::BatchRunner pointer_runner(&f.tree, &f.dataset, &f.scorer,
+                                           &pool);
+    const exec::BatchRunner frozen_runner(&frozen, &f.dataset, &f.scorer,
+                                          &pool);
+    exec::BatchStats pointer_stats;
+    exec::BatchStats frozen_stats;
+    const auto from_pointer =
+        pointer_runner.RunRstknn(queries, options, &pointer_stats);
+    const auto from_frozen =
+        frozen_runner.RunRstknn(queries, options, &frozen_stats);
+    ASSERT_EQ(from_pointer.size(), from_frozen.size());
+    for (size_t i = 0; i < from_pointer.size(); ++i) {
+      EXPECT_EQ(from_pointer[i].answers, from_frozen[i].answers)
+          << "query " << i << " at " << threads << " threads";
+      ExpectStatsEqual(from_pointer[i].stats, from_frozen[i].stats);
+    }
+    ExpectStatsEqual(pointer_stats.total, frozen_stats.total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FrozenMatrixTest,
+    ::testing::Values(MatrixCase{RstknnAlgorithm::kProbe, false},
+                      MatrixCase{RstknnAlgorithm::kProbe, true},
+                      MatrixCase{RstknnAlgorithm::kContributionList, false},
+                      MatrixCase{RstknnAlgorithm::kContributionList, true}));
+
+TEST(FrozenTreeTest, RealIoThroughBufferPoolMatchesPointerTree) {
+  const Fixture f(250, /*clustered=*/false);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  const StObject& qobj = f.dataset.object(17);
+  const RstknnQuery query{qobj.loc, &qobj.doc, 5, 17};
+
+  BufferPool pointer_pool(&f.tree.page_store(), 64);
+  BufferPool frozen_pool(&frozen.page_store(), 64);
+  RstknnOptions options;
+  options.publish_metrics = false;
+  const RstknnSearcher pointer_search(&f.tree, &f.dataset, &f.scorer);
+  const RstknnSearcher frozen_search(&frozen, &f.dataset, &f.scorer);
+  options.pool = &pointer_pool;
+  const RstknnResult from_pointer = pointer_search.Search(query, options);
+  options.pool = &frozen_pool;
+  const RstknnResult from_frozen = frozen_search.Search(query, options);
+  EXPECT_EQ(from_pointer.answers, from_frozen.answers);
+  ExpectStatsEqual(from_pointer.stats, from_frozen.stats);
+  // Identical page handles ⇒ identical fetch pattern in the pool.
+  EXPECT_EQ(pointer_pool.hits(), frozen_pool.hits());
+  EXPECT_EQ(pointer_pool.misses(), frozen_pool.misses());
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+
+TEST(FrozenSerializationTest, RoundTripIsExact) {
+  const Fixture f(200, /*clustered=*/true);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  const std::string bytes = frozen.SerializeToString();
+
+  Result<frozen::FrozenTree> loaded = frozen::FrozenTree::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const frozen::FrozenTree& copy = loaded.value();
+  EXPECT_TRUE(copy.CheckInvariants().ok());
+  EXPECT_EQ(copy.num_nodes(), frozen.num_nodes());
+  EXPECT_EQ(copy.num_entries(), frozen.num_entries());
+  EXPECT_EQ(copy.size(), frozen.size());
+  EXPECT_EQ(copy.clustered(), frozen.clustered());
+  EXPECT_EQ(copy.has_payloads(), frozen.has_payloads());
+  // Payload rebuild and norm recomputation are deterministic, so a second
+  // serialization is byte-identical and the rebuilt page store matches.
+  EXPECT_EQ(copy.SerializeToString(), bytes);
+  EXPECT_EQ(copy.IndexBytes(), frozen.IndexBytes());
+
+  // The reloaded snapshot answers queries identically to the pointer tree.
+  const RstknnSearcher pointer_search(&f.tree, &f.dataset, &f.scorer);
+  const RstknnSearcher loaded_search(&copy, &f.dataset, &f.scorer);
+  const StObject& qobj = f.dataset.object(42);
+  const RstknnQuery query{qobj.loc, &qobj.doc, 6, 42};
+  RstknnOptions options;
+  options.publish_metrics = false;
+  const RstknnResult a = pointer_search.Search(query, options);
+  const RstknnResult b = loaded_search.Search(query, options);
+  EXPECT_EQ(a.answers, b.answers);
+  ExpectStatsEqual(a.stats, b.stats);
+}
+
+TEST(FrozenSerializationTest, SaveLoadRoundTrip) {
+  const Fixture f(120);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  const std::string path =
+      ::testing::TempDir() + "/frozen_save_load_test.rstf";
+  ASSERT_TRUE(frozen.Save(path).ok());
+  Result<frozen::FrozenTree> loaded = frozen::FrozenTree::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().SerializeToString(), frozen.SerializeToString());
+  std::remove(path.c_str());
+}
+
+TEST(FrozenSerializationTest, CorruptInputsReturnStatusNeverCrash) {
+  const Fixture f(150, /*clustered=*/true);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  const std::string bytes = frozen.SerializeToString();
+
+  // Truncation at every interesting prefix length: must error, not crash.
+  for (const size_t len :
+       {size_t{0}, size_t{3}, size_t{4}, size_t{11}, size_t{12}, size_t{40},
+        bytes.size() / 2, bytes.size() - 9, bytes.size() - 1}) {
+    const Result<frozen::FrozenTree> r =
+        frozen::FrozenTree::Deserialize(bytes.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "truncated to " << len << " bytes";
+  }
+
+  // Wrong magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(frozen::FrozenTree::Deserialize(bad_magic).ok());
+
+  // Any flipped byte breaks the checksum.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 3] ^= 0x40;
+  const Result<frozen::FrozenTree> r = frozen::FrozenTree::Deserialize(flipped);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("checksum"), std::string::npos);
+
+  // Trailing garbage past the checksum.
+  EXPECT_FALSE(frozen::FrozenTree::Deserialize(bytes + "garbage").ok());
+
+  // An unsupported version is rejected even with a valid checksum (the
+  // version byte sits right after the 4-byte magic; re-stamp the FNV-1a
+  // checksum so version rejection — not the checksum — is what fires).
+  std::string future = bytes;
+  future[4] = static_cast<char>(frozen::FrozenTree::kFormatVersion + 1);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i + 8 < future.size(); ++i) {
+    h ^= static_cast<uint8_t>(future[i]);
+    h *= 1099511628211ULL;
+  }
+  for (int b = 0; b < 8; ++b) {
+    future[future.size() - 8 + b] = static_cast<char>((h >> (8 * b)) & 0xFF);
+  }
+  const Result<frozen::FrozenTree> v = frozen::FrozenTree::Deserialize(future);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().ToString().find("version"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+
+TEST(FrozenTreeTest, EmptyAndSingleLeafTrees) {
+  // Empty tree: one empty root node, zero entries; searching returns
+  // nothing; serialization round-trips.
+  const IurTree empty = IurTree::Build({}, {});
+  const frozen::FrozenTree frozen_empty = frozen::FrozenTree::Freeze(empty);
+  EXPECT_EQ(frozen_empty.num_nodes(), 1u);
+  EXPECT_EQ(frozen_empty.num_entries(), 0u);
+  EXPECT_TRUE(frozen_empty.CheckInvariants().ok());
+  const Result<frozen::FrozenTree> rt =
+      frozen::FrozenTree::Deserialize(frozen_empty.SerializeToString());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value().num_entries(), 0u);
+
+  // A dataset that fits one leaf (≤ max_entries) exercises the small-input
+  // build path, which must finalize storage exactly like the full path.
+  const Fixture f(6);
+  EXPECT_TRUE(f.tree.storage_finalized());
+  EXPECT_GT(f.tree.IndexBytes(), 0u);
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  EXPECT_TRUE(frozen.has_payloads());
+  EXPECT_EQ(frozen.num_entries(), 6u);
+  EXPECT_TRUE(frozen.CheckInvariants().ok());
+  const RstknnSearcher pointer_search(&f.tree, &f.dataset, &f.scorer);
+  const RstknnSearcher frozen_search(&frozen, &f.dataset, &f.scorer);
+  const StObject& qobj = f.dataset.object(2);
+  const RstknnQuery query{qobj.loc, &qobj.doc, 3, 2};
+  RstknnOptions options;
+  options.publish_metrics = false;
+  EXPECT_EQ(pointer_search.Search(query, options).answers,
+            frozen_search.Search(query, options).answers);
+  EXPECT_EQ(frozen_search.Search(query, options).answers,
+            BruteForceRstknn(f.dataset, f.scorer, query));
+}
+
+TEST(FrozenTreeTest, DirtyTreeFreezesWithoutPayloads) {
+  Fixture f(100);
+  // An insert invalidates the serialized payloads; the freeze then carries
+  // no payload store and charges node reads only — same as the dirty tree.
+  f.tree.Insert(100, {0.5, 0.5}, &f.dataset.object(0).doc);
+  ASSERT_FALSE(f.tree.storage_finalized());
+  const frozen::FrozenTree frozen = frozen::FrozenTree::Freeze(f.tree);
+  EXPECT_FALSE(frozen.has_payloads());
+  EXPECT_TRUE(frozen.CheckInvariants().ok());
+  IoStats stats;
+  frozen.ChargeAccess(frozen.root(), &stats);
+  EXPECT_EQ(stats.node_reads, 1u);
+  EXPECT_EQ(stats.payload_blocks, 0u);
+}
+
+TEST(FrozenTreeTest, ParallelBuildProducesIdenticalFrozenBytes) {
+  FlickrLikeConfig config;
+  config.num_objects = 500;
+  config.vocab_size = 200;
+  config.seed = 13;
+  const Dataset dataset = GenFlickrLike(config, {Weighting::kTfIdf, 0.1});
+  IurTreeOptions serial;
+  serial.max_entries = 8;
+  serial.min_entries = 4;
+  IurTreeOptions parallel = serial;
+  parallel.build_threads = 4;
+  const IurTree t1 = IurTree::BuildFromDataset(dataset, serial);
+  const IurTree t4 = IurTree::BuildFromDataset(dataset, parallel);
+  // The slab sorts are disjoint ranges of one level array, so the packed
+  // tree — and hence the canonical frozen serialization — is identical at
+  // every thread count.
+  EXPECT_EQ(frozen::FrozenTree::Freeze(t1).SerializeToString(),
+            frozen::FrozenTree::Freeze(t4).SerializeToString());
+}
+
+}  // namespace
+}  // namespace rst

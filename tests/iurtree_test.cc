@@ -43,6 +43,37 @@ TEST(IurTreeTest, DegenerateSizes) {
   }
 }
 
+TEST(IurTreeTest, SmallInputsFinalizeStorageLikeTheFullPath) {
+  // Every Build path — empty input, a dataset that fits a single leaf
+  // (≤ max_entries), and the full STR pack — must flow through the same
+  // publish point: storage finalized, payloads serialized, handles valid.
+  const IurTree empty = IurTree::Build({}, {});
+  EXPECT_TRUE(empty.storage_finalized());
+
+  for (size_t n : {1u, 5u, 32u, 33u, 200u}) {
+    const Dataset d = SmallDataset(n, 40 + n);
+    const IurTree tree = IurTree::BuildFromDataset(d, {});
+    EXPECT_TRUE(tree.storage_finalized()) << "n=" << n;
+    EXPECT_GT(tree.IndexBytes(), 0u) << "n=" << n;
+    EXPECT_TRUE(tree.root()->record_handle.valid()) << "n=" << n;
+    EXPECT_TRUE(tree.root()->invfile_handle.valid()) << "n=" << n;
+  }
+}
+
+TEST(IurTreeTest, ParallelBuildIsDeterministic) {
+  const Dataset d = SmallDataset(900, 3);
+  IurTreeOptions serial;
+  IurTreeOptions threaded;
+  threaded.build_threads = 4;
+  const IurTree a = IurTree::BuildFromDataset(d, serial);
+  const IurTree b = IurTree::BuildFromDataset(d, threaded);
+  EXPECT_TRUE(b.CheckInvariants(DocLookup(d)).ok());
+  // Identical structure ⇒ identical serialized payload stream.
+  EXPECT_EQ(a.NodeCount(), b.NodeCount());
+  EXPECT_EQ(a.height(), b.height());
+  EXPECT_EQ(a.IndexBytes(), b.IndexBytes());
+}
+
 TEST(IurTreeTest, NodeSummariesBracketSubtreeDocs) {
   const Dataset d = SmallDataset(500);
   const IurTree tree = IurTree::BuildFromDataset(d, {});

@@ -28,6 +28,19 @@
 //                       are genuine.
 //   --pool-pages N      buffer-pool capacity in 4 KiB pages (default 256)
 //
+// Frozen-index flags (rstknn only):
+//   --frozen            freeze the built tree into the flat-layout snapshot
+//                       (rst::frozen) and answer over it — byte-identical
+//                       results/metrics, pointer-free traversal
+//   --save-index FILE   freeze and persist the snapshot (versioned format);
+//                       with no query flags (--id/--ids/--keywords) the
+//                       command exits after saving
+//   --load-index FILE   answer over a previously saved snapshot instead of
+//                       rebuilding the tree (implies --frozen; --data must
+//                       still name the dataset the index was built from)
+//   --build-threads N   worker threads for the STR bulk-load slab sorts
+//                       (default 1; any N produces the identical tree)
+//
 // EXPLAIN / slow-query flags (rstknn only):
 //   --explain           print the per-level branch-and-bound decision
 //                       summary (which bound fired, prune/expand/report) to
@@ -47,8 +60,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rst/common/file_util.h"
@@ -56,6 +71,7 @@
 #include "rst/data/csv.h"
 #include "rst/data/generators.h"
 #include "rst/exec/batch_runner.h"
+#include "rst/frozen/frozen.h"
 #include "rst/maxbrst/maxbrst.h"
 #include "rst/obs/explain.h"
 #include "rst/obs/json.h"
@@ -377,7 +393,8 @@ int CmdTopK(const Flags& flags) {
 /// BatchRunner. Traces are single-threaded by design, so --trace only
 /// annotates the artifact with the batch, not per-query spans.
 int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
-                   const IurTree& tree, const StScorer& scorer) {
+                   const IurTree* tree, const frozen::FrozenTree* frozen,
+                   const StScorer& scorer) {
   std::vector<ObjectId> ids;
   for (TermId t : ParseTerms(flags.Get("ids", ""))) {
     ids.push_back(static_cast<ObjectId>(t));
@@ -401,12 +418,17 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
   const ObsFlags obs_flags(flags);
   RstknnOptions options;
   options.algorithm = ParseAlgorithm(flags);
-  BufferPool pool(&tree.page_store(), obs_flags.pool_pages);
+  BufferPool pool(frozen != nullptr ? &frozen->page_store()
+                                    : &tree->page_store(),
+                  obs_flags.pool_pages);
   if (!obs_flags.metrics_out.empty()) options.pool = &pool;
 
   const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   exec::ThreadPool thread_pool(threads);
-  exec::BatchRunner runner(&tree, &dataset, &scorer, &thread_pool);
+  exec::BatchRunner runner =
+      frozen != nullptr
+          ? exec::BatchRunner(frozen, &dataset, &scorer, &thread_pool)
+          : exec::BatchRunner(tree, &dataset, &scorer, &thread_pool);
   obs::SlowQueryLog slow_log(obs_flags.slow_log_ms);
   if (obs_flags.slow_logging()) runner.set_slow_log(&slow_log);
   exec::BatchStats batch_stats;
@@ -455,12 +477,59 @@ int CmdRstknn(const Flags& flags) {
     return 1;
   }
   const Dataset& dataset = data.value();
-  const IurTree tree = IurTree::BuildFromDataset(dataset, {});
   TextSimilarity sim(ParseMeasure(flags, TextMeasure::kExtendedJaccard),
                      &dataset.corpus_max());
   StScorer scorer(&sim, {flags.GetDouble("alpha", 0.5), dataset.max_dist()});
-  if (flags.Has("ids")) return CmdRstknnBatch(flags, dataset, tree, scorer);
-  RstknnSearcher searcher(&tree, &dataset, &scorer);
+
+  // Index setup: build the pointer tree (and optionally freeze/save it), or
+  // load a previously saved frozen snapshot and skip the build entirely.
+  const bool load_index = flags.Has("load-index");
+  const bool save_index = flags.Has("save-index");
+  const bool use_frozen = flags.Has("frozen") || load_index;
+  std::optional<IurTree> tree;
+  std::optional<frozen::FrozenTree> frozen;
+  if (load_index) {
+    Result<frozen::FrozenTree> loaded =
+        frozen::FrozenTree::Load(flags.Get("load-index", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--load-index: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    frozen.emplace(std::move(loaded.value()));
+  } else {
+    IurTreeOptions tree_options;
+    tree_options.build_threads =
+        static_cast<size_t>(flags.GetInt("build-threads", 1));
+    tree.emplace(IurTree::BuildFromDataset(dataset, tree_options));
+    if (use_frozen || save_index) {
+      frozen.emplace(frozen::FrozenTree::Freeze(*tree));
+    }
+  }
+  if (save_index) {
+    const std::string path = flags.Get("save-index", "");
+    const Status s = frozen->Save(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "--save-index: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "frozen index (%u nodes, %u entries, %llu payload bytes) "
+                 "written to %s\n",
+                 frozen->num_nodes(), frozen->num_entries(),
+                 static_cast<unsigned long long>(frozen->IndexBytes()),
+                 path.c_str());
+    if (!flags.Has("id") && !flags.Has("ids") && !flags.Has("keywords")) {
+      return 0;  // save-only invocation
+    }
+  }
+  if (flags.Has("ids")) {
+    return CmdRstknnBatch(flags, dataset, tree ? &*tree : nullptr,
+                          use_frozen ? &*frozen : nullptr, scorer);
+  }
+  const RstknnSearcher searcher =
+      use_frozen ? RstknnSearcher(&*frozen, &dataset, &scorer)
+                 : RstknnSearcher(&*tree, &dataset, &scorer);
 
   RstknnQuery query;
   TermVector qdoc;
@@ -487,7 +556,8 @@ int CmdRstknn(const Flags& flags) {
   // With a metrics artifact requested, switch to real I/O through a buffer
   // pool so the reported hit/miss/fill metrics are genuine reads of the
   // serialized index rather than simulated charges.
-  BufferPool pool(&tree.page_store(), obs_flags.pool_pages);
+  BufferPool pool(use_frozen ? &frozen->page_store() : &tree->page_store(),
+                  obs_flags.pool_pages);
   if (obs_flags.tracing() || obs_flags.slow_logging()) {
     options.trace = &trace;
   }
