@@ -39,6 +39,7 @@ size_t Threads() {
 }
 
 exec::ThreadPool& SharedPool() {
+  // rst-lint: allow(raw-new-delete) leaky singleton; pool outlives main
   static auto* pool = new exec::ThreadPool(Threads());
   return *pool;
 }
@@ -89,6 +90,7 @@ void EmitFigureMetrics(const std::string& figure) {
 }
 
 const ExtEnv& CachedExtEnv(const ExtParams& params) {
+  // rst-lint: allow(raw-new-delete) leaky build cache shared across points
   static auto* cache = new std::map<std::string, ExtEnv*>();
   char key[128];
   std::snprintf(key, sizeof(key), "%zu|%d|%d", params.num_objects,
@@ -96,6 +98,7 @@ const ExtEnv& CachedExtEnv(const ExtParams& params) {
   auto it = cache->find(key);
   if (it != cache->end()) return *it->second;
 
+  // rst-lint: allow(raw-new-delete) cached for process lifetime, never freed
   auto* env = new ExtEnv{Dataset(), IurTree::Build({}, {})};
   const WeightingOptions weighting{params.weighting, 0.1};
   if (params.yelp) {
@@ -186,6 +189,7 @@ ExtPoint RunExtPoint(const ExtParams& params, bool run_selection,
 }
 
 const CoreEnv& CachedCoreEnv(const CoreParams& params) {
+  // rst-lint: allow(raw-new-delete) leaky build cache shared across points
   static auto* cache = new std::map<std::string, CoreEnv*>();
   char key[160];
   std::snprintf(key, sizeof(key), "%zu|%u|%llu|%d", params.num_objects,
@@ -195,6 +199,7 @@ const CoreEnv& CachedCoreEnv(const CoreParams& params) {
   auto it = cache->find(key);
   if (it != cache->end()) return *it->second;
 
+  // rst-lint: allow(raw-new-delete) cached for process lifetime, never freed
   auto* env = new CoreEnv{Dataset(),
                           {},
                           {},

@@ -1,5 +1,5 @@
-#ifndef RST_BENCH_BENCH_COMMON_H_
-#define RST_BENCH_BENCH_COMMON_H_
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
 
 // Shared scaffolding for the figure/table reproduction harnesses. Each
 // binary regenerates one table or figure of the evaluated papers (see
@@ -152,4 +152,4 @@ CorePoint RunCorePoint(const CoreParams& params, bool run_baseline = true);
 
 }  // namespace rst::bench
 
-#endif  // RST_BENCH_BENCH_COMMON_H_
+#endif  // BENCH_BENCH_COMMON_H_

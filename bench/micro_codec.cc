@@ -34,6 +34,7 @@ void BM_VarintDecode(benchmark::State& state) {
     size_t offset = 0;
     uint64_t value = 0;
     while (offset < buf.size()) {
+      // rst-lint: allow(unchecked-status) benchmark hot loop; decoding valid bytes cannot fail
       (void)GetVarint64(buf, &offset, &value);
       benchmark::DoNotOptimize(value);
     }
@@ -76,6 +77,7 @@ void BM_InvertedFileDecode(benchmark::State& state) {
   for (auto _ : state) {
     size_t offset = 0;
     InvertedFile out;
+    // rst-lint: allow(unchecked-status) benchmark hot loop; decoding valid bytes cannot fail
     (void)DecodeInvertedFile(buf, &offset, &out);
     benchmark::DoNotOptimize(out);
   }
@@ -88,6 +90,7 @@ void BM_PageStoreRoundTrip(benchmark::State& state) {
     PageStore store;
     const PageHandle h = store.Write(payload);
     std::string out;
+    // rst-lint: allow(unchecked-status) benchmark hot loop; reading a just-written page cannot fail
     (void)store.Read(h, &out, nullptr);
     benchmark::DoNotOptimize(out);
   }
@@ -100,6 +103,7 @@ void BM_BufferPoolHit(benchmark::State& state) {
   const PageHandle h = store.Write(std::string(4096, 'y'));
   BufferPool pool(&store, 64);
   IoStats stats;
+  // rst-lint: allow(unchecked-status) cache warm-up; the timed Fetch below is checked by storage_test
   (void)pool.Fetch(h, &stats);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pool.Fetch(h, &stats));

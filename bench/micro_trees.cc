@@ -61,6 +61,7 @@ struct TopKEnv {
 
   static const TopKEnv& Get() {
     static const TopKEnv* env = [] {
+      // rst-lint: allow(raw-new-delete) leaky singleton shared by benchmarks
       auto* e = new TopKEnv();
       FlickrLikeConfig config;
       config.num_objects = 20000;

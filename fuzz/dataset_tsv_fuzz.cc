@@ -1,0 +1,27 @@
+/// Fuzz target: the plain-text dataset parsers on arbitrary bytes.
+///
+/// ParseDatasetTsv / ParseDatasetIds are the entry points for user-supplied
+/// collections (real POI / tweet dumps). Their contract is total: any byte
+/// sequence in, a Dataset or a Status out — never a throw, crash, or
+/// unbounded allocation (the id parser's term-id sanity cap exists because
+/// this harness's predecessor review found an O(max-id) allocation).
+
+#include <cstdint>
+#include <string_view>
+
+#include "rst/data/csv.h"
+#include "rst/text/vocabulary.h"
+#include "rst/text/weighting.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const rst::WeightingOptions weighting;
+  {
+    rst::Vocabulary vocab;
+    // rst-lint: allow(unchecked-status) fuzz target: both outcomes valid, only absence of crashes matters
+    (void)rst::ParseDatasetTsv(text, &vocab, weighting);
+  }
+  // rst-lint: allow(unchecked-status) fuzz target: both outcomes valid, only absence of crashes matters
+  (void)rst::ParseDatasetIds(text, weighting);
+  return 0;
+}

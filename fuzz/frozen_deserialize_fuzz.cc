@@ -1,0 +1,27 @@
+/// Fuzz target: FrozenTree::Deserialize on arbitrary bytes.
+///
+/// Deserialize is the trust boundary for persisted indexes (--load-index): it
+/// must reject any corrupted or adversarial snapshot with a Status, never a
+/// crash, OOM, or — worst — a silently inconsistent tree. On an accepting
+/// parse we re-run the deep invariant check and round-trip through
+/// SerializeToString, trapping if either disagrees with acceptance.
+
+#include <cstdint>
+#include <string>
+
+#include "rst/frozen/frozen.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  rst::Result<rst::frozen::FrozenTree> tree =
+      rst::frozen::FrozenTree::Deserialize(bytes);
+  if (!tree.ok()) return 0;
+  // Accepted snapshots must be fully coherent: the invariant check is part of
+  // Deserialize itself, so a failure here means acceptance and validation
+  // disagree — exactly the bug class this harness exists to catch.
+  const rst::Status st = tree.value().CheckInvariants();
+  if (!st.ok()) __builtin_trap();
+  const std::string out = tree.value().SerializeToString();
+  if (out.empty()) __builtin_trap();
+  return 0;
+}

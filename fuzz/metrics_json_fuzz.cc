@@ -1,0 +1,28 @@
+/// Fuzz target: the JSON parser and MetricsSnapshot decoding on arbitrary
+/// bytes.
+///
+/// Snapshots cross process boundaries (bench_diff reads files written by
+/// earlier CLI runs, CI gates diff checked-in baselines), so FromJson must
+/// tolerate any bytes a previous version — or a corrupted disk — may hand it.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rst/obs/json.h"
+#include "rst/obs/metrics.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  rst::Result<rst::obs::JsonValue> parsed =
+      rst::obs::JsonValue::Parse(std::string_view(text));
+  if (parsed.ok()) {
+    // rst-lint: allow(unchecked-status) fuzz target: both outcomes valid, only absence of crashes matters
+    (void)rst::obs::MetricsSnapshot::FromJsonValue(parsed.value());
+  }
+  // Also drive the one-shot entry point so its parse-then-decode glue is
+  // covered even when JsonValue::Parse rejects the prefix differently.
+  // rst-lint: allow(unchecked-status) fuzz target: both outcomes valid, only absence of crashes matters
+  (void)rst::obs::MetricsSnapshot::FromJson(text);
+  return 0;
+}

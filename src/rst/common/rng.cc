@@ -1,12 +1,13 @@
 #include "rst/common/rng.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
-#include <cassert>
 
 namespace rst {
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t universe, size_t n) {
-  assert(n <= universe);
+  RST_DCHECK_LE(n, universe);
   // Floyd's algorithm would be O(n) but needs a set; for the library's use
   // (small n or n close to universe) a partial Fisher–Yates is simpler.
   if (n * 4 >= universe) {
@@ -32,7 +33,7 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t universe, size_t n) {
 
 ZipfSampler::ZipfSampler(size_t n, double exponent)
     : exponent_(exponent), norm_(0.0) {
-  assert(n > 0);
+  RST_DCHECK_GT(n, 0u);
   cdf_.resize(n);
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) {

@@ -1,9 +1,10 @@
 #ifndef RST_COMMON_STATUS_H_
 #define RST_COMMON_STATUS_H_
 
-#include <cassert>
 #include <string>
 #include <utility>
+
+#include "rst/common/check.h"
 
 namespace rst {
 
@@ -22,7 +23,12 @@ enum class StatusCode {
 
 /// Lightweight status object in the RocksDB/Arrow idiom: cheap to pass by
 /// value, `ok()` on the hot path, message only materialized on error.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes silently dropping any returned Status a
+/// compiler warning (and an `unchecked-status` rst_lint error): genuinely
+/// ignorable calls must spell it out with `(void)` plus a
+/// `// rst-lint: allow(unchecked-status) <reason>` suppression.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -70,26 +76,26 @@ class Status {
 /// Result<T>: either a value or an error Status. Accessing the value of an
 /// errored Result is a programming error (asserted in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value) : value_(std::move(value)) {}
   /* implicit */ Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result(Status) requires an error status");
+    RST_DCHECK(!status_.ok()) << "Result(Status) requires an error status";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    RST_DCHECK(ok()) << status_.ToString();
     return value_;
   }
   T& value() & {
-    assert(ok());
+    RST_DCHECK(ok()) << status_.ToString();
     return value_;
   }
   T&& value() && {
-    assert(ok());
+    RST_DCHECK(ok()) << status_.ToString();
     return std::move(value_);
   }
 

@@ -1,8 +1,14 @@
 #include "rst/data/csv.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "rst/common/file_util.h"
 
 namespace rst {
 
@@ -17,34 +23,80 @@ Status ParsePoint(const std::string& xs, const std::string& ys, Point* p) {
   return Status::Ok();
 }
 
+/// Non-throwing uint32 parse. std::stoul would throw on garbage or overflow
+/// — unacceptable in a parser whose contract is "any bytes in, Status out"
+/// (found by fuzzing the id-encoded loader).
+Status ParseUint32(const std::string& s, uint32_t* out) {
+  if (s.empty()) return Status::Corruption("empty number");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE ||
+      v > std::numeric_limits<uint32_t>::max()) {
+    return Status::Corruption("bad number: " + s);
+  }
+  *out = static_cast<uint32_t>(v);
+  return Status::Ok();
+}
+
+/// Calls `fn(line_no, line)` for every non-empty, non-comment line. `fn`
+/// returns a Status; the first error stops the walk.
+template <typename Fn>
+Status ForEachLine(std::string_view text, Fn fn) {
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_no;
+    std::string_view line = text.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line[0] != '#') {
+      const Status s = fn(line_no, line);
+      if (!s.ok()) return s;
+    }
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+Result<Dataset> ParseDatasetTsv(std::string_view text, Vocabulary* vocab,
+                                const WeightingOptions& weighting) {
+  Dataset dataset;
+  const Status status =
+      ForEachLine(text, [&](size_t line_no, std::string_view line) {
+        const size_t tab1 = line.find('\t');
+        const size_t tab2 = tab1 == std::string_view::npos
+                                ? std::string_view::npos
+                                : line.find('\t', tab1 + 1);
+        if (tab2 == std::string_view::npos) {
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": expected 'x<TAB>y<TAB>text'");
+        }
+        Point p;
+        Status s =
+            ParsePoint(std::string(line.substr(0, tab1)),
+                       std::string(line.substr(tab1 + 1, tab2 - tab1 - 1)),
+                       &p);
+        if (!s.ok()) return s;
+        const auto tokens =
+            vocab->TokenizeAndAdd(std::string(line.substr(tab2 + 1)));
+        dataset.Add(p, RawDocument::FromTokens(tokens));
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  dataset.Finalize(weighting);
+  return dataset;
+}
 
 Result<Dataset> LoadDatasetTsv(const std::string& path, Vocabulary* vocab,
                                const WeightingOptions& weighting) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
-  Dataset dataset;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const size_t tab1 = line.find('\t');
-    const size_t tab2 = tab1 == std::string::npos ? std::string::npos
-                                                  : line.find('\t', tab1 + 1);
-    if (tab2 == std::string::npos) {
-      return Status::Corruption("line " + std::to_string(line_no) +
-                                ": expected 'x<TAB>y<TAB>text'");
-    }
-    Point p;
-    Status s = ParsePoint(line.substr(0, tab1),
-                          line.substr(tab1 + 1, tab2 - tab1 - 1), &p);
-    if (!s.ok()) return s;
-    const auto tokens = vocab->TokenizeAndAdd(line.substr(tab2 + 1));
-    dataset.Add(p, RawDocument::FromTokens(tokens));
-  }
-  dataset.Finalize(weighting);
-  return dataset;
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseDatasetTsv(text.value(), vocab, weighting);
 }
 
 Status SaveDatasetIds(const Dataset& dataset, const std::string& path) {
@@ -63,45 +115,67 @@ Status SaveDatasetIds(const Dataset& dataset, const std::string& path) {
   return out.good() ? Status::Ok() : Status::Internal("write failed");
 }
 
-Result<Dataset> LoadDatasetIds(const std::string& path,
-                               const WeightingOptions& weighting) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<Dataset> ParseDatasetIds(std::string_view text,
+                                const WeightingOptions& weighting) {
   Dataset dataset;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const size_t c1 = line.find(',');
-    const size_t c2 = c1 == std::string::npos ? std::string::npos
-                                              : line.find(',', c1 + 1);
-    if (c2 == std::string::npos) {
-      return Status::Corruption("line " + std::to_string(line_no) +
-                                ": expected 'x,y,terms'");
-    }
-    Point p;
-    Status s =
-        ParsePoint(line.substr(0, c1), line.substr(c1 + 1, c2 - c1 - 1), &p);
-    if (!s.ok()) return s;
-    RawDocument doc;
-    std::istringstream terms(line.substr(c2 + 1));
-    std::string tok;
-    while (terms >> tok) {
-      const size_t colon = tok.find(':');
-      if (colon == std::string::npos) {
-        return Status::Corruption("line " + std::to_string(line_no) +
-                                  ": expected term:count, got " + tok);
-      }
-      doc.term_counts.push_back(
-          {static_cast<TermId>(std::stoul(tok.substr(0, colon))),
-           static_cast<uint32_t>(std::stoul(tok.substr(colon + 1)))});
-    }
-    std::sort(doc.term_counts.begin(), doc.term_counts.end());
-    dataset.Add(p, std::move(doc));
-  }
+  const Status status =
+      ForEachLine(text, [&](size_t line_no, std::string_view line) {
+        const size_t c1 = line.find(',');
+        const size_t c2 = c1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(',', c1 + 1);
+        if (c2 == std::string_view::npos) {
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": expected 'x,y,terms'");
+        }
+        Point p;
+        Status s =
+            ParsePoint(std::string(line.substr(0, c1)),
+                       std::string(line.substr(c1 + 1, c2 - c1 - 1)), &p);
+        if (!s.ok()) return s;
+        RawDocument doc;
+        std::istringstream terms{std::string(line.substr(c2 + 1))};
+        std::string tok;
+        while (terms >> tok) {
+          const size_t colon = tok.find(':');
+          if (colon == std::string::npos) {
+            return Status::Corruption("line " + std::to_string(line_no) +
+                                      ": expected term:count, got " + tok);
+          }
+          uint32_t term = 0;
+          uint32_t count = 0;
+          s = ParseUint32(tok.substr(0, colon), &term);
+          if (s.ok()) s = ParseUint32(tok.substr(colon + 1), &count);
+          if (!s.ok()) {
+            return Status::Corruption("line " + std::to_string(line_no) +
+                                      ": " + s.message());
+          }
+          // Term ids index dense per-corpus arrays (doc_freq_ etc.); an
+          // adversarial id like 4294967295 would make corpus finalization
+          // allocate O(max id) memory. Legitimate files written by
+          // SaveDatasetIds use dense vocabulary ids, far below this cap.
+          constexpr uint32_t kMaxTermId = 1u << 24;
+          if (term > kMaxTermId) {
+            return Status::Corruption("line " + std::to_string(line_no) +
+                                      ": term id " + std::to_string(term) +
+                                      " exceeds sanity cap");
+          }
+          doc.term_counts.push_back({static_cast<TermId>(term), count});
+        }
+        std::sort(doc.term_counts.begin(), doc.term_counts.end());
+        dataset.Add(p, std::move(doc));
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
   dataset.Finalize(weighting);
   return dataset;
+}
+
+Result<Dataset> LoadDatasetIds(const std::string& path,
+                               const WeightingOptions& weighting) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseDatasetIds(text.value(), weighting);
 }
 
 Status SaveUsersIds(const std::vector<StUser>& users, const std::string& path) {
@@ -144,7 +218,15 @@ Result<std::vector<StUser>> LoadUsersIds(const std::string& path) {
     std::istringstream terms(line.substr(c2 + 1));
     std::vector<TermId> ids;
     std::string tok;
-    while (terms >> tok) ids.push_back(static_cast<TermId>(std::stoul(tok)));
+    while (terms >> tok) {
+      uint32_t id = 0;
+      s = ParseUint32(tok, &id);
+      if (!s.ok()) {
+        return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                  s.message());
+      }
+      ids.push_back(static_cast<TermId>(id));
+    }
     user.keywords = TermVector::FromTerms(ids);
     users.push_back(std::move(user));
   }

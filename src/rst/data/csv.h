@@ -2,6 +2,7 @@
 #define RST_DATA_CSV_H_
 
 #include <string>
+#include <string_view>
 
 #include "rst/common/status.h"
 #include "rst/data/dataset.h"
@@ -17,10 +18,20 @@ namespace rst {
 Result<Dataset> LoadDatasetTsv(const std::string& path, Vocabulary* vocab,
                                const WeightingOptions& weighting);
 
+/// In-memory core of LoadDatasetTsv: parses `text` directly. Total on any
+/// input — malformed lines come back as Status, never a crash or a throw —
+/// which is what fuzz/dataset_tsv_fuzz.cc drives.
+Result<Dataset> ParseDatasetTsv(std::string_view text, Vocabulary* vocab,
+                                const WeightingOptions& weighting);
+
 /// Id-encoded round-trippable format: `x,y,term:count term:count ...`.
 Status SaveDatasetIds(const Dataset& dataset, const std::string& path);
 Result<Dataset> LoadDatasetIds(const std::string& path,
                                const WeightingOptions& weighting);
+
+/// In-memory core of LoadDatasetIds, total on any input like ParseDatasetTsv.
+Result<Dataset> ParseDatasetIds(std::string_view text,
+                                const WeightingOptions& weighting);
 
 /// Users: `x,y,term term ...` (keyword ids).
 Status SaveUsersIds(const std::vector<StUser>& users, const std::string& path);

@@ -1,11 +1,12 @@
 #include "rst/data/dataset.h"
 
-#include <cassert>
+#include "rst/common/check.h"
+
 
 namespace rst {
 
 void Dataset::Add(Point loc, RawDocument raw) {
-  assert(!finalized_);
+  RST_CHECK(!finalized_) << "Dataset::Add after Finalize";
   StObject obj;
   obj.id = static_cast<ObjectId>(objects_.size());
   obj.loc = loc;
@@ -14,7 +15,7 @@ void Dataset::Add(Point loc, RawDocument raw) {
 }
 
 void Dataset::Finalize(const WeightingOptions& weighting) {
-  assert(!finalized_);
+  RST_CHECK(!finalized_) << "Dataset::Finalize called twice";
   weighting_ = weighting;
   for (const StObject& obj : objects_) {
     stats_.AddDocument(obj.raw);

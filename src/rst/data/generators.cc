@@ -1,7 +1,8 @@
 #include "rst/data/generators.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
 
@@ -161,7 +162,7 @@ Dataset GenGeoNamesLike(const GeoNamesLikeConfig& config,
 }
 
 GeneratedUsers GenUsers(const Dataset& dataset, const UserGenConfig& config) {
-  assert(dataset.finalized());
+  RST_CHECK(dataset.finalized()) << "GenUsers needs a finalized dataset";
   Rng rng(config.seed);
   GeneratedUsers out;
 
@@ -181,7 +182,8 @@ GeneratedUsers GenUsers(const Dataset& dataset, const UserGenConfig& config) {
     if (in_area.size() >= config.num_users) break;
     side *= 1.5;  // sparse spot: grow (documented deviation for tiny worlds)
   }
-  assert(!in_area.empty());
+  RST_CHECK(!in_area.empty())
+      << "user-generation area contains no objects; widen --area";
 
   // Sample |U| object locations as user locations.
   const size_t take = std::min(config.num_users, in_area.size());

@@ -1,14 +1,14 @@
 #include "rst/exec/batch_runner.h"
 
-#include <cassert>
 #include <memory>
 #include <utility>
 
-#include "rst/frozen/frozen.h"
-
+#include "rst/common/check.h"
 #include "rst/common/stopwatch.h"
+#include "rst/frozen/frozen.h"
 #include "rst/obs/explain.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/slow_log.h"
 #include "rst/obs/trace.h"
 
@@ -30,18 +30,19 @@ struct BatchMetrics {
 
   static const BatchMetrics& Get() {
     static const BatchMetrics* metrics = [] {
+      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
       auto* m = new BatchMetrics();
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-      m->batches = registry.GetCounter("exec.batches");
-      m->batch_queries = registry.GetCounter("exec.batch.queries");
-      m->batch_ms = registry.GetHistogram("exec.batch.ms",
+      m->batches = registry.GetCounter(obs::names::kExecBatches);
+      m->batch_queries = registry.GetCounter(obs::names::kExecBatchQueries);
+      m->batch_ms = registry.GetHistogram(obs::names::kExecBatchMs,
                                           obs::HistogramSpec::LatencyMs());
       m->worker_busy_ms = registry.GetHistogram(
-          "exec.worker.busy_ms", obs::HistogramSpec::LatencyMs());
-      m->rstknn_queries = registry.GetCounter("rstknn.queries");
-      m->rstknn_answers = registry.GetCounter("rstknn.answers");
+          obs::names::kExecWorkerBusyMs, obs::HistogramSpec::LatencyMs());
+      m->rstknn_queries = registry.GetCounter(obs::names::kRstknnQueries);
+      m->rstknn_answers = registry.GetCounter(obs::names::kRstknnAnswers);
       m->rstknn_query_ms = registry.GetHistogram(
-          "rstknn.query.ms", obs::HistogramSpec::LatencyMs());
+          obs::names::kRstknnQueryMs, obs::HistogramSpec::LatencyMs());
       return m;
     }();
     return *metrics;
@@ -95,7 +96,7 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
         std::unique_ptr<obs::QueryTrace> trace;
         obs::ExplainRecorder recorder;
         if (slow_log_ != nullptr) {
-          trace = std::make_unique<obs::QueryTrace>("rstknn.batch");
+          trace = std::make_unique<obs::QueryTrace>(obs::names::kTraceRstknnBatch);
           worker_options.trace = trace.get();
           worker_options.explain = &recorder;
           worker_options.explain_index = explain_index.get();
@@ -106,7 +107,7 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
           trace->Finish();
           obs::SlowQueryRecord record;
           record.query_index = i;
-          record.label = "rstknn.batch";
+          record.label = obs::names::kTraceRstknnBatch;
           record.elapsed_ms = ms;
           record.answers = results[i].answers.size();
           record.trace_json = trace->ToJson();
@@ -133,7 +134,7 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
   // One aggregated publish for the whole batch (the per-query publishes were
   // suppressed above) — the registry sees the same totals as N serial
   // queries, in 1/N the registry traffic.
-  aggregate.total.Publish("rstknn");
+  aggregate.total.Publish(obs::names::kRstknnPrefix);
   metrics.rstknn_queries.Add(aggregate.queries);
   metrics.rstknn_answers.Add(aggregate.answers);
   metrics.batches.Increment();
@@ -145,7 +146,7 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
 
 std::vector<std::vector<TopKResult>> BatchRunner::RunTopK(
     const std::vector<TopKQuery>& queries, BatchStats* batch_stats) const {
-  assert(tree_ != nullptr && "RunTopK is pointer-tree-only");
+  RST_CHECK(tree_ != nullptr) << "RunTopK is pointer-tree-only";
   const BatchMetrics& metrics = BatchMetrics::Get();
   const size_t workers = pool_->num_threads();
   std::vector<std::vector<TopKResult>> results(queries.size());

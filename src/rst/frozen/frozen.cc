@@ -1,7 +1,6 @@
 #include "rst/frozen/frozen.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
@@ -9,6 +8,7 @@
 #include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/trace.h"
 #include "rst/storage/varint.h"
 
@@ -27,12 +27,13 @@ struct FrozenMetrics {
 
   static const FrozenMetrics& Get() {
     static const FrozenMetrics* metrics = [] {
+      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
       auto* m = new FrozenMetrics();
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-      m->freezes = registry.GetCounter("frozen.freezes");
-      m->loads = registry.GetCounter("frozen.loads");
-      m->freeze_ms = registry.GetGauge("frozen.freeze.last_ms");
-      m->load_ms = registry.GetGauge("frozen.load.last_ms");
+      m->freezes = registry.GetCounter(obs::names::kFrozenFreezes);
+      m->loads = registry.GetCounter(obs::names::kFrozenLoads);
+      m->freeze_ms = registry.GetGauge(obs::names::kFrozenFreezeLastMs);
+      m->load_ms = registry.GetGauge(obs::names::kFrozenLoadLastMs);
       return m;
     }();
     return *metrics;
@@ -101,7 +102,7 @@ TermSlice AppendToPool(const TermVector& vec, std::vector<TermWeight>* pool) {
 
 FrozenTree FrozenTree::Freeze(const IurTree& tree, obs::QueryTrace* trace) {
   Stopwatch timer;
-  obs::TraceSpan freeze_span(trace, "frozen.freeze");
+  obs::TraceSpan freeze_span(trace, obs::names::kSpanFrozenFreeze);
   FrozenTree out;
   out.size_ = tree.size();
   out.clustered_ = tree.clustered();
@@ -129,7 +130,7 @@ FrozenTree FrozenTree::Freeze(const IurTree& tree, obs::QueryTrace* trace) {
   // entries (children pushed in reverse so they pop in entry order; a popped
   // node's entries get consecutive indices). Entry index i therefore carries
   // explain id i + 1, and frozen/pointer explain JSON is byte-identical.
-  if (trace != nullptr) trace->Enter("layout");
+  if (trace != nullptr) trace->Enter(obs::names::kSpanFrozenLayout);
   struct Frame {
     const IurTree::Node* node;
     uint32_t level;
@@ -175,7 +176,7 @@ FrozenTree FrozenTree::Freeze(const IurTree& tree, obs::QueryTrace* trace) {
   if (trace != nullptr) trace->Exit();  // layout
 
   if (out.has_payloads_) {
-    obs::TraceSpan payload_span(trace, "payloads");
+    obs::TraceSpan payload_span(trace, obs::names::kSpanFrozenPayloads);
     out.RebuildPayloads();
   }
 
@@ -277,7 +278,7 @@ Status FrozenTree::ReadNodePayload(uint32_t node, BufferPool* pool,
   auto payload = pool->Fetch(node_invfile_[node], stats);
   if (!payload.ok()) return payload.status();
   size_t offset = 0;
-  obs::TraceSpan decode_span(pool->trace(), "payload.decode");
+  obs::TraceSpan decode_span(pool->trace(), obs::names::kSpanPayloadDecode);
   return DecodeInvertedFile(*payload.value(), &offset, out);
 }
 
@@ -567,17 +568,40 @@ Status FrozenTree::CheckInvariants() const {
       return Status::Corruption("frozen index: cluster slice out of pool");
     }
   }
+  // Same bracketing contract the pointer tree enforces: slices sorted, weights
+  // non-negative, and the intersection dominated by the union — otherwise the
+  // frozen kernels could compute MinSim > MaxSim.
+  auto check_summary = [this](const SummaryRef& s) -> Status {
+    const TermSlice* slices[] = {&s.uni, &s.intr};
+    for (const TermSlice* slice : slices) {
+      for (uint32_t i = 0; i < slice->len; ++i) {
+        const TermWeight& w = pool_[slice->offset + i];
+        if (i > 0 && pool_[slice->offset + i - 1].term >= w.term) {
+          return Status::Corruption("frozen index: unsorted summary slice");
+        }
+        if (w.weight < 0.0f) {
+          return Status::Corruption("frozen index: negative summary weight");
+        }
+      }
+    }
+    for (uint32_t i = 0; i < s.intr.len; ++i) {
+      const TermWeight& w = pool_[s.intr.offset + i];
+      if (!ContainsSpan(&pool_[s.uni.offset], s.uni.len, w.term) ||
+          w.weight > GetSpan(&pool_[s.uni.offset], s.uni.len, w.term)) {
+        return Status::Corruption(
+            "frozen index: intersection not dominated by union for term " +
+            std::to_string(w.term));
+      }
+    }
+    return Status::Ok();
+  };
   for (const SummaryRef& s : entry_summary_) {
-    for (uint32_t i = 1; i < s.uni.len; ++i) {
-      if (pool_[s.uni.offset + i - 1].term >= pool_[s.uni.offset + i].term) {
-        return Status::Corruption("frozen index: unsorted summary slice");
-      }
-    }
-    for (uint32_t i = 1; i < s.intr.len; ++i) {
-      if (pool_[s.intr.offset + i - 1].term >= pool_[s.intr.offset + i].term) {
-        return Status::Corruption("frozen index: unsorted summary slice");
-      }
-    }
+    const Status summary_ok = check_summary(s);
+    if (!summary_ok.ok()) return summary_ok;
+  }
+  for (const ClusterRef& c : clusters_) {
+    const Status summary_ok = check_summary(c.summary);
+    if (!summary_ok.ok()) return summary_ok;
   }
   return Status::Ok();
 }

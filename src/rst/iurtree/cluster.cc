@@ -1,7 +1,6 @@
 #include "rst/iurtree/cluster.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "rst/common/rng.h"

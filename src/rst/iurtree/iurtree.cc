@@ -1,13 +1,14 @@
 #include "rst/iurtree/iurtree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "rst/common/check.h"
 #include "rst/common/stopwatch.h"
 #include "rst/exec/thread_pool.h"
 #include "rst/iurtree/cluster.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/trace.h"
 #include "rst/storage/varint.h"
 
@@ -30,17 +31,18 @@ struct BuildMetrics {
 
   static const BuildMetrics& Get() {
     static const BuildMetrics* metrics = [] {
+      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
       auto* m = new BuildMetrics();
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-      m->builds = registry.GetCounter("iurtree.builds");
-      m->nodes_total = registry.GetCounter("iurtree.build.nodes");
-      m->leaves_total = registry.GetCounter("iurtree.build.leaf_nodes");
-      m->last_build_ms = registry.GetGauge("iurtree.build.last_ms");
-      m->last_node_count = registry.GetGauge("iurtree.build.last_node_count");
-      m->parallel_ms = registry.GetGauge("iurtree.build.parallel_ms");
+      m->builds = registry.GetCounter(obs::names::kIurtreeBuilds);
+      m->nodes_total = registry.GetCounter(obs::names::kIurtreeBuildNodes);
+      m->leaves_total = registry.GetCounter(obs::names::kIurtreeBuildLeafNodes);
+      m->last_build_ms = registry.GetGauge(obs::names::kIurtreeBuildLastMs);
+      m->last_node_count = registry.GetGauge(obs::names::kIurtreeBuildLastNodeCount);
+      m->parallel_ms = registry.GetGauge(obs::names::kIurtreeBuildParallelMs);
       // Fanout never exceeds max_entries (<= 64 in every configuration used
       // here); linear buckets of width 4 resolve underfull nodes.
-      m->fanout = registry.GetHistogram("iurtree.fanout",
+      m->fanout = registry.GetHistogram(obs::names::kIurtreeFanout,
                                         obs::HistogramSpec::Linear(4, 4, 16));
       return m;
     }();
@@ -79,7 +81,8 @@ IurTree::IurTree(const IurTreeOptions& options)
     : options_(options),
       root_(std::make_unique<Node>()),
       page_store_(std::make_unique<PageStore>()) {
-  assert(options_.max_entries >= 2 * options_.min_entries);
+  RST_CHECK_GE(options_.max_entries, 2 * options_.min_entries)
+      << "IurTreeOptions: max_entries must be at least twice min_entries";
 }
 
 IurTree::Entry IurTree::MakeParentEntry(std::unique_ptr<Node> node) {
@@ -126,7 +129,7 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
                        const std::vector<uint32_t>* cluster_of,
                        obs::QueryTrace* trace) {
   Stopwatch build_timer;
-  obs::TraceSpan build_span(trace, "iurtree.build");
+  obs::TraceSpan build_span(trace, obs::names::kSpanIurtreeBuild);
   IurTree tree(options);
   tree.clustered_ = cluster_of != nullptr;
   tree.size_ = items.size();
@@ -144,7 +147,7 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
   if (!items.empty()) {
     const size_t cap = options.max_entries;
 
-    if (trace != nullptr) trace->Enter("pack");
+    if (trace != nullptr) trace->Enter(obs::names::kSpanPack);
     std::vector<Entry> level;
     level.reserve(items.size());
     for (const Item& item : items) {
@@ -226,7 +229,7 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
   // Single publish point: every path — empty input, single-leaf small input,
   // full STR pack — finalizes and publishes exactly once, here.
   {
-    obs::TraceSpan finalize_span(trace, "finalize_storage");
+    obs::TraceSpan finalize_span(trace, obs::names::kSpanFinalizeStorage);
     tree.FinalizeStorage();
   }
   BuildMetrics::Get().parallel_ms.Set(parallel_ms);
@@ -394,7 +397,7 @@ void IurTree::Insert(uint32_t id, Point loc, const TermVector* doc,
   ++size_;
   storage_dirty_ = true;
   static const obs::Counter inserts =
-      obs::MetricRegistry::Global().GetCounter("iurtree.inserts");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kIurtreeInserts);
   inserts.Increment();
 }
 
@@ -481,7 +484,7 @@ Status IurTree::Delete(uint32_t id, Point loc) {
   }
   storage_dirty_ = true;
   static const obs::Counter deletes =
-      obs::MetricRegistry::Global().GetCounter("iurtree.deletes");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kIurtreeDeletes);
   deletes.Increment();
   return Status::Ok();
 }
@@ -581,9 +584,65 @@ Status IurTree::ReadNodePayload(const Node* node, BufferPool* pool,
   auto payload = pool->Fetch(node->invfile_handle, stats);
   if (!payload.ok()) return payload.status();
   size_t offset = 0;
-  obs::TraceSpan decode_span(pool->trace(), "payload.decode");
+  obs::TraceSpan decode_span(pool->trace(), obs::names::kSpanPayloadDecode);
   return DecodeInvertedFile(*payload.value(), &offset, out);
 }
+
+namespace {
+
+/// Formats "depth D, entry I" for invariant-violation messages so a failed
+/// check names the exact node, not just the rule it broke.
+std::string EntryContext(size_t depth, size_t index) {
+  return "depth " + std::to_string(depth) + ", entry " + std::to_string(index);
+}
+
+/// Structural validity of one term vector: sorted unique term ids,
+/// non-negative weights, and the cached squared norm agreeing with a fresh
+/// recomputation (the caches are what the similarity kernels actually read,
+/// so a stale cache silently skews every bound downstream).
+Status CheckVectorWellFormed(const TermVector& v, const std::string& what) {
+  const std::vector<TermWeight>& entries = v.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0 && entries[i - 1].term >= entries[i].term) {
+      return Status::Corruption(what + ": term ids not strictly ascending at "
+                                "position " + std::to_string(i));
+    }
+    if (entries[i].weight < 0.0f) {
+      return Status::Corruption(what + ": negative weight for term " +
+                                std::to_string(entries[i].term));
+    }
+  }
+  if (v.NormSquared() != NormSquaredSpan(entries.data(), entries.size())) {
+    return Status::Corruption(what + ": cached norm disagrees with weights");
+  }
+  return Status::Ok();
+}
+
+/// The IUR-tree bracketing contract: the intersection vector must be
+/// dominated by the union vector — every intr term present in uni with
+/// intr weight <= uni weight. A violation would let MinSim exceed MaxSim
+/// and flip prune/report decisions.
+Status CheckSummaryDomination(const TextSummary& s, const std::string& what) {
+  Status well_formed = CheckVectorWellFormed(s.uni, what + " union");
+  if (!well_formed.ok()) return well_formed;
+  well_formed = CheckVectorWellFormed(s.intr, what + " intersection");
+  if (!well_formed.ok()) return well_formed;
+  for (const TermWeight& e : s.intr.entries()) {
+    const float uni_weight = s.uni.Get(e.term);
+    if (!s.uni.Contains(e.term) || e.weight > uni_weight) {
+      return Status::Corruption(
+          what + ": intersection weight " + std::to_string(e.weight) +
+          " for term " + std::to_string(e.term) +
+          " exceeds union weight " + std::to_string(uni_weight));
+    }
+  }
+  if (s.count == 0 && (!s.uni.empty() || !s.intr.empty())) {
+    return Status::Corruption(what + ": empty summary carries terms");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status IurTree::CheckInvariants(
     const std::function<const TermVector*(uint32_t)>& doc_of) const {
@@ -591,6 +650,7 @@ Status IurTree::CheckInvariants(
     const Node* node;
     size_t depth;
   };
+  if (root_ == nullptr) return Status::Corruption("null root");
   size_t leaf_depth = SIZE_MAX;
   uint64_t objects_seen = 0;
   std::vector<Frame> stack = {{root_.get(), 0}};
@@ -598,31 +658,79 @@ Status IurTree::CheckInvariants(
     auto [node, depth] = stack.back();
     stack.pop_back();
     if (node->entries.size() > options_.max_entries) {
-      return Status::Corruption("node overflow");
+      return Status::Corruption("node overflow at depth " +
+                                std::to_string(depth) + ": " +
+                                std::to_string(node->entries.size()) +
+                                " entries, max " +
+                                std::to_string(options_.max_entries));
+    }
+    // Every entry — leaf or internal — must carry a dominated, well-formed
+    // summary whose MBR contains nothing outside the parent (checked from
+    // the parent side below) and whose cluster list is sorted.
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      const Entry& e = node->entries[i];
+      const std::string context = EntryContext(depth, i);
+      const Status summary_ok =
+          CheckSummaryDomination(e.summary, context + " summary");
+      if (!summary_ok.ok()) return summary_ok;
+      for (size_t c = 0; c < e.clusters.size(); ++c) {
+        if (c > 0 && e.clusters[c - 1].first >= e.clusters[c].first) {
+          return Status::Corruption(context +
+                                    ": cluster ids not strictly ascending");
+        }
+        const Status cluster_ok = CheckSummaryDomination(
+            e.clusters[c].second,
+            context + " cluster " + std::to_string(e.clusters[c].first));
+        if (!cluster_ok.ok()) return cluster_ok;
+      }
     }
     if (node->leaf) {
       if (leaf_depth == SIZE_MAX) leaf_depth = depth;
-      if (depth != leaf_depth) return Status::Corruption("unequal leaf depth");
-      for (const Entry& e : node->entries) {
-        if (!e.is_object()) return Status::Corruption("leaf with child");
-        if (e.count() != 1) return Status::Corruption("leaf entry count != 1");
+      if (depth != leaf_depth) {
+        return Status::Corruption("unequal leaf depth: " +
+                                  std::to_string(depth) + " vs " +
+                                  std::to_string(leaf_depth));
+      }
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        const Entry& e = node->entries[i];
+        const std::string context = EntryContext(depth, i);
+        if (!e.is_object()) {
+          return Status::Corruption(context + ": leaf entry with a child");
+        }
+        if (e.count() != 1) {
+          return Status::Corruption(context + ": leaf entry count " +
+                                    std::to_string(e.count()) + " != 1");
+        }
         const TermVector* doc = doc_of(e.id);
-        if (doc == nullptr) return Status::Corruption("unknown object id");
+        if (doc == nullptr) {
+          return Status::Corruption(context + ": unknown object id " +
+                                    std::to_string(e.id));
+        }
         if (!(e.summary.uni == *doc) || !(e.summary.intr == *doc)) {
-          return Status::Corruption("leaf summary != document");
+          return Status::Corruption(context + ": summary of object " +
+                                    std::to_string(e.id) +
+                                    " differs from its document");
         }
         if (clustered_ && e.clusters.size() != 1) {
-          return Status::Corruption("leaf cluster list size != 1");
+          return Status::Corruption(context + ": leaf cluster list size " +
+                                    std::to_string(e.clusters.size()) +
+                                    " != 1");
         }
         ++objects_seen;
       }
       continue;
     }
-    for (const Entry& e : node->entries) {
-      if (e.is_object()) return Status::Corruption("internal object entry");
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      const Entry& e = node->entries[i];
+      const std::string context = EntryContext(depth, i);
+      if (e.is_object()) {
+        return Status::Corruption(context + ": object entry in internal node");
+      }
       const Node* child = e.child.get();
-      if (!(e.rect == child->ComputeMbr())) {
-        return Status::Corruption("stale MBR");
+      const Rect child_mbr = child->ComputeMbr();
+      if (!(e.rect == child_mbr)) {
+        return Status::Corruption(context + ": stale MBR " + e.rect.ToString() +
+                                  ", children span " + child_mbr.ToString());
       }
       TextSummary expected;
       ClusterList expected_clusters;
@@ -633,28 +741,44 @@ Status IurTree::CheckInvariants(
       if (!(expected.uni == e.summary.uni) ||
           !(expected.intr == e.summary.intr) ||
           expected.count != e.summary.count) {
-        return Status::Corruption("stale text summary");
+        return Status::Corruption(
+            context + ": summary is not the merge of its " +
+            std::to_string(child->entries.size()) + " children (count " +
+            std::to_string(e.summary.count) + ", expected " +
+            std::to_string(expected.count) + ")");
       }
       if (expected_clusters.size() != e.clusters.size()) {
-        return Status::Corruption("stale cluster list");
+        return Status::Corruption(context + ": cluster list size " +
+                                  std::to_string(e.clusters.size()) +
+                                  ", children merge to " +
+                                  std::to_string(expected_clusters.size()));
       }
       uint32_t cluster_total = 0;
-      for (size_t i = 0; i < expected_clusters.size(); ++i) {
-        if (expected_clusters[i].first != e.clusters[i].first ||
-            !(expected_clusters[i].second.uni == e.clusters[i].second.uni) ||
-            !(expected_clusters[i].second.intr == e.clusters[i].second.intr) ||
-            expected_clusters[i].second.count != e.clusters[i].second.count) {
-          return Status::Corruption("stale cluster summary");
+      for (size_t c = 0; c < expected_clusters.size(); ++c) {
+        if (expected_clusters[c].first != e.clusters[c].first ||
+            !(expected_clusters[c].second.uni == e.clusters[c].second.uni) ||
+            !(expected_clusters[c].second.intr == e.clusters[c].second.intr) ||
+            expected_clusters[c].second.count != e.clusters[c].second.count) {
+          return Status::Corruption(
+              context + ": stale summary for cluster " +
+              std::to_string(e.clusters[c].first));
         }
-        cluster_total += e.clusters[i].second.count;
+        cluster_total += e.clusters[c].second.count;
       }
       if (clustered_ && cluster_total != e.count()) {
-        return Status::Corruption("cluster counts do not partition entry");
+        return Status::Corruption(
+            context + ": cluster counts sum to " +
+            std::to_string(cluster_total) + ", entry covers " +
+            std::to_string(e.count()) + " objects");
       }
       stack.push_back({child, depth + 1});
     }
   }
-  if (objects_seen != size_) return Status::Corruption("size mismatch");
+  if (objects_seen != size_) {
+    return Status::Corruption("tree holds " + std::to_string(objects_seen) +
+                              " objects, size() says " +
+                              std::to_string(size_));
+  }
   return Status::Ok();
 }
 

@@ -1,10 +1,12 @@
 #include "rst/maxbrst/joint_topk.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <queue>
 
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 
 namespace rst {
 
@@ -146,7 +148,7 @@ void JointTopKProcessor::IndividualTopK(const std::vector<StUser>& users,
                                         size_t k,
                                         JointTopKResult* result) const {
   for (const StUser& user : users) {
-    assert(user.id < result->per_user.size());
+    RST_DCHECK_LT(user.id, result->per_user.size());
     std::vector<TopKResult>& list = result->per_user[user.id];
     list.clear();
     for (ObjectId id : traversal.lo) {
@@ -175,12 +177,12 @@ JointTopKResult JointTopKProcessor::Process(const std::vector<StUser>& users,
   result.traversal = Traverse(su, k, &result.io);
   IndividualTopK(users, result.traversal, k, &result);
   static const obs::Counter runs =
-      obs::MetricRegistry::Global().GetCounter("joint_topk.runs");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kJointTopkRuns);
   static const obs::Counter scored =
-      obs::MetricRegistry::Global().GetCounter("joint_topk.scored_objects");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kJointTopkScoredObjects);
   runs.Increment();
   scored.Add(result.scored_objects);
-  result.io.Publish("joint_topk.io");
+  result.io.Publish(obs::names::kJointTopkIoPrefix);
   return result;
 }
 
@@ -202,9 +204,9 @@ JointTopKResult JointTopKProcessor::BaselinePerUser(
                               : -1.0;
   }
   static const obs::Counter runs =
-      obs::MetricRegistry::Global().GetCounter("joint_topk.baseline.runs");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kJointTopkBaselineRuns);
   runs.Increment();
-  result.io.Publish("joint_topk.baseline.io");
+  result.io.Publish(obs::names::kJointTopkBaselineIoPrefix);
   return result;
 }
 

@@ -1,12 +1,12 @@
 #include "rst/maxbrst/maxbrst.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 #include <string>
 
 #include "rst/common/stopwatch.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/trace.h"
 
 namespace rst {
@@ -317,12 +317,12 @@ std::vector<TermId> MaxBrstSolver::SelectKeywords(
 
 void MaxBrstStats::Publish(const std::string& prefix) const {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  registry.GetCounter(prefix + ".locations_pruned").Add(locations_pruned);
-  registry.GetCounter(prefix + ".combinations_evaluated")
+  registry.GetCounter(prefix + obs::names::kSuffixLocationsPruned).Add(locations_pruned);
+  registry.GetCounter(prefix + obs::names::kSuffixCombinationsEvaluated)
       .Add(combinations_evaluated);
-  registry.GetCounter(prefix + ".user_evaluations").Add(user_evaluations);
+  registry.GetCounter(prefix + obs::names::kSuffixUserEvaluations).Add(user_evaluations);
   if (early_terminated) {
-    registry.GetCounter(prefix + ".early_terminations").Increment();
+    registry.GetCounter(prefix + obs::names::kSuffixEarlyTerminations).Increment();
   }
 }
 
@@ -346,7 +346,7 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
   MaxBrstResult result;
   const PlacementContext ctx = PlacementContext::Make(*dataset_, query);
 
-  if (trace != nullptr) trace->Enter("maxbrst.filter");
+  if (trace != nullptr) trace->Enter(obs::names::kSpanMaxbrstFilter);
   // Per-user, location-independent text parts of the bounds.
   std::vector<double> ts_upper(users.size());
   for (const StUser& user : users) {
@@ -388,8 +388,8 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
                      (a.lu.size() == b.lu.size() && a.index < b.index);
             });
   if (trace != nullptr) {
-    trace->AddCount("locations_pruned", result.stats.locations_pruned);
-    trace->AddCount("locations_kept", locations.size());
+    trace->AddCount(obs::names::kCountLocationsPruned, result.stats.locations_pruned);
+    trace->AddCount(obs::names::kCountLocationsKept, locations.size());
     trace->Exit();  // maxbrst.filter
   }
 
@@ -404,19 +404,19 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
     const Point loc = query.locations[cand.index];
     std::vector<TermId> keywords;
     {
-      obs::TraceSpan span(trace, "maxbrst.select");
+      obs::TraceSpan span(trace, obs::names::kSpanMaxbrstSelect);
       const uint64_t combos_before = result.stats.combinations_evaluated;
       keywords = SelectKeywords(users, cand.lu, rsk, ctx, loc, query.ws,
                                 method, &result.stats);
-      span.AddCount("combinations",
+      span.AddCount(obs::names::kCountCombinations,
                     result.stats.combinations_evaluated - combos_before);
     }
     std::vector<uint32_t> covered;
     {
-      obs::TraceSpan span(trace, "maxbrst.evaluate");
+      obs::TraceSpan span(trace, obs::names::kSpanMaxbrstEvaluate);
       covered = EvaluatePlacement(users, cand.lu, rsk, *scorer_, loc,
                                   ctx.VecWith(keywords), &result.stats);
-      span.AddCount("users", cand.lu.size());
+      span.AddCount(obs::names::kCountUsers, cand.lu.size());
     }
     MaxBrstResult entry;
     entry.location_index = cand.index;
@@ -438,13 +438,13 @@ std::vector<MaxBrstResult> MaxBrstSolver::SolveTopL(
     best.push_back(std::move(result));  // empty result carrying the stats
   }
   static const obs::Counter solves =
-      obs::MetricRegistry::Global().GetCounter("maxbrst.solves");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kMaxbrstSolves);
   static const obs::HistogramRef solve_ms =
       obs::MetricRegistry::Global().GetHistogram(
-          "maxbrst.solve.ms", obs::HistogramSpec::LatencyMs());
+          obs::names::kMaxbrstSolveMs, obs::HistogramSpec::LatencyMs());
   solves.Increment();
   solve_ms.Record(timer.ElapsedMillis());
-  best.front().stats.Publish("maxbrst");
+  best.front().stats.Publish(obs::names::kMaxbrstPrefix);
   return best;
 }
 

@@ -1,12 +1,12 @@
 #include "rst/maxbrst/miur.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 
 namespace rst {
 
@@ -249,14 +249,14 @@ MiurResult MiurMaxBrstSolver::Solve(const MaxBrstQuery& query,
     state.done = true;
   }
   static const obs::Counter solves =
-      obs::MetricRegistry::Global().GetCounter("miur.solves");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kMiurSolves);
   static const obs::Counter users_refined =
-      obs::MetricRegistry::Global().GetCounter("miur.users_refined");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kMiurUsersRefined);
   solves.Increment();
   users_refined.Add(result.stats.users_refined);
-  result.stats.object_io.Publish("miur.object_io");
-  result.stats.user_io.Publish("miur.user_io");
-  result.best.stats.Publish("miur");
+  result.stats.object_io.Publish(obs::names::kMiurObjectIoPrefix);
+  result.stats.user_io.Publish(obs::names::kMiurUserIoPrefix);
+  result.best.stats.Publish(obs::names::kMiurPrefix);
   return result;
 }
 

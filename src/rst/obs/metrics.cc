@@ -1,9 +1,10 @@
 #include "rst/obs/metrics.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -97,7 +98,8 @@ double HistogramSnapshot::Percentile(double p) const {
 
 Histogram::Histogram(HistogramSpec spec) {
   snap_.bounds = std::move(spec.bounds);
-  assert(std::is_sorted(snap_.bounds.begin(), snap_.bounds.end()));
+  RST_DCHECK(std::is_sorted(snap_.bounds.begin(), snap_.bounds.end()))
+      << "histogram bucket bounds must ascend";
   snap_.counts.assign(snap_.bounds.size() + 1, 0);
 }
 
@@ -258,6 +260,7 @@ MetricRegistry::MetricRegistry() = default;
 MetricRegistry::~MetricRegistry() = default;
 
 MetricRegistry& MetricRegistry::Global() {
+  // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
   static auto* registry = new MetricRegistry();
   return *registry;
 }

@@ -4,6 +4,7 @@
 
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 
 namespace rst::obs {
 
@@ -14,7 +15,7 @@ SlowQueryLog::~SlowQueryLog() = default;
 
 bool SlowQueryLog::Insert(SlowQueryRecord record) {
   static const Counter slow_queries =
-      MetricRegistry::Global().GetCounter("exec.slow_queries");
+      MetricRegistry::Global().GetCounter(names::kExecSlowQueries);
   slow_queries.Increment();
   captured_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t ticket = seq_.fetch_add(1, std::memory_order_relaxed);

@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "rst/obs/metric_names.h"
+
 namespace rst::obs {
 
 class JsonWriter;
@@ -34,7 +36,7 @@ class QueryTrace {
  public:
   /// `root_name` labels the implicit root span, which is open from
   /// construction until Finish().
-  explicit QueryTrace(std::string_view root_name = "query");
+  explicit QueryTrace(std::string_view root_name = names::kTraceQuery);
 
   /// Opens a child span of the innermost open span (merging by name).
   void Enter(std::string_view name);

@@ -1,7 +1,6 @@
 #include "rst/rstknn/rstknn.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <string>
@@ -9,11 +8,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include "rst/common/check.h"
 #include "rst/common/stopwatch.h"
 #include "rst/frozen/frozen.h"
 #include "rst/iurtree/cluster.h"
 #include "rst/obs/explain.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/trace.h"
 #include "rst/storage/codec.h"
 
@@ -80,7 +81,7 @@ struct PointerTreeView {
   void Charge(NodeRef n, const RstknnOptions& options,
               RstknnStats* stats) const {
     if (options.pool != nullptr) {
-      obs::TraceSpan span(options.trace, "storage.read_node");
+      obs::TraceSpan span(options.trace, obs::names::kSpanStorageReadNode);
       InvertedFile invfile;
       if (tree->ReadNodePayload(n, options.pool, &stats->io, &invfile).ok()) {
         return;
@@ -135,7 +136,7 @@ struct FrozenTreeView {
   void Charge(NodeRef n, const RstknnOptions& options,
               RstknnStats* stats) const {
     if (options.pool != nullptr) {
-      obs::TraceSpan span(options.trace, "storage.read_node");
+      obs::TraceSpan span(options.trace, obs::names::kSpanStorageReadNode);
       InvertedFile invfile;
       if (tree->ReadNodePayload(n, options.pool, &stats->io, &invfile).ok()) {
         return;
@@ -527,7 +528,7 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
   RstknnResult result;
   if (view.TreeSize() == 0 || query.k == 0) return result;
   obs::QueryTrace* trace = options.trace;
-  if (trace != nullptr) trace->Enter("setup");
+  if (trace != nullptr) trace->Enter(obs::names::kSpanSetup);
   const ExplainSink<View> explain(view, options, "probe");
   const double alpha = scorer.options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
@@ -611,15 +612,15 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     mem->ResetForCandidate();
     size_t guaranteed;
     {
-      obs::TraceSpan span(trace, "probe.guaranteed");
+      obs::TraceSpan span(trace, obs::names::kSpanProbeGuaranteed);
       const uint64_t bounds_before = result.stats.bound_computations;
       const uint64_t pops_before = result.stats.pq_pops;
       guaranteed = CountCompetitors(view, scorer, options, *cand, mem,
                                     cand->q_max, query.k, query.self,
                                     /*guaranteed=*/true, &result.stats);
-      span.AddCount("bound_computations",
+      span.AddCount(obs::names::kCountBoundComputations,
                     result.stats.bound_computations - bounds_before);
-      span.AddCount("pq_pops", result.stats.pq_pops - pops_before);
+      span.AddCount(obs::names::kCountPqPops, result.stats.pq_pops - pops_before);
     }
     if (guaranteed >= query.k) {
       ++result.stats.pruned_entries;
@@ -646,15 +647,15 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     // object of the candidate (MinST(q,E) >= kNNU(E)).
     size_t potential;
     {
-      obs::TraceSpan span(trace, "probe.potential");
+      obs::TraceSpan span(trace, obs::names::kSpanProbePotential);
       const uint64_t bounds_before = result.stats.bound_computations;
       const uint64_t pops_before = result.stats.pq_pops;
       potential = CountCompetitors(view, scorer, options, *cand, mem,
                                    cand->q_min, query.k, query.self,
                                    /*guaranteed=*/false, &result.stats);
-      span.AddCount("bound_computations",
+      span.AddCount(obs::names::kCountBoundComputations,
                     result.stats.bound_computations - bounds_before);
-      span.AddCount("pq_pops", result.stats.pq_pops - pops_before);
+      span.AddCount(obs::names::kCountPqPops, result.stats.pq_pops - pops_before);
     }
     if (potential < query.k) {
       ++result.stats.reported_entries;
@@ -667,8 +668,8 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     }
     // Undecided: objects are always decided by the exact guaranteed count
     // (bounds are tight at leaf level), so only nodes reach this point.
-    assert(!object);
-    obs::TraceSpan expand_span(trace, "expand");
+    RST_DCHECK(!object);
+    obs::TraceSpan expand_span(trace, obs::names::kSpanExpand);
     const NodeRef child_node = view.Child(cand->entry);
     if (charged.insert(View::NodeKey(child_node)).second) {
       view.Charge(child_node, options, &result.stats);
@@ -682,7 +683,7 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     for (size_t i = 0; i < num_children; ++i) {
       add_candidate(view.EntryAt(child_node, i), child_path);
     }
-    expand_span.AddCount("entries", num_children);
+    expand_span.AddCount(obs::names::kCountEntries, num_children);
   }
 
   std::sort(result.answers.begin(), result.answers.end());
@@ -777,7 +778,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
   };
 
   auto expand = [&](size_t idx) {
-    obs::TraceSpan span(options.trace, "expand");
+    obs::TraceSpan span(options.trace, obs::names::kSpanExpand);
     FlatEntry& fe = entries[idx];
     const State inherited = fe.state;
     const NodeRef child_node = view.Child(fe.entry);
@@ -792,7 +793,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     for (size_t i = 0; i < num_children; ++i) {
       add_entry(view.EntryAt(child_node, i), inherited);
     }
-    span.AddCount("entries", num_children);
+    span.AddCount(obs::names::kCountEntries, num_children);
   };
 
   // Pair bounds are pure functions of the two (immutable) entries, and each
@@ -833,7 +834,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     size_t pick = SIZE_MAX;
     double best_priority = -1.0;
     {
-      obs::TraceSpan span(options.trace, "pick");
+      obs::TraceSpan span(options.trace, obs::names::kSpanPick);
       for (size_t i = 0; i < entries.size(); ++i) {
         const FlatEntry& fe = entries[i];
         if (!fe.alive || fe.state != State::kUndecided) continue;
@@ -856,7 +857,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     size_t best_blocker = SIZE_MAX;
     double best_blocker_score = -1.0;
     obs::QueryTrace* trace = options.trace;
-    if (trace != nullptr) trace->Enter("contributions");
+    if (trace != nullptr) trace->Enter(obs::names::kSpanContributions);
     const uint64_t bounds_before = result.stats.bound_computations;
     {
       const FlatEntry& cand = entries[pick];
@@ -884,7 +885,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     scratch = contributions;
     const double knn_upper = KthSorted(&scratch, query.k, /*lower=*/false);
     if (trace != nullptr) {
-      trace->AddCount("bound_computations",
+      trace->AddCount(obs::names::kCountBoundComputations,
                       result.stats.bound_computations - bounds_before);
       trace->Exit();  // contributions
     }
@@ -915,7 +916,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
       // Exact candidate blocked by a coarse contributor: refine the most
       // entangled live node. One exists, else bounds were exact and a
       // decision would have been forced.
-      assert(best_blocker != SIZE_MAX);
+      RST_DCHECK_NE(best_blocker, SIZE_MAX);
       expand(best_blocker);
     }
   }
@@ -928,14 +929,14 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
 
 void RstknnStats::Publish(const std::string& prefix) const {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  registry.GetCounter(prefix + ".entries_created").Add(entries_created);
-  registry.GetCounter(prefix + ".expansions").Add(expansions);
-  registry.GetCounter(prefix + ".pruned_entries").Add(pruned_entries);
-  registry.GetCounter(prefix + ".reported_entries").Add(reported_entries);
-  registry.GetCounter(prefix + ".bound_computations").Add(bound_computations);
-  registry.GetCounter(prefix + ".probes").Add(probes);
-  registry.GetCounter(prefix + ".pq_pops").Add(pq_pops);
-  io.Publish(prefix + ".io");
+  registry.GetCounter(prefix + obs::names::kSuffixEntriesCreated).Add(entries_created);
+  registry.GetCounter(prefix + obs::names::kSuffixExpansions).Add(expansions);
+  registry.GetCounter(prefix + obs::names::kSuffixPrunedEntries).Add(pruned_entries);
+  registry.GetCounter(prefix + obs::names::kSuffixReportedEntries).Add(reported_entries);
+  registry.GetCounter(prefix + obs::names::kSuffixBoundComputations).Add(bound_computations);
+  registry.GetCounter(prefix + obs::names::kSuffixProbes).Add(probes);
+  registry.GetCounter(prefix + obs::names::kSuffixPqPops).Add(pq_pops);
+  io.Publish(prefix + obs::names::kSuffixIo);
 }
 
 RstknnStats& RstknnStats::Merge(const RstknnStats& other) {
@@ -961,9 +962,9 @@ RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
   };
   static const QueryMetrics metrics = [] {
     obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-    return QueryMetrics{registry.GetCounter("rstknn.queries"),
-                        registry.GetCounter("rstknn.answers"),
-                        registry.GetHistogram("rstknn.query.ms",
+    return QueryMetrics{registry.GetCounter(obs::names::kRstknnQueries),
+                        registry.GetCounter(obs::names::kRstknnAnswers),
+                        registry.GetHistogram(obs::names::kRstknnQueryMs,
                                               obs::HistogramSpec::LatencyMs())};
   }();
 
@@ -972,8 +973,8 @@ RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
   {
     obs::TraceSpan span(options.trace,
                         options.algorithm == RstknnAlgorithm::kContributionList
-                            ? "rstknn.contribution_list"
-                            : "rstknn.probe");
+                            ? obs::names::kSpanRstknnContributionList
+                            : obs::names::kSpanRstknnProbe);
     const bool contribution_list =
         options.algorithm == RstknnAlgorithm::kContributionList;
     if (frozen_ != nullptr) {
@@ -994,7 +995,7 @@ RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
     metrics.queries.Increment();
     metrics.answers.Add(result.answers.size());
     metrics.latency_ms.Record(timer.ElapsedMillis());
-    result.stats.Publish("rstknn");
+    result.stats.Publish(obs::names::kRstknnPrefix);
   }
   return result;
 }
@@ -1019,9 +1020,9 @@ std::vector<ObjectId> BruteForceRstknn(const Dataset& dataset,
 
 void PrecomputeBaseline::Build(size_t k, IoStats* stats,
                                obs::QueryTrace* trace) {
-  assert(k > 0);
+  RST_CHECK_GT(k, 0u) << "PrecomputeBaseline::Build needs k > 0";
   Stopwatch timer;
-  obs::TraceSpan build_span(trace, "baseline.build");
+  obs::TraceSpan build_span(trace, obs::names::kSpanBaselineBuild);
   k_ = k;
   kth_score_.assign(dataset_->size(), -1.0);
   tops_.assign(dataset_->size(), {});
@@ -1039,19 +1040,20 @@ void PrecomputeBaseline::Build(size_t k, IoStats* stats,
   for (const StObject& o : dataset_->objects()) {
     object_scan_bytes_ += TermVectorEncodedSize(o.doc) + 2 * sizeof(double);
   }
-  build_span.AddCount("objects", dataset_->size());
+  build_span.AddCount(obs::names::kCountObjects, dataset_->size());
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  registry.GetCounter("baseline.builds").Increment();
-  registry.GetGauge("baseline.build.ms").Set(timer.ElapsedMillis());
-  if (stats != nullptr) stats->Publish("baseline.build.io");
+  registry.GetCounter(obs::names::kBaselineBuilds).Increment();
+  registry.GetGauge(obs::names::kBaselineBuildMs).Set(timer.ElapsedMillis());
+  if (stats != nullptr) stats->Publish(obs::names::kBaselineBuildIoPrefix);
 }
 
 RstknnResult PrecomputeBaseline::Query(const RstknnQuery& query,
                                        obs::QueryTrace* trace) const {
-  assert(built() && query.k == k_);
+  RST_CHECK(built() && query.k == k_)
+      << "PrecomputeBaseline::Query before Build, or with a different k";
   Stopwatch timer;
   RstknnResult result;
-  obs::TraceSpan scan_span(trace, "baseline.scan");
+  obs::TraceSpan scan_span(trace, obs::names::kSpanBaselineScan);
   // The scan touches every object page once.
   result.stats.io.AddPayloadRead(object_scan_bytes_);
   for (const StObject& o : dataset_->objects()) {
@@ -1077,15 +1079,15 @@ RstknnResult PrecomputeBaseline::Query(const RstknnQuery& query,
     }
     if (threshold < 0.0 || sim_q >= threshold) result.answers.push_back(o.id);
   }
-  scan_span.AddCount("objects_scanned", dataset_->size());
+  scan_span.AddCount(obs::names::kCountObjectsScanned, dataset_->size());
   static const obs::Counter queries =
-      obs::MetricRegistry::Global().GetCounter("baseline.queries");
+      obs::MetricRegistry::Global().GetCounter(obs::names::kBaselineQueries);
   static const obs::HistogramRef latency_ms =
       obs::MetricRegistry::Global().GetHistogram(
-          "baseline.query.ms", obs::HistogramSpec::LatencyMs());
+          obs::names::kBaselineQueryMs, obs::HistogramSpec::LatencyMs());
   queries.Increment();
   latency_ms.Record(timer.ElapsedMillis());
-  result.stats.Publish("baseline");
+  result.stats.Publish(obs::names::kBaselinePrefix);
   return result;
 }
 

@@ -1,7 +1,8 @@
 #include "rst/rtree/rtree.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
 
@@ -28,7 +29,8 @@ Rect RTree::Node::ComputeMbr() const {
 }
 
 RTree::RTree(const RTreeOptions& options) : options_(options) {
-  assert(options_.max_entries >= 2 * options_.min_entries);
+  RST_CHECK_GE(options_.max_entries, 2 * options_.min_entries)
+      << "RTreeOptions: max_entries must be at least twice min_entries";
   root_ = std::make_unique<Node>();
 }
 

@@ -1,21 +1,21 @@
 #include "rst/storage/buffer_pool.h"
 
-#include <cassert>
 #include <mutex>
 
 #include "rst/common/stopwatch.h"
 #include "rst/obs/trace.h"
+#include "rst/obs/metric_names.h"
 
 namespace rst {
 
 BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
     : store_(store), capacity_pages_(capacity_pages) {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  hits_counter_ = registry.GetCounter("storage.buffer_pool.hits");
-  misses_counter_ = registry.GetCounter("storage.buffer_pool.misses");
-  evictions_counter_ = registry.GetCounter("storage.buffer_pool.evictions");
-  hit_rate_gauge_ = registry.GetGauge("storage.buffer_pool.hit_rate");
-  fill_ms_ = registry.GetHistogram("storage.buffer_pool.fill_ms",
+  hits_counter_ = registry.GetCounter(obs::names::kBufferPoolHits);
+  misses_counter_ = registry.GetCounter(obs::names::kBufferPoolMisses);
+  evictions_counter_ = registry.GetCounter(obs::names::kBufferPoolEvictions);
+  hit_rate_gauge_ = registry.GetGauge(obs::names::kBufferPoolHitRate);
+  fill_ms_ = registry.GetHistogram(obs::names::kBufferPoolFillMs,
                                    obs::HistogramSpec::LatencyMs());
 }
 
@@ -73,7 +73,7 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
   Stopwatch fill_timer;
   Status s;
   {
-    obs::TraceSpan span(trace_, "buffer_pool.fill");
+    obs::TraceSpan span(trace_, obs::names::kSpanBufferPoolFill);
     s = store_->Read(handle, payload.get(), stats);
   }
   fill_ms_.Record(fill_timer.ElapsedMillis());

@@ -4,6 +4,7 @@
 
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 
 namespace rst {
 
@@ -22,10 +23,10 @@ std::string IoStats::ToString() const {
 
 void IoStats::Publish(const std::string& prefix) const {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  registry.GetCounter(prefix + ".node_reads").Add(node_reads);
-  registry.GetCounter(prefix + ".payload_blocks").Add(payload_blocks);
-  registry.GetCounter(prefix + ".payload_bytes").Add(payload_bytes);
-  registry.GetCounter(prefix + ".cache_hits").Add(cache_hits);
+  registry.GetCounter(prefix + obs::names::kSuffixNodeReads).Add(node_reads);
+  registry.GetCounter(prefix + obs::names::kSuffixPayloadBlocks).Add(payload_blocks);
+  registry.GetCounter(prefix + obs::names::kSuffixPayloadBytes).Add(payload_bytes);
+  registry.GetCounter(prefix + obs::names::kSuffixCacheHits).Add(cache_hits);
 }
 
 void IoStats::AppendJson(obs::JsonWriter* writer) const {

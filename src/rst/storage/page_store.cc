@@ -1,6 +1,7 @@
 #include "rst/storage/page_store.h"
 
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 
 namespace rst {
 
@@ -19,11 +20,11 @@ struct PageStoreMetrics {
     static const PageStoreMetrics* metrics = [] {
       auto* m = new PageStoreMetrics();
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-      m->writes = registry.GetCounter("storage.page_store.writes");
-      m->pages_written = registry.GetCounter("storage.page_store.pages_written");
-      m->reads = registry.GetCounter("storage.page_store.reads");
-      m->pages_read = registry.GetCounter("storage.page_store.pages_read");
-      m->bytes_read = registry.GetCounter("storage.page_store.bytes_read");
+      m->writes = registry.GetCounter(obs::names::kPageStoreWrites);
+      m->pages_written = registry.GetCounter(obs::names::kPageStorePagesWritten);
+      m->reads = registry.GetCounter(obs::names::kPageStoreReads);
+      m->pages_read = registry.GetCounter(obs::names::kPageStorePagesRead);
+      m->bytes_read = registry.GetCounter(obs::names::kPageStoreBytesRead);
       return m;
     }();
     return *metrics;

@@ -1,7 +1,8 @@
 #include "rst/text/similarity.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace rst {
@@ -75,7 +76,7 @@ double CosineMin(const SummarySpan& a, const SummarySpan& b) {
   const double x = Dot(a.intr, b.intr);
   if (x <= 0.0) return 0.0;
   const double n2 = a.uni.norm_squared * b.uni.norm_squared;
-  assert(n2 > 0.0);
+  RST_DCHECK_GT(n2, 0.0);
   return Clamp01(x / std::sqrt(n2));
 }
 
@@ -148,7 +149,8 @@ TextSimilarity::TextSimilarity(TextMeasure measure,
                                const std::vector<float>* corpus_max,
                                EjBoundMode ej_bound)
     : measure_(measure), corpus_max_(corpus_max), ej_bound_(ej_bound) {
-  assert(measure_ != TextMeasure::kSum || corpus_max_ != nullptr);
+  RST_CHECK(measure_ != TextMeasure::kSum || corpus_max_ != nullptr)
+      << "kSum needs per-term corpus maxima";
 }
 
 double TextSimilarity::SumSim(const TermVector& object,

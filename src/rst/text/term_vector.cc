@@ -1,7 +1,8 @@
 #include "rst/text/term_vector.h"
 
+#include "rst/common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 
 namespace rst {
@@ -158,9 +159,10 @@ TermVector TermVector::FromUnsorted(std::vector<TermWeight> entries) {
 TermVector TermVector::FromSorted(std::vector<TermWeight> entries) {
 #ifndef NDEBUG
   for (size_t i = 1; i < entries.size(); ++i) {
-    assert(entries[i - 1].term < entries[i].term);
+    RST_DCHECK_LT(entries[i - 1].term, entries[i].term)
+        << "TermVector entries must be strictly sorted by term";
   }
-  for (const TermWeight& e : entries) assert(e.weight >= 0.0f);
+  for (const TermWeight& e : entries) RST_DCHECK_GE(e.weight, 0.0f);
 #endif
   TermVector v;
   v.entries_ = std::move(entries);

@@ -5,6 +5,7 @@
 
 #include "rst/common/stopwatch.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/trace.h"
 
 namespace rst {
@@ -61,11 +62,12 @@ struct TopKMetrics {
   static const TopKMetrics& Get() {
     static const TopKMetrics* metrics = [] {
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
       return new TopKMetrics{
-          registry.GetCounter("topk.queries"),
-          registry.GetCounter("topk.pq_pops"),
-          registry.GetCounter("topk.expansions"),
-          registry.GetHistogram("topk.query.ms",
+          registry.GetCounter(obs::names::kTopkQueries),
+          registry.GetCounter(obs::names::kTopkPqPops),
+          registry.GetCounter(obs::names::kTopkExpansions),
+          registry.GetHistogram(obs::names::kTopkQueryMs,
                                 obs::HistogramSpec::LatencyMs())};
     }();
     return *metrics;
@@ -80,7 +82,7 @@ std::vector<TopKResult> TopKSearcher::Search(const TopKQuery& query,
   std::vector<TopKResult> results;
   if (query.k == 0 || tree_->size() == 0) return results;
   Stopwatch timer;
-  obs::TraceSpan search_span(trace, "topk.search");
+  obs::TraceSpan search_span(trace, obs::names::kSpanTopkSearch);
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
   const double alpha = scorer_->options().alpha;
   uint64_t pops = 0;
@@ -127,8 +129,8 @@ std::vector<TopKResult> TopKSearcher::Search(const TopKQuery& query,
   metrics.pq_pops.Add(pops);
   metrics.expansions.Add(expansions);
   metrics.latency_ms.Record(timer.ElapsedMillis());
-  search_span.AddCount("pq_pops", pops);
-  search_span.AddCount("expansions", expansions);
+  search_span.AddCount(obs::names::kCountPqPops, pops);
+  search_span.AddCount(obs::names::kCountExpansions, expansions);
   return results;
 }
 

@@ -1,0 +1,106 @@
+// Contract-macro behavior (DESIGN.md §11.1): passing checks are silent,
+// failing RST_CHECKs abort with file:line + condition + streamed message in
+// every build type, and RST_DCHECKs never evaluate their operands under
+// NDEBUG. Death tests run the statement in a forked child, so the aborts
+// never take the test binary down.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rst/common/check.h"
+#include "rst/common/status.h"
+
+namespace rst {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilentAndSideEffectFree) {
+  int evaluations = 0;
+  auto count = [&evaluations](int v) {
+    ++evaluations;
+    return v;
+  };
+  RST_CHECK(count(1) == 1);
+  RST_CHECK_EQ(count(2), 2);
+  RST_CHECK_NE(count(3), 4);
+  RST_CHECK_LE(count(4), 4);
+  RST_CHECK_LT(count(4), 5);
+  RST_CHECK_GE(count(5), 5);
+  RST_CHECK_GT(count(6), 5);
+  RST_CHECK_OK(Status::Ok());
+  EXPECT_EQ(evaluations, 7);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithConditionAndMessage) {
+  const int node = 42;
+  EXPECT_DEATH(RST_CHECK(node < 0) << "node " << node << " out of range",
+               "RST_CHECK failed: node < 0.*node 42 out of range");
+}
+
+TEST(CheckDeathTest, CheckNamesFileAndLine) {
+  EXPECT_DEATH(RST_CHECK(false), "check_test\\.cc:[0-9]+: RST_CHECK failed");
+}
+
+TEST(CheckDeathTest, BinaryFormsPrintBothOperands) {
+  const int lo = 7;
+  const int hi = 3;
+  EXPECT_DEATH(RST_CHECK_LE(lo, hi), "lo <= hi.*\\(7 vs 3\\)");
+  EXPECT_DEATH(RST_CHECK_EQ(std::string("a"), std::string("b")),
+               "\\(a vs b\\)");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatusMessage) {
+  EXPECT_DEATH(RST_CHECK_OK(Status::Corruption("summary not dominated")),
+               "RST_CHECK failed.*Corruption: summary not dominated");
+}
+
+TEST(CheckDeathTest, CheckOkAcceptsResult) {
+  const Result<int> bad = Status::NotFound("no such object");
+  EXPECT_DEATH(RST_CHECK_OK(bad), "NotFound: no such object");
+  const Result<int> good = 5;
+  RST_CHECK_OK(good);  // Must compile and pass for Result<T> too.
+}
+
+#ifdef NDEBUG
+
+TEST(DcheckTest, ReleaseDchecksDoNotEvaluateOperands) {
+  int evaluations = 0;
+  auto boom = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  RST_DCHECK(boom());
+  RST_DCHECK_EQ(evaluations, 12345);
+  RST_DCHECK_OK(Status::Corruption((++evaluations, "never built")));
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else  // !NDEBUG
+
+TEST(DcheckDeathTest, DebugDchecksFire) {
+  EXPECT_DEATH(RST_DCHECK(false), "RST_CHECK failed: false");
+  EXPECT_DEATH(RST_DCHECK_EQ(1, 2), "\\(1 vs 2\\)");
+}
+
+#endif  // NDEBUG
+
+// The dangling-else trap: a check macro used as the sole statement of an
+// `if` must not capture the following `else`. Compile-time property — the
+// assertions just keep the optimizer honest.
+TEST(CheckTest, MacrosAreSingleStatements) {
+  bool took_else = false;
+  if (1 + 1 == 2)
+    RST_CHECK(true);
+  else
+    took_else = true;
+  EXPECT_FALSE(took_else);
+
+  if (1 + 1 == 3)
+    RST_DCHECK(false);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+}  // namespace
+}  // namespace rst

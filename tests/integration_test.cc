@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "rst/data/csv.h"
 #include "rst/data/generators.h"
@@ -23,45 +24,43 @@ class IntegrationTest : public ::testing::Test {
     config.num_objects = 1500;
     config.vocab_size = 350;
     config.seed = 77;
-    dataset_ = new Dataset(GenFlickrLike(config, {Weighting::kTfIdf, 0.1}));
+    dataset_ = std::make_unique<Dataset>(
+        GenFlickrLike(config, {Weighting::kTfIdf, 0.1}));
     std::vector<TermVector> docs;
     for (const StObject& o : dataset_->objects()) docs.push_back(o.doc);
     ClusteringOptions copts;
     copts.num_clusters = 6;
-    clusters_ = new ClusteringResult(ClusterDocuments(docs, copts));
-    iur_ = new IurTree(IurTree::BuildFromDataset(*dataset_, {}));
-    ciur_ = new IurTree(
+    clusters_ =
+        std::make_unique<ClusteringResult>(ClusterDocuments(docs, copts));
+    iur_ = std::make_unique<IurTree>(IurTree::BuildFromDataset(*dataset_, {}));
+    ciur_ = std::make_unique<IurTree>(
         IurTree::BuildFromDataset(*dataset_, {}, &clusters_->assignment));
   }
   static void TearDownTestSuite() {
-    delete ciur_;
-    delete iur_;
-    delete clusters_;
-    delete dataset_;
-    ciur_ = nullptr;
-    iur_ = nullptr;
-    clusters_ = nullptr;
-    dataset_ = nullptr;
+    ciur_.reset();
+    iur_.reset();
+    clusters_.reset();
+    dataset_.reset();
   }
 
-  static Dataset* dataset_;
-  static ClusteringResult* clusters_;
-  static IurTree* iur_;
-  static IurTree* ciur_;
+  static std::unique_ptr<Dataset> dataset_;
+  static std::unique_ptr<ClusteringResult> clusters_;
+  static std::unique_ptr<IurTree> iur_;
+  static std::unique_ptr<IurTree> ciur_;
 };
 
-Dataset* IntegrationTest::dataset_ = nullptr;
-ClusteringResult* IntegrationTest::clusters_ = nullptr;
-IurTree* IntegrationTest::iur_ = nullptr;
-IurTree* IntegrationTest::ciur_ = nullptr;
+std::unique_ptr<Dataset> IntegrationTest::dataset_;
+std::unique_ptr<ClusteringResult> IntegrationTest::clusters_;
+std::unique_ptr<IurTree> IntegrationTest::iur_;
+std::unique_ptr<IurTree> IntegrationTest::ciur_;
 
 TEST_F(IntegrationTest, AllRstknnVariantsAgreeWithOracle) {
   TextSimilarity sim(TextMeasure::kExtendedJaccard);
   for (double alpha : {0.2, 0.8}) {
     StScorer scorer(&sim, {alpha, dataset_->max_dist()});
-    RstknnSearcher on_iur(iur_, dataset_, &scorer);
-    RstknnSearcher on_ciur(ciur_, dataset_, &scorer);
-    PrecomputeBaseline baseline(iur_, dataset_, &scorer);
+    RstknnSearcher on_iur(iur_.get(), dataset_.get(), &scorer);
+    RstknnSearcher on_ciur(ciur_.get(), dataset_.get(), &scorer);
+    PrecomputeBaseline baseline(iur_.get(), dataset_.get(), &scorer);
     baseline.Build(7);
     for (ObjectId qid : {3u, 444u, 1200u}) {
       const StObject& q = dataset_->object(qid);
@@ -84,8 +83,8 @@ TEST_F(IntegrationTest, NaiveAndTightEjBoundsAgree) {
                        EjBoundMode::kNaive);
   StScorer tight_scorer(&tight, {0.5, dataset_->max_dist()});
   StScorer naive_scorer(&naive, {0.5, dataset_->max_dist()});
-  RstknnSearcher tight_search(iur_, dataset_, &tight_scorer);
-  RstknnSearcher naive_search(iur_, dataset_, &naive_scorer);
+  RstknnSearcher tight_search(iur_.get(), dataset_.get(), &tight_scorer);
+  RstknnSearcher naive_search(iur_.get(), dataset_.get(), &naive_scorer);
   const StObject& q = dataset_->object(99);
   const RstknnQuery query{q.loc, &q.doc, 5, 99};
   const auto a = tight_search.Search(query);
@@ -104,7 +103,7 @@ TEST_F(IntegrationTest, FullBichromaticPipelineAgrees) {
   TextSimilarity sim(TextMeasure::kSum, &dataset_->corpus_max());
   StScorer scorer(&sim, {0.5, dataset_->max_dist()});
 
-  JointTopKProcessor proc(iur_, dataset_, &scorer);
+  JointTopKProcessor proc(iur_.get(), dataset_.get(), &scorer);
   const JointTopKResult joint = proc.Process(gen.users, 8);
 
   MaxBrstQuery query;
@@ -113,7 +112,7 @@ TEST_F(IntegrationTest, FullBichromaticPipelineAgrees) {
   query.ws = 2;
   query.k = 8;
 
-  MaxBrstSolver solver(dataset_, &scorer);
+  MaxBrstSolver solver(dataset_.get(), &scorer);
   const MaxBrstResult exact =
       solver.Solve(gen.users, joint.rsk, query, KeywordSelect::kExact);
   const MaxBrstResult oracle =
@@ -124,7 +123,7 @@ TEST_F(IntegrationTest, FullBichromaticPipelineAgrees) {
   uopts.max_entries = 8;
   uopts.min_entries = 3;
   const IurTree user_tree = IurTree::BuildFromUsers(gen.users, uopts);
-  MiurMaxBrstSolver miur(iur_, dataset_, &scorer, &user_tree, &gen.users);
+  MiurMaxBrstSolver miur(iur_.get(), dataset_.get(), &scorer, &user_tree, &gen.users);
   EXPECT_EQ(miur.Solve(query, KeywordSelect::kExact).best.coverage(),
             oracle.coverage());
 }
@@ -140,7 +139,7 @@ TEST_F(IntegrationTest, DatasetRoundTripPreservesQueryResults) {
   TextSimilarity sim(TextMeasure::kExtendedJaccard);
   StScorer scorer1(&sim, {0.5, dataset_->max_dist()});
   StScorer scorer2(&sim, {0.5, loaded.value().max_dist()});
-  RstknnSearcher s1(iur_, dataset_, &scorer1);
+  RstknnSearcher s1(iur_.get(), dataset_.get(), &scorer1);
   RstknnSearcher s2(&tree2, &loaded.value(), &scorer2);
   const StObject& q = dataset_->object(17);
   EXPECT_EQ(s1.Search({q.loc, &q.doc, 5, 17}).answers,
@@ -151,7 +150,7 @@ TEST_F(IntegrationTest, DatasetRoundTripPreservesQueryResults) {
 TEST_F(IntegrationTest, QueriesAreDeterministic) {
   TextSimilarity sim(TextMeasure::kExtendedJaccard);
   StScorer scorer(&sim, {0.5, dataset_->max_dist()});
-  RstknnSearcher searcher(iur_, dataset_, &scorer);
+  RstknnSearcher searcher(iur_.get(), dataset_.get(), &scorer);
   const StObject& q = dataset_->object(250);
   const RstknnQuery query{q.loc, &q.doc, 9, 250};
   const auto a = searcher.Search(query);

@@ -135,6 +135,7 @@ TEST(CodecFuzzTest, ByteFlipsNeverCrash) {
     TextSummary out;
     // Must terminate and either fail cleanly or produce *some* summary;
     // (weight bytes are raw floats, so many flips decode fine).
+    // rst-lint: allow(unchecked-status) fuzz probe: only no-crash matters, both outcomes valid
     (void)DecodeTextSummary(mutated, &offset, &out);
   }
   SUCCEED();
@@ -147,9 +148,11 @@ TEST(CodecFuzzTest, RandomGarbageNeverCrashes) {
     for (char& c : garbage) c = static_cast<char>(rng.Next() & 0xFF);
     size_t offset = 0;
     InvertedFile file;
+    // rst-lint: allow(unchecked-status) fuzz probe: only no-crash matters, both outcomes valid
     (void)DecodeInvertedFile(garbage, &offset, &file);
     offset = 0;
     TermVector vec;
+    // rst-lint: allow(unchecked-status) fuzz probe: only no-crash matters, both outcomes valid
     (void)DecodeTermVector(garbage, &offset, &vec);
   }
   SUCCEED();

@@ -1,0 +1,13 @@
+// Bad fixture: a reason-less allow() is itself an error AND does not
+// suppress the underlying finding. Never compiled; linted only.
+
+namespace lintfix {
+
+int* ReasonlessAllow() {
+  // rst-lint: allow(raw-new-delete)
+  return new int(7);
+}
+// expect-finding: bad-suppression
+// expect-finding: raw-new-delete
+
+}  // namespace lintfix

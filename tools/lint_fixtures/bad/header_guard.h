@@ -1,0 +1,9 @@
+#ifndef WRONG_GUARD_NAME_H_
+#define WRONG_GUARD_NAME_H_
+// expect-finding: header-guard
+// Bad fixture: the guard must spell the path
+// (TOOLS_LINT_FIXTURES_BAD_HEADER_GUARD_H_). Never compiled; linted only.
+
+namespace lintfix {}
+
+#endif  // WRONG_GUARD_NAME_H_

@@ -1,0 +1,7 @@
+// Bad fixture: include-style violations. Never compiled; linted only.
+
+#include <rst/common/status.h>  // expect-finding: include-hygiene
+#include "../common/geometry.h"  // expect-finding: include-hygiene
+#include "rst/common/status.h"  // expect-finding: include-hygiene (duplicate)
+
+namespace lintfix {}

@@ -1,0 +1,16 @@
+// Bad fixture: inline metric-name literals at obs call sites. Never
+// compiled; linted only.
+
+#include "rst/obs/metrics.h"
+#include "rst/obs/trace.h"
+
+namespace lintfix {
+
+void InlineNames(rst::obs::MetricRegistry* registry,
+                 rst::obs::QueryTrace* trace) {
+  registry->GetCounter("oops.typod_counter").Increment();  // expect-finding: metric-name-literal
+  trace->Enter("oops.span");  // expect-finding: metric-name-literal
+  trace->AddCount("oops.key", 1);  // expect-finding: metric-name-literal
+}
+
+}  // namespace lintfix

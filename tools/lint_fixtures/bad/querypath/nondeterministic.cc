@@ -1,0 +1,25 @@
+// Bad fixture: nondeterminism in a (mirrored) query-path directory. Never
+// compiled; linted only.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace lintfix {
+
+double JitterScore(double score) {
+  std::mt19937 gen(42);  // expect-finding: nondeterministic-query-path
+  return score + static_cast<double>(gen() % 3);
+}
+
+long WallClockTieBreak() {
+  const auto now =
+      std::chrono::system_clock::now();  // expect-finding: nondeterministic-query-path
+  return now.time_since_epoch().count();
+}
+
+int LegacyRand() {
+  return std::rand();  // expect-finding: nondeterministic-query-path
+}
+
+}  // namespace lintfix

@@ -1,0 +1,18 @@
+// Bad fixture: raw ownership outside src/rst/storage/. Never compiled;
+// linted only.
+
+namespace lintfix {
+
+struct Node {
+  Node* next = nullptr;
+};
+
+Node* Leak() {
+  return new Node();  // expect-finding: raw-new-delete
+}
+
+void Free(Node* n) {
+  delete n;  // expect-finding: raw-new-delete
+}
+
+}  // namespace lintfix

@@ -1,0 +1,17 @@
+// Bad fixture: Status results silently dropped. Never compiled; linted only.
+
+#include "rst/common/status.h"
+
+namespace lintfix {
+
+rst::Status DoWork();
+
+void DropsStatus() {
+  DoWork();  // expect-finding: unchecked-status
+}
+
+void VoidCastWithoutReason() {
+  (void)DoWork();  // expect-finding: unchecked-status
+}
+
+}  // namespace lintfix

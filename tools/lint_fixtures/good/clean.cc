@@ -1,0 +1,41 @@
+// Known-good fixture for `rst_lint.py --self-test`: every pattern here is
+// conforming and must produce zero findings. Never compiled; linted only.
+
+#include <string>
+
+#include "rst/common/status.h"
+#include "rst/obs/metric_names.h"
+#include "rst/obs/metrics.h"
+
+namespace lintfix {
+
+rst::Status DoWork();
+
+int UseStatusProperly() {
+  // Checked: assigned and inspected.
+  const rst::Status s = DoWork();
+  if (!s.ok()) return 1;
+  // Checked inline as part of a larger expression.
+  if (!DoWork().ok()) return 2;
+  // Returned to the caller.
+  return DoWork().ok() ? 0 : 3;
+}
+
+void ExplicitDiscard() {
+  // rst-lint: allow(unchecked-status) fixture demonstrating a justified discard
+  (void)DoWork();
+}
+
+void MetricNamesFromHeader(rst::obs::MetricRegistry* registry) {
+  // Names come from the central header, not inline literals.
+  registry->GetCounter(rst::obs::names::kRstknnQueries).Increment();
+  registry->GetGauge(rst::obs::names::kIurtreeBuildLastMs).Set(1.0);
+}
+
+void JustifiedRawNew() {
+  // rst-lint: allow(raw-new-delete) leaky singleton fixture with a reason
+  static auto* leaked = new std::string("lives forever");
+  (void)leaked;
+}
+
+}  // namespace lintfix

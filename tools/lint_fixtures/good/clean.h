@@ -1,0 +1,26 @@
+#ifndef TOOLS_LINT_FIXTURES_GOOD_CLEAN_H_
+#define TOOLS_LINT_FIXTURES_GOOD_CLEAN_H_
+
+// Known-good fixture for `rst_lint.py --self-test`: exercises the patterns
+// each rule must NOT flag. Never compiled; linted only.
+
+#include <string>
+
+#include "rst/common/status.h"
+
+namespace lintfix {
+
+class Widget {
+ public:
+  Widget() = default;
+  Widget(const Widget&) = delete;  // `= delete` is not a raw delete
+
+  rst::Status Validate() const;
+
+  // A declaration mentioning "new" in a comment or string is not a raw new.
+  std::string Description() const { return "brand new widget"; }
+};
+
+}  // namespace lintfix
+
+#endif  // TOOLS_LINT_FIXTURES_GOOD_CLEAN_H_

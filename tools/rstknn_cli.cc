@@ -40,6 +40,10 @@
 //                       still name the dataset the index was built from)
 //   --build-threads N   worker threads for the STR bulk-load slab sorts
 //                       (default 1; any N produces the identical tree)
+//   --check-invariants  run the deep structural validation (DESIGN.md §11.2)
+//                       over the index before answering — summary domination,
+//                       tight MBRs, level leaves, cluster partitions; exits
+//                       non-zero with the precise violation on corruption
 //
 // EXPLAIN / slow-query flags (rstknn only):
 //   --explain           print the per-level branch-and-bound decision
@@ -75,6 +79,7 @@
 #include "rst/maxbrst/maxbrst.h"
 #include "rst/obs/explain.h"
 #include "rst/obs/json.h"
+#include "rst/obs/metric_names.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/slow_log.h"
 #include "rst/obs/trace.h"
@@ -374,7 +379,7 @@ int CmdTopK(const Flags& flags) {
   query.doc = &qdoc;
   query.k = static_cast<size_t>(flags.GetInt("k", 10));
   const ObsFlags obs_flags(flags);
-  obs::QueryTrace trace("topk");
+  obs::QueryTrace trace(obs::names::kTraceTopk);
   IoStats io;
   Stopwatch timer;
   const auto results =
@@ -465,7 +470,7 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                  slow_log.threshold_ms(),
                  static_cast<unsigned long long>(slow_log.dropped()));
   }
-  obs::QueryTrace trace("rstknn");  // batch runs carry no per-query spans
+  obs::QueryTrace trace(obs::names::kTraceRstknn);  // batch runs carry no per-query spans
   return EmitObsArtifacts(obs_flags, "rstknn", &trace, /*explain=*/nullptr,
                           obs_flags.slow_logging() ? &slow_log : nullptr);
 }
@@ -505,6 +510,28 @@ int CmdRstknn(const Flags& flags) {
     if (use_frozen || save_index) {
       frozen.emplace(frozen::FrozenTree::Freeze(*tree));
     }
+  }
+  // Opt-in deep validation of whichever index will serve the query: every
+  // node summary dominated and equal to the merge of its children, MBRs
+  // tight, leaves level, cluster lists partitioning. Exits non-zero with the
+  // precise violation so scripted runs can gate on it.
+  if (flags.Has("check-invariants")) {
+    Status invariants = Status::Ok();
+    if (tree.has_value()) {
+      invariants = tree->CheckInvariants(
+          [&dataset](uint32_t oid) -> const TermVector* {
+            return oid < dataset.size() ? &dataset.object(oid).doc : nullptr;
+          });
+    }
+    if (invariants.ok() && frozen.has_value()) {
+      invariants = frozen->CheckInvariants();
+    }
+    if (!invariants.ok()) {
+      std::fprintf(stderr, "--check-invariants: %s\n",
+                   invariants.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "--check-invariants: index ok\n");
   }
   if (save_index) {
     const std::string path = flags.Get("save-index", "");
@@ -550,7 +577,7 @@ int CmdRstknn(const Flags& flags) {
   query.k = static_cast<size_t>(flags.GetInt("k", 10));
 
   const ObsFlags obs_flags(flags);
-  obs::QueryTrace trace("rstknn");
+  obs::QueryTrace trace(obs::names::kTraceRstknn);
   RstknnOptions options;
   options.algorithm = ParseAlgorithm(flags);
   // With a metrics artifact requested, switch to real I/O through a buffer
@@ -585,7 +612,7 @@ int CmdRstknn(const Flags& flags) {
   if (obs_flags.slow_logging() && slow_log.ShouldCapture(ms)) {
     trace.Finish();
     obs::SlowQueryRecord record;
-    record.label = "rstknn";
+    record.label = obs::names::kTraceRstknn;
     record.elapsed_ms = ms;
     record.answers = result.answers.size();
     record.trace_json = trace.ToJson();
@@ -640,12 +667,12 @@ int CmdMaxBrst(const Flags& flags) {
   }
 
   const ObsFlags obs_flags(flags);
-  obs::QueryTrace trace("maxbrst");
+  obs::QueryTrace trace(obs::names::kTraceMaxbrst);
   obs::QueryTrace* trace_ptr = obs_flags.tracing() ? &trace : nullptr;
 
   JointTopKProcessor proc(&tree, &dataset, &scorer);
   Stopwatch timer;
-  if (trace_ptr != nullptr) trace_ptr->Enter("joint_topk");
+  if (trace_ptr != nullptr) trace_ptr->Enter(obs::names::kSpanJointTopk);
   const JointTopKResult joint = proc.Process(users.value(), query.k);
   if (trace_ptr != nullptr) trace_ptr->Exit();
   const double topk_ms = timer.ElapsedMillis();
