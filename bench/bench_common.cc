@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <map>
+#include <thread>
 
+#include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
 #include "rst/exec/batch_runner.h"
 #include "rst/obs/json.h"
@@ -69,23 +71,42 @@ std::string Fmt(double v, int precision) {
 
 std::string FmtInt(uint64_t v) { return std::to_string(v); }
 
+void AppendEnvJson(obs::JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("hardware_threads");
+  writer->Uint(std::thread::hardware_concurrency());
+  writer->Key("build_type");
+#ifdef NDEBUG
+  writer->String("release");
+#else
+  writer->String("debug");
+#endif
+  writer->Key("objects");
+  writer->Uint(DefaultObjects());
+  writer->Key("reps");
+  writer->Uint(Reps());
+  writer->Key("threads");
+  writer->Uint(Threads());
+  writer->EndObject();
+}
+
 void EmitFigureMetrics(const std::string& figure) {
   obs::JsonWriter writer;
   writer.BeginObject();
   writer.Key("figure");
   writer.String(figure);
+  writer.Key("env");
+  AppendEnvJson(&writer);
   writer.Key("metrics");
   obs::MetricRegistry::Global().Snapshot().AppendJson(&writer);
   writer.EndObject();
   const std::string path = figure + ".metrics.json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  const Status s = WriteStringToFileAtomic(path, writer.TakeString());
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
     return;
   }
-  const std::string json = writer.TakeString();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
   std::printf("\n[metrics: %s]\n", path.c_str());
 }
 

@@ -30,6 +30,12 @@
 
 #include "rst/exec/thread_pool.h"
 
+namespace rst {
+namespace obs {
+class JsonWriter;
+}  // namespace obs
+}  // namespace rst
+
 namespace rst::bench {
 
 size_t DefaultObjects();
@@ -48,10 +54,17 @@ void PrintRow(const std::vector<std::string>& cells);
 std::string Fmt(double v, int precision = 2);
 std::string FmtInt(uint64_t v);
 
-/// Writes `<figure>.metrics.json` into the working directory: a JSON object
-/// {"figure": ..., "metrics": <global registry snapshot>} with every counter,
-/// gauge, and histogram the run published (same schema as the CLI's
-/// --metrics-out artifact). Call once at the end of each figure binary.
+/// Appends the shared environment header every BENCH_*.json /
+/// *.metrics.json artifact carries: {"hardware_threads", "build_type",
+/// "objects", "reps", "threads"} — enough to tell two runs' numbers apart
+/// without rerunning them.
+void AppendEnvJson(obs::JsonWriter* writer);
+
+/// Writes `<figure>.metrics.json` into the working directory (crash-atomic
+/// temp-file + rename): a JSON object {"figure": ..., "env": <AppendEnvJson>,
+/// "metrics": <global registry snapshot>} with every counter, gauge, and
+/// histogram the run published (same schema as the CLI's --metrics-out
+/// artifact). Call once at the end of each figure binary.
 void EmitFigureMetrics(const std::string& figure);
 
 /// --- 2016 extension experiments (MaxBRSTkNN) -----------------------------

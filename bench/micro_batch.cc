@@ -12,6 +12,7 @@
 
 #include <thread>
 
+#include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
 #include "rst/exec/batch_runner.h"
 #include "rst/exec/thread_pool.h"
@@ -105,16 +106,14 @@ int main() {
   writer.BeginObject();
   writer.Key("figure");
   writer.String("micro_batch");
-  writer.Key("hardware_threads");
-  writer.Uint(cores);
-  writer.Key("objects");
+  writer.Key("env");
+  AppendEnvJson(&writer);
+  writer.Key("dataset_objects");
   writer.Uint(env.dataset.size());
   writer.Key("queries");
   writer.Uint(queries.size());
   writer.Key("k");
   writer.Uint(params.k);
-  writer.Key("reps");
-  writer.Uint(reps);
   writer.Key("series");
   writer.BeginArray();
   for (const Measurement& m : series) {
@@ -133,11 +132,8 @@ int main() {
   }
   writer.EndArray();
   writer.EndObject();
-  const std::string json = writer.TakeString();
-  std::FILE* f = std::fopen("BENCH_batch.json", "w");
-  if (f != nullptr) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
+  if (rst::WriteStringToFileAtomic("BENCH_batch.json", writer.TakeString())
+          .ok()) {
     std::printf("[series: BENCH_batch.json]\n");
   }
 

@@ -15,6 +15,7 @@
 
 #include <thread>
 
+#include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
 #include "rst/frozen/frozen.h"
 #include "rst/obs/json.h"
@@ -143,16 +144,14 @@ int main() {
   writer.BeginObject();
   writer.Key("figure");
   writer.String("micro_frozen");
-  writer.Key("hardware_threads");
-  writer.Uint(cores);
-  writer.Key("objects");
+  writer.Key("env");
+  AppendEnvJson(&writer);
+  writer.Key("dataset_objects");
   writer.Uint(env.dataset.size());
   writer.Key("queries");
   writer.Uint(queries.size());
   writer.Key("k");
   writer.Uint(params.k);
-  writer.Key("reps");
-  writer.Uint(reps);
   writer.Key("build_serial_ms");
   writer.Double(build1_ms);
   writer.Key("build_threads");
@@ -183,11 +182,8 @@ int main() {
   }
   writer.EndArray();
   writer.EndObject();
-  const std::string json = writer.TakeString();
-  std::FILE* f = std::fopen("BENCH_frozen.json", "w");
-  if (f != nullptr) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
+  if (rst::WriteStringToFileAtomic("BENCH_frozen.json", writer.TakeString())
+          .ok()) {
     std::printf("\nwrote BENCH_frozen.json\n");
   }
   return 0;

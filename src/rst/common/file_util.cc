@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include <unistd.h>
+
 namespace rst {
 
 namespace {
@@ -32,6 +34,23 @@ Status WriteStringToFile(const std::string& path, std::string_view content) {
   const bool close_ok = std::fclose(f) == 0;
   if (!write_ok || !close_ok) {
     return Status::Internal(ErrnoMessage("short write to", path));
+  }
+  return Status::Ok();
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  const Status write_status = WriteStringToFile(tmp, content);
+  if (!write_status.ok()) {
+    std::remove(tmp.c_str());
+    return write_status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("cannot rename to", path));
+    std::remove(tmp.c_str());
+    return status;
   }
   return Status::Ok();
 }

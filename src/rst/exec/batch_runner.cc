@@ -9,8 +9,10 @@
 #include "rst/obs/explain.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
+#include "rst/obs/phase_timer.h"
 #include "rst/obs/slow_log.h"
 #include "rst/obs/trace.h"
+#include "rst/obs/trace_event.h"
 
 namespace rst {
 namespace exec {
@@ -24,6 +26,7 @@ struct BatchMetrics {
   obs::Counter batch_queries;
   obs::HistogramRef batch_ms;
   obs::HistogramRef worker_busy_ms;
+  obs::HistogramRef queue_wait_ms;
   obs::Counter rstknn_queries;
   obs::Counter rstknn_answers;
   obs::HistogramRef rstknn_query_ms;
@@ -39,6 +42,8 @@ struct BatchMetrics {
                                           obs::HistogramSpec::LatencyMs());
       m->worker_busy_ms = registry.GetHistogram(
           obs::names::kExecWorkerBusyMs, obs::HistogramSpec::LatencyMs());
+      m->queue_wait_ms = registry.GetHistogram(
+          obs::names::kExecBatchQueueWaitMs, obs::HistogramSpec::LatencyMs());
       m->rstknn_queries = registry.GetCounter(obs::names::kRstknnQueries);
       m->rstknn_answers = registry.GetCounter(obs::names::kRstknnAnswers);
       m->rstknn_query_ms = registry.GetHistogram(
@@ -82,29 +87,61 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
     explain_index = std::make_unique<ExplainIndex>(*tree_);
   }
 
+  // Profiling: one PRIVATE profiler per worker (heap-allocated so adjacent
+  // workers never share a cache line); Search() resets it per query and its
+  // histogram publishes are lock-free, so this needs no synchronization.
+  std::vector<std::unique_ptr<obs::PhaseProfiler>> profilers;
+  if (profiling_) {
+    profilers.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      profilers.push_back(std::make_unique<obs::PhaseProfiler>());
+    }
+  }
+  if (trace_events_ != nullptr) {
+    for (size_t w = 0; w < workers; ++w) {
+      trace_events_->AddThreadName(static_cast<uint32_t>(w + 1),
+                                   "worker " + std::to_string(w));
+    }
+    trace_events_->AddThreadName(static_cast<uint32_t>(workers + 1), "queue");
+  }
+
   const RstknnSearcher searcher =
       frozen_ != nullptr ? RstknnSearcher(frozen_, dataset_, scorer_)
                          : RstknnSearcher(tree_, dataset_, scorer_);
   Stopwatch wall;
   pool_->ParallelFor(
       queries.size(), /*chunk=*/1, [&](size_t i, size_t w) {
+        // Queue wait = batch start → first instruction of this query on a
+        // worker. With chunk=1 dispatch that is exactly the time the query
+        // sat behind earlier work.
+        const double queue_wait_ms = wall.ElapsedMillis();
+        metrics.queue_wait_ms.Record(queue_wait_ms);
+        double run_start_us = 0.0;
+        bool sampled = false;
+        if (trace_events_ != nullptr) {
+          run_start_us = trace_events_->NowUs();
+          sampled = trace_events_->ShouldSample();
+        }
         Stopwatch query_timer;
         RstknnOptions worker_options = options;
         worker_options.trace = nullptr;  // a shared trace would race
         worker_options.scratch = scratches[w].get();
         worker_options.publish_metrics = false;
+        if (profiling_) worker_options.profiler = profilers[w].get();
         std::unique_ptr<obs::QueryTrace> trace;
         obs::ExplainRecorder recorder;
-        if (slow_log_ != nullptr) {
+        if (slow_log_ != nullptr || sampled) {
           trace = std::make_unique<obs::QueryTrace>(obs::names::kTraceRstknnBatch);
           worker_options.trace = trace.get();
+        }
+        if (slow_log_ != nullptr) {
           worker_options.explain = &recorder;
           worker_options.explain_index = explain_index.get();
         }
         results[i] = searcher.Search(queries[i], worker_options);
         const double ms = query_timer.ElapsedMillis();
+        if (trace != nullptr) trace->Finish();
         if (slow_log_ != nullptr && slow_log_->ShouldCapture(ms)) {
-          trace->Finish();
           obs::SlowQueryRecord record;
           record.query_index = i;
           record.label = obs::names::kTraceRstknnBatch;
@@ -113,6 +150,24 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
           record.trace_json = trace->ToJson();
           record.explain_json = recorder.ToJson();
           slow_log_->Insert(std::move(record));
+        }
+        if (trace_events_ != nullptr) {
+          const uint32_t tid = static_cast<uint32_t>(w + 1);
+          trace_events_->AddComplete(
+              obs::names::kTraceEventRun, obs::names::kTraceCatExec, tid,
+              run_start_us, ms * 1000.0,
+              {obs::names::kTraceArgQuery, static_cast<double>(i)},
+              {obs::names::kTraceArgQueueWaitMs, queue_wait_ms});
+          if (sampled) {
+            // The sampled query's wait renders on the shared queue track;
+            // every query's wait is still on its run event as an arg.
+            trace_events_->AddComplete(
+                obs::names::kTraceEventQueueWait, obs::names::kTraceCatExec,
+                static_cast<uint32_t>(workers + 1),
+                run_start_us - queue_wait_ms * 1000.0, queue_wait_ms * 1000.0,
+                {obs::names::kTraceArgQuery, static_cast<double>(i)});
+            trace_events_->AddSpanTree(trace->root(), tid, run_start_us);
+          }
         }
         metrics.rstknn_query_ms.Record(ms);
         slots[w].busy_ms += ms;
@@ -156,6 +211,7 @@ std::vector<std::vector<TopKResult>> BatchRunner::RunTopK(
   Stopwatch wall;
   pool_->ParallelFor(
       queries.size(), /*chunk=*/1, [&](size_t i, size_t w) {
+        metrics.queue_wait_ms.Record(wall.ElapsedMillis());
         Stopwatch query_timer;
         IoStats io;
         results[i] = searcher.Search(queries[i], &io);

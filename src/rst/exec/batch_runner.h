@@ -13,6 +13,7 @@ namespace rst {
 
 namespace obs {
 class SlowQueryLog;
+class TraceEventWriter;
 }  // namespace obs
 
 namespace exec {
@@ -47,7 +48,18 @@ struct BatchStats {
 /// instead gets its own private QueryTrace + ExplainRecorder, which is safe,
 /// and over-threshold queries are captured in full. Per-query registry
 /// publishes are suppressed and replaced by ONE per-batch aggregated publish
-/// (rstknn.* totals plus exec.batch.* timings).
+/// (rstknn.* totals plus exec.batch.* timings, including the per-query
+/// exec.batch.queue_wait_ms histogram — time between batch start and a
+/// query's first instruction on a worker).
+///
+/// Profiling (DESIGN.md §12): set_profiling(true) gives each worker a
+/// private obs::PhaseProfiler so RunRstknn attributes every query's wall
+/// time into the rstknn.phase.* histograms (histogram Record is lock-free,
+/// so per-query publishes from workers are safe). set_trace_events attaches
+/// a Chrome trace-event writer: every query emits a `run` slice on its
+/// worker's track (queue wait as an arg), and 1-in-N sampled queries
+/// additionally serialize their full span tree nested under the run slice
+/// plus a `queue_wait` slice on a dedicated queue track.
 class BatchRunner {
  public:
   /// All referents must outlive the runner. `pool` is borrowed, not owned —
@@ -70,6 +82,17 @@ class BatchRunner {
   /// default, and the zero-overhead path. Read the log only between batches
   /// (its Snapshot/ToJson are quiesced-only).
   void set_slow_log(obs::SlowQueryLog* slow_log) { slow_log_ = slow_log; }
+
+  /// Enables per-phase latency attribution for RunRstknn (see the class
+  /// comment). Off by default — the zero-overhead path.
+  void set_profiling(bool profiling) { profiling_ = profiling; }
+
+  /// Attaches a Chrome trace-event writer for RunRstknn (see the class
+  /// comment; the writer must outlive the runner's batches). Null disables
+  /// emission — the default.
+  void set_trace_events(obs::TraceEventWriter* trace_events) {
+    trace_events_ = trace_events;
+  }
 
   /// Runs every query through RstknnSearcher::Search. `options.trace`,
   /// `options.scratch`, `options.explain` and `options.explain_index` are
@@ -94,6 +117,8 @@ class BatchRunner {
   const StScorer* scorer_;
   ThreadPool* pool_;
   obs::SlowQueryLog* slow_log_ = nullptr;
+  obs::TraceEventWriter* trace_events_ = nullptr;
+  bool profiling_ = false;
 };
 
 }  // namespace exec

@@ -21,6 +21,7 @@ inline constexpr char kExecBatches[] = "exec.batches";
 inline constexpr char kExecBatchQueries[] = "exec.batch.queries";
 inline constexpr char kExecBatchMs[] = "exec.batch.ms";
 inline constexpr char kExecWorkerBusyMs[] = "exec.worker.busy_ms";
+inline constexpr char kExecBatchQueueWaitMs[] = "exec.batch.queue_wait_ms";
 inline constexpr char kExecSlowQueries[] = "exec.slow_queries";
 
 // --- rstknn query engine ---
@@ -60,6 +61,37 @@ inline constexpr char kFrozenFreezes[] = "frozen.freezes";
 inline constexpr char kFrozenLoads[] = "frozen.loads";
 inline constexpr char kFrozenFreezeLastMs[] = "frozen.freeze.last_ms";
 inline constexpr char kFrozenLoadLastMs[] = "frozen.load.last_ms";
+
+// --- per-phase latency attribution (obs/phase_timer.h; DESIGN.md §12) ---
+// One histogram per phase; each completed profiled query records its
+// per-phase self time as one sample, so Percentile() on these is a per-query
+// latency distribution, not a per-scope one.
+inline constexpr char kPhaseDescentMs[] = "rstknn.phase.descent.ms";
+inline constexpr char kPhaseBoundsMs[] = "rstknn.phase.bounds.ms";
+inline constexpr char kPhaseMergeMs[] = "rstknn.phase.merge.ms";
+inline constexpr char kPhaseIoMs[] = "rstknn.phase.io.ms";
+inline constexpr char kPhaseFinalizeMs[] = "rstknn.phase.finalize.ms";
+inline constexpr char kPhaseProfiledQueries[] = "rstknn.phase.profiled_queries";
+
+// --- runtime telemetry sampler (obs/runtime.h) ---
+inline constexpr char kRuntimeRssBytes[] = "runtime.rss_bytes";
+inline constexpr char kRuntimeMaxRssBytes[] = "runtime.max_rss_bytes";
+inline constexpr char kRuntimeMinorFaults[] = "runtime.minor_faults";
+inline constexpr char kRuntimeMajorFaults[] = "runtime.major_faults";
+inline constexpr char kRuntimeCpuUserMs[] = "runtime.cpu_user_ms";
+inline constexpr char kRuntimeCpuSysMs[] = "runtime.cpu_sys_ms";
+inline constexpr char kRuntimeThreads[] = "runtime.threads";
+inline constexpr char kRuntimeSamples[] = "runtime.samples";
+
+// --- Chrome trace-event export (obs/trace_event.h) ---
+// Event names and categories; tracks are named per worker.
+inline constexpr char kTraceEventRun[] = "run";
+inline constexpr char kTraceEventQueueWait[] = "queue_wait";
+inline constexpr char kTraceCatExec[] = "exec";
+inline constexpr char kTraceCatSpan[] = "span";
+inline constexpr char kTraceArgQuery[] = "query";
+inline constexpr char kTraceArgQueueWaitMs[] = "queue_wait_ms";
+inline constexpr char kTraceArgCalls[] = "calls";
 
 // --- storage ---
 inline constexpr char kPageStoreWrites[] = "storage.page_store.writes";

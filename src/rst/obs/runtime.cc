@@ -1,0 +1,146 @@
+#include "rst/obs/runtime.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <dirent.h>
+#endif
+
+#include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
+
+namespace rst::obs {
+
+namespace {
+
+double TimevalMs(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) * 1000.0 +
+         static_cast<double>(tv.tv_usec) / 1000.0;
+}
+
+#ifdef __linux__
+uint64_t ReadRssBytes() {
+  // /proc/self/statm: size resident shared ... in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+uint64_t CountThreads() {
+  DIR* dir = opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  uint64_t count = 0;
+  while (const dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  closedir(dir);
+  return count;
+}
+#else
+uint64_t ReadRssBytes() { return 0; }
+uint64_t CountThreads() { return 0; }
+#endif  // __linux__
+
+/// Cached gauge handles (registration takes the registry mutex; sampling
+/// should not).
+struct RuntimeMetrics {
+  Gauge rss_bytes;
+  Gauge max_rss_bytes;
+  Gauge minor_faults;
+  Gauge major_faults;
+  Gauge cpu_user_ms;
+  Gauge cpu_sys_ms;
+  Gauge threads;
+  Counter samples;
+
+  static const RuntimeMetrics& Get() {
+    static const RuntimeMetrics* metrics = [] {
+      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
+      auto* m = new RuntimeMetrics();
+      MetricRegistry& registry = MetricRegistry::Global();
+      m->rss_bytes = registry.GetGauge(names::kRuntimeRssBytes);
+      m->max_rss_bytes = registry.GetGauge(names::kRuntimeMaxRssBytes);
+      m->minor_faults = registry.GetGauge(names::kRuntimeMinorFaults);
+      m->major_faults = registry.GetGauge(names::kRuntimeMajorFaults);
+      m->cpu_user_ms = registry.GetGauge(names::kRuntimeCpuUserMs);
+      m->cpu_sys_ms = registry.GetGauge(names::kRuntimeCpuSysMs);
+      m->threads = registry.GetGauge(names::kRuntimeThreads);
+      m->samples = registry.GetCounter(names::kRuntimeSamples);
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+RuntimeSample ReadRuntimeSample() {
+  RuntimeSample sample;
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux (bytes on macOS; this tree targets
+    // Linux containers, where the kB convention holds).
+    sample.max_rss_bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+    sample.minor_faults = static_cast<uint64_t>(usage.ru_minflt);
+    sample.major_faults = static_cast<uint64_t>(usage.ru_majflt);
+    sample.cpu_user_ms = TimevalMs(usage.ru_utime);
+    sample.cpu_sys_ms = TimevalMs(usage.ru_stime);
+  }
+  sample.rss_bytes = ReadRssBytes();
+  sample.threads = CountThreads();
+  return sample;
+}
+
+void RuntimeSampler::SampleOnce() {
+  const RuntimeSample sample = ReadRuntimeSample();
+  const RuntimeMetrics& metrics = RuntimeMetrics::Get();
+  metrics.rss_bytes.Set(static_cast<double>(sample.rss_bytes));
+  metrics.max_rss_bytes.Set(static_cast<double>(sample.max_rss_bytes));
+  metrics.minor_faults.Set(static_cast<double>(sample.minor_faults));
+  metrics.major_faults.Set(static_cast<double>(sample.major_faults));
+  metrics.cpu_user_ms.Set(sample.cpu_user_ms);
+  metrics.cpu_sys_ms.Set(sample.cpu_sys_ms);
+  metrics.threads.Set(static_cast<double>(sample.threads));
+  metrics.samples.Increment();
+}
+
+void RuntimeSampler::Start(uint64_t period_ms) {
+  if (thread_.joinable()) return;
+  if (period_ms == 0) period_ms = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this, period_ms] {
+    SampleOnce();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                         [this] { return stop_; })) {
+      lock.unlock();
+      SampleOnce();
+      lock.lock();
+    }
+  });
+}
+
+void RuntimeSampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  SampleOnce();
+}
+
+}  // namespace rst::obs

@@ -1,0 +1,67 @@
+#ifndef RST_OBS_RUNTIME_H_
+#define RST_OBS_RUNTIME_H_
+
+// Runtime process telemetry (DESIGN.md §12.4): a background thread samples
+// getrusage(2) — peak RSS, minor/major page faults, user/sys CPU time — plus
+// current RSS and thread count from /proc (Linux; the /proc-derived gauges
+// read 0 elsewhere), and publishes them as runtime.* gauges on a fixed
+// period. Gauges are last-writer-wins, so a metrics snapshot taken at any
+// point carries the most recent sample; the cumulative fault/CPU values are
+// published as-is (monotone within a process).
+//
+// The sampler is optional machinery for load tests and the CLI's
+// --telemetry-ms flag; nothing on the query path touches it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace rst::obs {
+
+/// One decoded sample (exposed for tests and one-shot use).
+struct RuntimeSample {
+  uint64_t rss_bytes = 0;      ///< current RSS (/proc/self/statm; 0 off-Linux)
+  uint64_t max_rss_bytes = 0;  ///< peak RSS (ru_maxrss)
+  uint64_t minor_faults = 0;   ///< cumulative (ru_minflt)
+  uint64_t major_faults = 0;   ///< cumulative (ru_majflt)
+  double cpu_user_ms = 0.0;    ///< cumulative (ru_utime)
+  double cpu_sys_ms = 0.0;     ///< cumulative (ru_stime)
+  uint64_t threads = 0;        ///< live threads (/proc/self/task; 0 off-Linux)
+};
+
+/// Reads one sample from the OS (no registry interaction).
+RuntimeSample ReadRuntimeSample();
+
+class RuntimeSampler {
+ public:
+  RuntimeSampler() = default;
+  ~RuntimeSampler() { Stop(); }
+
+  RuntimeSampler(const RuntimeSampler&) = delete;
+  RuntimeSampler& operator=(const RuntimeSampler&) = delete;
+
+  /// Samples once immediately, then every `period_ms` (min 1) on a
+  /// background thread until Stop(). No-op if already running.
+  void Start(uint64_t period_ms);
+
+  /// Joins the background thread; safe to call repeatedly. A final sample is
+  /// taken on the way out so the gauges cover the full run.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+
+  /// Publishes one sample to the global registry (also used by the
+  /// background thread; public so callers can sample without a thread).
+  static void SampleOnce();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rst::obs
+
+#endif  // RST_OBS_RUNTIME_H_

@@ -15,6 +15,7 @@
 #include "rst/obs/explain.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
+#include "rst/obs/phase_timer.h"
 #include "rst/obs/trace.h"
 #include "rst/storage/codec.h"
 
@@ -82,6 +83,7 @@ struct PointerTreeView {
               RstknnStats* stats) const {
     if (options.pool != nullptr) {
       obs::TraceSpan span(options.trace, obs::names::kSpanStorageReadNode);
+      obs::PhaseTimer io_phase(options.profiler, obs::Phase::kIo);
       InvertedFile invfile;
       if (tree->ReadNodePayload(n, options.pool, &stats->io, &invfile).ok()) {
         return;
@@ -137,6 +139,7 @@ struct FrozenTreeView {
               RstknnStats* stats) const {
     if (options.pool != nullptr) {
       obs::TraceSpan span(options.trace, obs::names::kSpanStorageReadNode);
+      obs::PhaseTimer io_phase(options.profiler, obs::Phase::kIo);
       InvertedFile invfile;
       if (tree->ReadNodePayload(n, options.pool, &stats->io, &invfile).ok()) {
         return;
@@ -528,7 +531,9 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
   RstknnResult result;
   if (view.TreeSize() == 0 || query.k == 0) return result;
   obs::QueryTrace* trace = options.trace;
+  obs::PhaseProfiler* profiler = options.profiler;
   if (trace != nullptr) trace->Enter(obs::names::kSpanSetup);
+  if (profiler != nullptr) profiler->Enter(obs::Phase::kDescent);
   const ExplainSink<View> explain(view, options, "probe");
   const double alpha = scorer.options().alpha;
   const TextSummary qsum = TextSummary::FromDoc(*query.doc);
@@ -598,6 +603,7 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
   for (size_t i = 0, n = view.NumEntries(root); i < n; ++i) {
     add_candidate(view.EntryAt(root, i), {View::NodeKey(root)});
   }
+  if (profiler != nullptr) profiler->Exit();  // descent (setup)
   if (trace != nullptr) trace->Exit();  // setup
 
   while (!work.empty()) {
@@ -613,6 +619,7 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     size_t guaranteed;
     {
       obs::TraceSpan span(trace, obs::names::kSpanProbeGuaranteed);
+      obs::PhaseTimer bounds_phase(profiler, obs::Phase::kBounds);
       const uint64_t bounds_before = result.stats.bound_computations;
       const uint64_t pops_before = result.stats.pq_pops;
       guaranteed = CountCompetitors(view, scorer, options, *cand, mem,
@@ -648,6 +655,7 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     size_t potential;
     {
       obs::TraceSpan span(trace, obs::names::kSpanProbePotential);
+      obs::PhaseTimer bounds_phase(profiler, obs::Phase::kBounds);
       const uint64_t bounds_before = result.stats.bound_computations;
       const uint64_t pops_before = result.stats.pq_pops;
       potential = CountCompetitors(view, scorer, options, *cand, mem,
@@ -670,6 +678,7 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     // (bounds are tight at leaf level), so only nodes reach this point.
     RST_DCHECK(!object);
     obs::TraceSpan expand_span(trace, obs::names::kSpanExpand);
+    obs::PhaseTimer descent_phase(profiler, obs::Phase::kDescent);
     const NodeRef child_node = view.Child(cand->entry);
     if (charged.insert(View::NodeKey(child_node)).second) {
       view.Charge(child_node, options, &result.stats);
@@ -686,7 +695,10 @@ RstknnResult SearchProbe(const View& view, const Dataset& dataset,
     expand_span.AddCount(obs::names::kCountEntries, num_children);
   }
 
-  std::sort(result.answers.begin(), result.answers.end());
+  {
+    obs::PhaseTimer finalize_phase(profiler, obs::Phase::kFinalize);
+    std::sort(result.answers.begin(), result.answers.end());
+  }
   return result;
 }
 
@@ -779,6 +791,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
 
   auto expand = [&](size_t idx) {
     obs::TraceSpan span(options.trace, obs::names::kSpanExpand);
+    obs::PhaseTimer descent_phase(options.profiler, obs::Phase::kDescent);
     FlatEntry& fe = entries[idx];
     const State inherited = fe.state;
     const NodeRef child_node = view.Child(fe.entry);
@@ -835,6 +848,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     double best_priority = -1.0;
     {
       obs::TraceSpan span(options.trace, obs::names::kSpanPick);
+      obs::PhaseTimer descent_phase(options.profiler, obs::Phase::kDescent);
       for (size_t i = 0; i < entries.size(); ++i) {
         const FlatEntry& fe = entries[i];
         if (!fe.alive || fe.state != State::kUndecided) continue;
@@ -858,6 +872,9 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     double best_blocker_score = -1.0;
     obs::QueryTrace* trace = options.trace;
     if (trace != nullptr) trace->Enter(obs::names::kSpanContributions);
+    if (options.profiler != nullptr) {
+      options.profiler->Enter(obs::Phase::kMerge);
+    }
     const uint64_t bounds_before = result.stats.bound_computations;
     {
       const FlatEntry& cand = entries[pick];
@@ -884,6 +901,7 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     const double knn_lower = KthSorted(&scratch, query.k, /*lower=*/true);
     scratch = contributions;
     const double knn_upper = KthSorted(&scratch, query.k, /*lower=*/false);
+    if (options.profiler != nullptr) options.profiler->Exit();  // merge
     if (trace != nullptr) {
       trace->AddCount(obs::names::kCountBoundComputations,
                       result.stats.bound_computations - bounds_before);
@@ -921,7 +939,10 @@ RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
     }
   }
 
-  std::sort(result.answers.begin(), result.answers.end());
+  {
+    obs::PhaseTimer finalize_phase(options.profiler, obs::Phase::kFinalize);
+    std::sort(result.answers.begin(), result.answers.end());
+  }
   return result;
 }
 
@@ -970,6 +991,10 @@ RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
 
   Stopwatch timer;
   RstknnResult result;
+  // Per-query phase attribution: the profiler's window is exactly one
+  // Search(), so its per-phase totals are per-query samples and their sum is
+  // bounded by this query's wall time.
+  if (options.profiler != nullptr) options.profiler->Reset();
   {
     obs::TraceSpan span(options.trace,
                         options.algorithm == RstknnAlgorithm::kContributionList
@@ -991,6 +1016,10 @@ RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
                    : SearchProbe(view, *dataset_, *scorer_, query, options);
     }
   }
+  // Phase histograms are per-query by nature, so they publish even when the
+  // aggregate-publish path (publish_metrics == false) suppresses the per-
+  // query counter traffic; Record() is lock-free either way.
+  if (options.profiler != nullptr) options.profiler->Publish();
   if (options.publish_metrics) {
     metrics.queries.Increment();
     metrics.answers.Add(result.answers.size());

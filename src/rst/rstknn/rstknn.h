@@ -14,6 +14,7 @@ namespace rst {
 
 namespace obs {
 class ExplainRecorder;
+class PhaseProfiler;
 }  // namespace obs
 
 namespace frozen {
@@ -90,6 +91,13 @@ struct RstknnOptions {
   /// probe.guaranteed, probe.potential, expand, ...) with counter deltas.
   /// Null (the default) costs one branch per phase.
   obs::QueryTrace* trace = nullptr;
+  /// Optional per-phase latency attribution (DESIGN.md §12): Search() resets
+  /// the profiler, attributes wall time into the fixed phase set (descent /
+  /// bounds / merge / io / finalize, exclusive self-time), and publishes one
+  /// rstknn.phase.* histogram sample per phase on completion. Single-threaded
+  /// like `trace` — batch execution attaches one per worker. Null (the
+  /// default) costs one branch per phase boundary.
+  obs::PhaseProfiler* profiler = nullptr;
   /// Optional real-I/O mode: node accesses read the serialized inverted
   /// files through this pool (hits/misses land in the buffer-pool metrics)
   /// instead of the simulated ChargeAccess. The pool must wrap the searched

@@ -3,8 +3,9 @@
 #include <mutex>
 
 #include "rst/common/stopwatch.h"
-#include "rst/obs/trace.h"
 #include "rst/obs/metric_names.h"
+#include "rst/obs/phase_timer.h"
+#include "rst/obs/trace.h"
 
 namespace rst {
 
@@ -74,6 +75,9 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
   Status s;
   {
     obs::TraceSpan span(trace_, obs::names::kSpanBufferPoolFill);
+    // Attributed to kIo; if the caller's Charge() already opened kIo this
+    // nests and self-time accounting keeps the sum exact.
+    obs::PhaseTimer io_phase(profiler_, obs::Phase::kIo);
     s = store_->Read(handle, payload.get(), stats);
   }
   fill_ms_.Record(fill_timer.ElapsedMillis());

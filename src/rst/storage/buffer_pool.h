@@ -15,6 +15,7 @@
 namespace rst {
 
 namespace obs {
+class PhaseProfiler;
 class QueryTrace;
 }  // namespace obs
 
@@ -81,6 +82,16 @@ class BufferPool {
   void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
   obs::QueryTrace* trace() const { return trace_; }
 
+  /// Attaches a phase profiler: miss fills then attribute the store read to
+  /// the kIo phase (DESIGN.md §12), covering consumers that reach the pool
+  /// outside the searcher's own Charge() scope. Single-threaded use only,
+  /// like set_trace — batch workers carry the profiler in RstknnOptions
+  /// instead.
+  void set_phase_profiler(obs::PhaseProfiler* profiler) {
+    profiler_ = profiler;
+  }
+  obs::PhaseProfiler* phase_profiler() const { return profiler_; }
+
   void Clear();
 
  private:
@@ -112,6 +123,7 @@ class BufferPool {
   /// insert/erase).
   std::unordered_map<PageId, std::unique_ptr<Entry>> entries_;
   obs::QueryTrace* trace_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
   /// Registry handles (storage.buffer_pool.*), shared by all pools.
   obs::Counter hits_counter_;
   obs::Counter misses_counter_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -38,6 +40,30 @@ TEST(FileUtilTest, WriteToUnwritablePathReturnsStatusWithPath) {
   const Status status = WriteStringToFile(path, "payload");
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find(path), std::string::npos);
+}
+
+TEST(FileUtilTest, AtomicWriteReplacesContentAndLeavesNoTempFile) {
+  const std::string path = TempPath("rst_file_util_atomic.json");
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "first").ok());
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "second payload").ok());
+  const Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "second payload");
+  // The staging file was renamed away, not left beside the target.
+  const std::string temp_prefix = path + ".tmp.";
+  const Result<std::string> temp =
+      ReadFileToString(temp_prefix + std::to_string(::getpid()));
+  EXPECT_FALSE(temp.ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, AtomicWriteToUnwritableDirFailsCleanly) {
+  const std::string path = "/nonexistent-dir-for-rst-tests/out.json";
+  const Status status = WriteStringToFileAtomic(path, "payload");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(path), std::string::npos);
+  // Neither the target nor a temp file appears on failure.
+  EXPECT_FALSE(ReadFileToString(path).ok());
 }
 
 TEST(FileUtilTest, ReadMissingFileIsNotFound) {

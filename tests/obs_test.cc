@@ -240,6 +240,37 @@ TEST(HistogramTest, PercentileAllValuesInOverflowBucket) {
   EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 30.0);
 }
 
+TEST(HistogramTest, PercentileSingleBucketSpec) {
+  // Degenerate one-bound spec: the bucket-upper-bound estimate is clamped to
+  // the observed max while everything sits below the bound; quantiles landing
+  // in the overflow bucket report the observed max.
+  Histogram hist(HistogramSpec{{5.0}});
+  hist.Record(1.0);
+  hist.Record(4.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 4.0);
+  hist.Record(42.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 42.0);
+}
+
+TEST(HistogramTest, PercentileAfterMergeSeesCombinedDistribution) {
+  // Post-Merge percentiles read the combined cumulative counts, including
+  // the merged-in extremes (overflow quantiles report the merged max).
+  Histogram a(HistogramSpec::Linear(1.0, 1.0, 4));  // bounds 1..4
+  Histogram b(HistogramSpec::Linear(1.0, 1.0, 4));
+  for (int i = 0; i < 8; ++i) a.Record(1.0);  // all of a in bucket 0
+  b.Record(4.0);
+  b.Record(50.0);  // overflow
+  ASSERT_TRUE(a.Merge(b.snapshot()).ok());
+  // 10 samples: 8 at bound 1, one at bound 4, one overflowing.
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.9), 4.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(a.snapshot().max, 50.0);
+}
+
 // --- Snapshot export / round-trip -----------------------------------------
 
 TEST(SnapshotTest, JsonRoundTrip) {

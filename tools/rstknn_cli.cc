@@ -45,6 +45,22 @@
 //                       tight MBRs, level leaves, cluster partitions; exits
 //                       non-zero with the precise violation on corruption
 //
+// Profiling flags (rstknn; DESIGN.md §12):
+//   --profile           attribute each query's wall time into the fixed phase
+//                       set (descent / bounds / merge / io / finalize) and
+//                       publish rstknn.phase.* latency histograms; serial
+//                       runs also print the per-phase table to stderr and
+//                       embed it in the --metrics-out artifact
+//   --trace-out FILE    write Chrome trace-event JSON (open in Perfetto or
+//                       chrome://tracing): per-worker run / queue-wait
+//                       timelines in batch mode, the query's span tree
+//                       serially
+//   --trace-sample N    in batch mode, keep the full span tree of every N-th
+//                       query in the trace-event output (default 1 = all)
+//   --telemetry-ms N    sample process runtime telemetry (RSS, page faults,
+//                       CPU time, thread count) every N ms into runtime.*
+//                       gauges, visible in the --metrics-out snapshot
+//
 // EXPLAIN / slow-query flags (rstknn only):
 //   --explain           print the per-level branch-and-bound decision
 //                       summary (which bound fired, prune/expand/report) to
@@ -81,8 +97,11 @@
 #include "rst/obs/json.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/metrics.h"
+#include "rst/obs/phase_timer.h"
+#include "rst/obs/runtime.h"
 #include "rst/obs/slow_log.h"
 #include "rst/obs/trace.h"
+#include "rst/obs/trace_event.h"
 #include "rst/rstknn/rstknn.h"
 
 namespace rst {
@@ -156,6 +175,10 @@ struct ObsFlags {
   size_t explain_log = 0;       ///< raw decision-log cap (0 = summary only)
   double slow_log_ms = -1.0;    ///< capture threshold (< 0 = off)
   std::string slow_log_out;     ///< slow-query JSON path ("" = stderr note)
+  bool profile = false;         ///< per-phase latency attribution
+  std::string trace_out;        ///< Chrome trace-event JSON path ("" = off)
+  uint64_t trace_sample = 1;    ///< span tree of every N-th batch query
+  long telemetry_ms = -1;       ///< runtime sampling period (< 0 = off)
 
   explicit ObsFlags(const Flags& flags)
       : trace(flags.Has("trace")),
@@ -165,9 +188,16 @@ struct ObsFlags {
         explain_log(static_cast<size_t>(flags.GetInt("explain-log", 0))),
         slow_log_ms(flags.Has("slow-log-ms") ? flags.GetDouble("slow-log-ms", 0)
                                              : -1.0),
-        slow_log_out(flags.Get("slow-log-out", "")) {}
+        slow_log_out(flags.Get("slow-log-out", "")),
+        profile(flags.Has("profile")),
+        trace_out(flags.Get("trace-out", "")),
+        trace_sample(static_cast<uint64_t>(flags.GetInt("trace-sample", 1))),
+        telemetry_ms(flags.Has("telemetry-ms") ? flags.GetInt("telemetry-ms", 1)
+                                               : -1) {}
 
-  bool tracing() const { return trace || !metrics_out.empty(); }
+  bool tracing() const {
+    return trace || !metrics_out.empty() || !trace_out.empty();
+  }
   bool slow_logging() const { return slow_log_ms >= 0.0; }
 };
 
@@ -180,7 +210,9 @@ struct ObsFlags {
 int EmitObsArtifacts(const ObsFlags& obs_flags, const std::string& command,
                      obs::QueryTrace* trace,
                      const obs::ExplainRecorder* explain = nullptr,
-                     const obs::SlowQueryLog* slow_log = nullptr) {
+                     const obs::SlowQueryLog* slow_log = nullptr,
+                     const obs::PhaseProfiler* profiler = nullptr,
+                     const obs::TraceEventWriter* trace_events = nullptr) {
   if (obs_flags.tracing()) trace->Finish();
   if (obs_flags.trace) {
     std::fprintf(stderr, "%s", trace->ToString().c_str());
@@ -194,6 +226,10 @@ int EmitObsArtifacts(const ObsFlags& obs_flags, const std::string& command,
     obs::MetricRegistry::Global().Snapshot().AppendJson(&writer);
     writer.Key("trace");
     trace->AppendJson(&writer);
+    if (profiler != nullptr) {
+      writer.Key("phases");
+      profiler->AppendJson(&writer);
+    }
     if (explain != nullptr) {
       writer.Key("explain");
       explain->AppendJson(&writer);
@@ -203,7 +239,8 @@ int EmitObsArtifacts(const ObsFlags& obs_flags, const std::string& command,
       slow_log->AppendJson(&writer);
     }
     writer.EndObject();
-    const Status s = WriteStringToFile(obs_flags.metrics_out, writer.str());
+    const Status s =
+        WriteStringToFileAtomic(obs_flags.metrics_out, writer.str());
     if (!s.ok()) {
       std::fprintf(stderr, "--metrics-out: %s\n", s.ToString().c_str());
       return 1;
@@ -211,9 +248,20 @@ int EmitObsArtifacts(const ObsFlags& obs_flags, const std::string& command,
     std::fprintf(stderr, "metrics written to %s\n",
                  obs_flags.metrics_out.c_str());
   }
+  if (!obs_flags.trace_out.empty() && trace_events != nullptr) {
+    const Status s = trace_events->WriteFile(obs_flags.trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "--trace-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace events (%zu kept, %llu dropped) written to %s\n",
+                 trace_events->size(),
+                 static_cast<unsigned long long>(trace_events->dropped()),
+                 obs_flags.trace_out.c_str());
+  }
   if (!obs_flags.slow_log_out.empty() && slow_log != nullptr) {
-    const Status s = WriteStringToFile(obs_flags.slow_log_out,
-                                       slow_log->ToJson());
+    const Status s = WriteStringToFileAtomic(obs_flags.slow_log_out,
+                                             slow_log->ToJson());
     if (!s.ok()) {
       std::fprintf(stderr, "--slow-log-out: %s\n", s.ToString().c_str());
       return 1;
@@ -399,7 +447,7 @@ int CmdTopK(const Flags& flags) {
 /// annotates the artifact with the batch, not per-query spans.
 int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                    const IurTree* tree, const frozen::FrozenTree* frozen,
-                   const StScorer& scorer) {
+                   const StScorer& scorer, obs::RuntimeSampler* sampler) {
   std::vector<ObjectId> ids;
   for (TermId t : ParseTerms(flags.Get("ids", ""))) {
     ids.push_back(static_cast<ObjectId>(t));
@@ -436,6 +484,10 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
           : exec::BatchRunner(tree, &dataset, &scorer, &thread_pool);
   obs::SlowQueryLog slow_log(obs_flags.slow_log_ms);
   if (obs_flags.slow_logging()) runner.set_slow_log(&slow_log);
+  obs::TraceEventWriter trace_events(/*capacity=*/1 << 16,
+                                     obs_flags.trace_sample);
+  if (obs_flags.profile) runner.set_profiling(true);
+  if (!obs_flags.trace_out.empty()) runner.set_trace_events(&trace_events);
   exec::BatchStats batch_stats;
   const std::vector<RstknnResult> results =
       runner.RunRstknn(queries, options, &batch_stats);
@@ -470,9 +522,13 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                  slow_log.threshold_ms(),
                  static_cast<unsigned long long>(slow_log.dropped()));
   }
+  // Stop before the artifact snapshot so the runtime.* gauges carry a final
+  // post-batch sample.
+  if (sampler != nullptr) sampler->Stop();
   obs::QueryTrace trace(obs::names::kTraceRstknn);  // batch runs carry no per-query spans
   return EmitObsArtifacts(obs_flags, "rstknn", &trace, /*explain=*/nullptr,
-                          obs_flags.slow_logging() ? &slow_log : nullptr);
+                          obs_flags.slow_logging() ? &slow_log : nullptr,
+                          /*profiler=*/nullptr, &trace_events);
 }
 
 int CmdRstknn(const Flags& flags) {
@@ -485,6 +541,14 @@ int CmdRstknn(const Flags& flags) {
   TextSimilarity sim(ParseMeasure(flags, TextMeasure::kExtendedJaccard),
                      &dataset.corpus_max());
   StScorer scorer(&sim, {flags.GetDouble("alpha", 0.5), dataset.max_dist()});
+
+  // Runtime telemetry starts before the index build so the runtime.* gauges
+  // cover the build's memory growth, not just the queries.
+  const ObsFlags obs_flags(flags);
+  obs::RuntimeSampler sampler;
+  if (obs_flags.telemetry_ms >= 0) {
+    sampler.Start(static_cast<uint64_t>(obs_flags.telemetry_ms));
+  }
 
   // Index setup: build the pointer tree (and optionally freeze/save it), or
   // load a previously saved frozen snapshot and skip the build entirely.
@@ -552,7 +616,7 @@ int CmdRstknn(const Flags& flags) {
   }
   if (flags.Has("ids")) {
     return CmdRstknnBatch(flags, dataset, tree ? &*tree : nullptr,
-                          use_frozen ? &*frozen : nullptr, scorer);
+                          use_frozen ? &*frozen : nullptr, scorer, &sampler);
   }
   const RstknnSearcher searcher =
       use_frozen ? RstknnSearcher(&*frozen, &dataset, &scorer)
@@ -576,7 +640,6 @@ int CmdRstknn(const Flags& flags) {
   }
   query.k = static_cast<size_t>(flags.GetInt("k", 10));
 
-  const ObsFlags obs_flags(flags);
   obs::QueryTrace trace(obs::names::kTraceRstknn);
   RstknnOptions options;
   options.algorithm = ParseAlgorithm(flags);
@@ -588,16 +651,32 @@ int CmdRstknn(const Flags& flags) {
   if (obs_flags.tracing() || obs_flags.slow_logging()) {
     options.trace = &trace;
   }
+  obs::PhaseProfiler profiler;
+  if (obs_flags.profile) options.profiler = &profiler;
   if (!obs_flags.metrics_out.empty()) {
     pool.set_trace(options.trace);
+    pool.set_phase_profiler(options.profiler);
     options.pool = &pool;
   }
   obs::ExplainRecorder recorder(obs_flags.explain_log);
   if (obs_flags.explain) options.explain = &recorder;
 
+  obs::TraceEventWriter trace_events(/*capacity=*/1 << 16,
+                                     obs_flags.trace_sample);
+  const double query_start_us = trace_events.NowUs();
   Stopwatch timer;
   const RstknnResult result = searcher.Search(query, options);
   const double ms = timer.ElapsedMillis();
+  if (obs_flags.profile) {
+    std::fprintf(stderr, "per-phase attribution (of %.2f ms wall):\n%s",
+                 ms, profiler.ToString().c_str());
+  }
+  if (!obs_flags.trace_out.empty()) {
+    // A serial run's timeline is the query's own span tree on one track.
+    trace.Finish();
+    trace_events.AddThreadName(1, "query");
+    trace_events.AddSpanTree(trace.root(), 1, query_start_us);
+  }
 
   if (obs_flags.explain) {
     std::fprintf(stderr, "%s", recorder.ToString().c_str());
@@ -635,9 +714,12 @@ int CmdRstknn(const Flags& flags) {
                  static_cast<unsigned long long>(pool.evictions()),
                  100.0 * pool.hit_rate());
   }
+  sampler.Stop();  // final runtime sample lands in the snapshot below
   return EmitObsArtifacts(obs_flags, "rstknn", &trace,
                           obs_flags.explain ? &recorder : nullptr,
-                          obs_flags.slow_logging() ? &slow_log : nullptr);
+                          obs_flags.slow_logging() ? &slow_log : nullptr,
+                          obs_flags.profile ? &profiler : nullptr,
+                          &trace_events);
 }
 
 int CmdMaxBrst(const Flags& flags) {
