@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "rst/common/rng.h"
+#include "rst/simd/simd.h"
 #include "rst/text/similarity.h"
 #include "rst/text/weighting.h"
 
@@ -143,6 +144,52 @@ void BM_UnionMaxIntersectMin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnionMaxIntersectMin)->Arg(8)->Arg(64)->Arg(512);
+
+// --- SIMD dispatch rows ----------------------------------------------------
+// The composite similarity paths (Sim = Dot + norms; the summary bounds run
+// UnionMax/IntersectMin underneath) with dispatch pinned scalar (scalar=1)
+// vs the detected level (scalar=0) on identical inputs. Balanced sizes only:
+// the skewed shapes gallop through the shared scalar path in every mode and
+// are covered by micro_termvector's dist=skewed rows.
+
+void BM_ExtendedJaccardSimDispatch(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const TermVector a = MakeDoc(&rng, n, n * 2);  // ~50% shared terms
+  const TermVector b = MakeDoc(&rng, n, n * 2);
+  TextSimilarity sim(TextMeasure::kExtendedJaccard);
+  simd::ScopedLevelOverride guard(state.range(1) != 0 ? simd::Level::kScalar
+                                                      : simd::DetectedLevel());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Sim(a, b));
+  }
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_ExtendedJaccardSimDispatch)
+    ->ArgNames({"n", "scalar"})
+    ->ArgsProduct({{64, 512}, {0, 1}});
+
+void BM_ExtendedJaccardBoundsDispatch(benchmark::State& state) {
+  Rng rng(8);
+  const size_t n = static_cast<size_t>(state.range(0));
+  TextSummary a = TextSummary::FromDoc(MakeDoc(&rng, n, n * 2));
+  TextSummary b = TextSummary::FromDoc(MakeDoc(&rng, n, n * 2));
+  for (int i = 0; i < 8; ++i) {
+    a = TextSummary::Merge(a, TextSummary::FromDoc(MakeDoc(&rng, n, n * 2)));
+    b = TextSummary::Merge(b, TextSummary::FromDoc(MakeDoc(&rng, n, n * 2)));
+  }
+  TextSimilarity sim(TextMeasure::kExtendedJaccard);
+  simd::ScopedLevelOverride guard(state.range(1) != 0 ? simd::Level::kScalar
+                                                      : simd::DetectedLevel());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.MaxSim(a, b));
+    benchmark::DoNotOptimize(sim.MinSim(a, b));
+  }
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_ExtendedJaccardBoundsDispatch)
+    ->ArgNames({"n", "scalar"})
+    ->ArgsProduct({{64, 512}, {0, 1}});
 
 void BM_StScore(benchmark::State& state) {
   Rng rng(6);

@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "rst/common/rng.h"
+#include "rst/simd/simd.h"
 #include "rst/text/term_vector.h"
 
 namespace rst {
@@ -177,6 +180,143 @@ void BM_RestrictSkewed(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(b.Restrict(a));
 }
 BENCHMARK(BM_RestrictSkewed)->Apply(SkewArgs);
+
+// --- SIMD dispatch rows ----------------------------------------------------
+// The same member kernels with dispatch pinned via simd::ScopedLevelOverride:
+// scalar=0 rows run the detected level (AVX2 here, NEON on arm64), scalar=1
+// rows pin the scalar reference on identical inputs. Each row first asserts
+// the two levels agree bitwise — the bench doubles as an equality check.
+//
+// dist arg: 0=uniform (512v512, ~10% shared), 1=skewed (8v4096 — gallops in
+// every dispatch mode, so its rows should tie), 2=high-overlap (512v512,
+// ~91% shared), 3=disjoint (512v512, separated id ranges — the vector
+// block screen's best case).
+
+TermVector MakeDocOffset(Rng* rng, size_t terms, size_t vocab, TermId base) {
+  std::vector<TermWeight> entries;
+  for (size_t pick : rng->SampleWithoutReplacement(vocab, terms)) {
+    entries.push_back({base + static_cast<TermId>(pick),
+                       static_cast<float>(rng->Uniform(0.05, 1.0))});
+  }
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+const char* DistName(int64_t dist) {
+  switch (dist) {
+    case 1: return "skewed";
+    case 2: return "high_overlap";
+    case 3: return "disjoint";
+    default: return "uniform";
+  }
+}
+
+std::pair<TermVector, TermVector> MakeDistPair(int64_t dist, uint64_t seed) {
+  Rng rng(seed);
+  switch (dist) {
+    case 1:
+      return {MakeDocOffset(&rng, 8, 8192, 0),
+              MakeDocOffset(&rng, 4096, 8192, 0)};
+    case 2:  // 512 draws from a 560-term vocab: ~91% expected shared terms
+      return {MakeDocOffset(&rng, 512, 560, 0),
+              MakeDocOffset(&rng, 512, 560, 0)};
+    case 3:
+      return {MakeDocOffset(&rng, 512, 4096, 0),
+              MakeDocOffset(&rng, 512, 4096, 8192)};
+    default:
+      return {MakeDocOffset(&rng, 512, 5120, 0),
+              MakeDocOffset(&rng, 512, 5120, 0)};
+  }
+}
+
+void DispatchArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"dist", "scalar"});
+  b->ArgsProduct({{0, 1, 2, 3}, {0, 1}});
+}
+
+simd::Level RowLevel(const benchmark::State& state) {
+  return state.range(1) != 0 ? simd::Level::kScalar : simd::DetectedLevel();
+}
+
+bool SameEntries(const TermVector& x, const TermVector& y) {
+  return x.size() == y.size() &&
+         std::memcmp(x.entries().data(), y.entries().data(),
+                     x.size() * sizeof(TermWeight)) == 0;
+}
+
+void BM_DotDispatch(benchmark::State& state) {
+  const auto [a, b] = MakeDistPair(state.range(0), 31);
+  double expected;
+  {
+    simd::ScopedLevelOverride scalar(simd::Level::kScalar);
+    expected = a.Dot(b);
+  }
+  simd::ScopedLevelOverride guard(RowLevel(state));
+  const double actual = a.Dot(b);
+  if (std::memcmp(&expected, &actual, sizeof expected) != 0) {
+    state.SkipWithError("Dot not bitwise-identical across dispatch levels");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.Dot(b));
+  state.SetLabel(std::string(DistName(state.range(0))) + "/" +
+                 simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_DotDispatch)->Apply(DispatchArgs);
+
+void BM_OverlapDispatch(benchmark::State& state) {
+  const auto [a, b] = MakeDistPair(state.range(0), 32);
+  size_t expected;
+  {
+    simd::ScopedLevelOverride scalar(simd::Level::kScalar);
+    expected = a.OverlapCount(b);
+  }
+  simd::ScopedLevelOverride guard(RowLevel(state));
+  if (a.OverlapCount(b) != expected) {
+    state.SkipWithError("OverlapCount diverged across dispatch levels");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.OverlapCount(b));
+  state.SetLabel(std::string(DistName(state.range(0))) + "/" +
+                 simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_OverlapDispatch)->Apply(DispatchArgs);
+
+void BM_IntersectMinDispatch(benchmark::State& state) {
+  const auto [a, b] = MakeDistPair(state.range(0), 33);
+  TermVector expected;
+  {
+    simd::ScopedLevelOverride scalar(simd::Level::kScalar);
+    expected = TermVector::IntersectMin(a, b);
+  }
+  simd::ScopedLevelOverride guard(RowLevel(state));
+  if (!SameEntries(TermVector::IntersectMin(a, b), expected)) {
+    state.SkipWithError("IntersectMin diverged across dispatch levels");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TermVector::IntersectMin(a, b));
+  }
+  state.SetLabel(std::string(DistName(state.range(0))) + "/" +
+                 simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_IntersectMinDispatch)->Apply(DispatchArgs);
+
+void BM_UnionMaxDispatch(benchmark::State& state) {
+  const auto [a, b] = MakeDistPair(state.range(0), 34);
+  TermVector expected;
+  {
+    simd::ScopedLevelOverride scalar(simd::Level::kScalar);
+    expected = TermVector::UnionMax(a, b);
+  }
+  simd::ScopedLevelOverride guard(RowLevel(state));
+  if (!SameEntries(TermVector::UnionMax(a, b), expected)) {
+    state.SkipWithError("UnionMax diverged across dispatch levels");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(TermVector::UnionMax(a, b));
+  state.SetLabel(std::string(DistName(state.range(0))) + "/" +
+                 simd::LevelName(simd::ActiveLevel()));
+}
+BENCHMARK(BM_UnionMaxDispatch)->Apply(DispatchArgs);
 
 }  // namespace
 }  // namespace rst

@@ -143,7 +143,7 @@ FrozenTree FrozenTree::Freeze(const IurTree& tree, obs::QueryTrace* trace) {
     stack.pop_back();
     for (size_t i = frame.node->entries.size(); i-- > 0;) {
       const IurTree::Entry& e = frame.node->entries[i];
-      if (!e.is_object()) stack.push_back({e.child.get(), frame.level + 1});
+      if (!e.is_object()) stack.push_back({e.child, frame.level + 1});
     }
     const uint32_t node_id = out.num_nodes();
     node_index.emplace(frame.node, node_id);
@@ -167,7 +167,7 @@ FrozenTree FrozenTree::Freeze(const IurTree& tree, obs::QueryTrace* trace) {
       for (const auto& [cluster_id, summary] : e.clusters) {
         out.clusters_.push_back({cluster_id, make_ref(summary)});
       }
-      if (!e.is_object()) child_links.push_back({entry_id, e.child.get()});
+      if (!e.is_object()) child_links.push_back({entry_id, e.child});
     }
   }
   for (const auto& [entry_id, child] : child_links) {

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "rst/common/check.h"
 #include "rst/common/stopwatch.h"
 #include "rst/exec/thread_pool.h"
 #include "rst/iurtree/cluster.h"
+#include "rst/iurtree/node_arena.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/trace.h"
@@ -30,23 +32,22 @@ struct BuildMetrics {
   obs::HistogramRef fanout;
 
   static const BuildMetrics& Get() {
-    static const BuildMetrics* metrics = [] {
-      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
-      auto* m = new BuildMetrics();
+    static const BuildMetrics metrics = [] {
+      BuildMetrics m;
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-      m->builds = registry.GetCounter(obs::names::kIurtreeBuilds);
-      m->nodes_total = registry.GetCounter(obs::names::kIurtreeBuildNodes);
-      m->leaves_total = registry.GetCounter(obs::names::kIurtreeBuildLeafNodes);
-      m->last_build_ms = registry.GetGauge(obs::names::kIurtreeBuildLastMs);
-      m->last_node_count = registry.GetGauge(obs::names::kIurtreeBuildLastNodeCount);
-      m->parallel_ms = registry.GetGauge(obs::names::kIurtreeBuildParallelMs);
+      m.builds = registry.GetCounter(obs::names::kIurtreeBuilds);
+      m.nodes_total = registry.GetCounter(obs::names::kIurtreeBuildNodes);
+      m.leaves_total = registry.GetCounter(obs::names::kIurtreeBuildLeafNodes);
+      m.last_build_ms = registry.GetGauge(obs::names::kIurtreeBuildLastMs);
+      m.last_node_count = registry.GetGauge(obs::names::kIurtreeBuildLastNodeCount);
+      m.parallel_ms = registry.GetGauge(obs::names::kIurtreeBuildParallelMs);
       // Fanout never exceeds max_entries (<= 64 in every configuration used
       // here); linear buckets of width 4 resolve underfull nodes.
-      m->fanout = registry.GetHistogram(obs::names::kIurtreeFanout,
-                                        obs::HistogramSpec::Linear(4, 4, 16));
+      m.fanout = registry.GetHistogram(obs::names::kIurtreeFanout,
+                                       obs::HistogramSpec::Linear(4, 4, 16));
       return m;
     }();
-    return *metrics;
+    return metrics;
   }
 };
 
@@ -79,20 +80,56 @@ Rect IurTree::Node::ComputeMbr() const {
 
 IurTree::IurTree(const IurTreeOptions& options)
     : options_(options),
-      root_(std::make_unique<Node>()),
+      // +1 entry slot: InsertRec pushes past max_entries before splitting.
+      arena_(std::make_unique<NodeArena>(options.max_entries + 1)),
       page_store_(std::make_unique<PageStore>()) {
   RST_CHECK_GE(options_.max_entries, 2 * options_.min_entries)
       << "IurTreeOptions: max_entries must be at least twice min_entries";
+  root_ = arena_->Create();
 }
 
-IurTree::Entry IurTree::MakeParentEntry(std::unique_ptr<Node> node) {
+IurTree::IurTree(IurTree&& other) noexcept
+    : options_(other.options_),
+      arena_(std::move(other.arena_)),
+      root_(std::exchange(other.root_, nullptr)),
+      page_store_(std::move(other.page_store_)),
+      size_(std::exchange(other.size_, 0)),
+      clustered_(other.clustered_),
+      storage_dirty_(other.storage_dirty_) {}
+
+IurTree& IurTree::operator=(IurTree&& other) noexcept {
+  if (this == &other) return *this;
+  if (arena_ != nullptr && root_ != nullptr) DestroyRecursive(root_);
+  options_ = other.options_;
+  arena_ = std::move(other.arena_);
+  root_ = std::exchange(other.root_, nullptr);
+  page_store_ = std::move(other.page_store_);
+  size_ = std::exchange(other.size_, 0);
+  clustered_ = other.clustered_;
+  storage_dirty_ = other.storage_dirty_;
+  return *this;
+}
+
+IurTree::~IurTree() {
+  // arena_ is null exactly when this tree was moved from.
+  if (arena_ != nullptr && root_ != nullptr) DestroyRecursive(root_);
+}
+
+void IurTree::DestroyRecursive(Node* node) {
+  if (!node->leaf) {
+    for (Entry& e : node->entries) DestroyRecursive(e.child);
+  }
+  arena_->Destroy(node);
+}
+
+IurTree::Entry IurTree::MakeParentEntry(Node* node) {
   Entry parent;
   parent.rect = node->ComputeMbr();
   for (const Entry& e : node->entries) {
     parent.summary = TextSummary::Merge(parent.summary, e.summary);
     parent.clusters = MergeClusterLists(parent.clusters, e.clusters);
   }
-  parent.child = std::move(node);
+  parent.child = node;
   return parent;
 }
 
@@ -112,7 +149,7 @@ void PublishBuildMetrics(const IurTree& tree, double build_ms) {
     metrics.fanout.Record(static_cast<double>(node->entries.size()));
     if (!node->leaf) {
       for (const IurTree::Entry& e : node->entries) {
-        stack.push_back(e.child.get());
+        stack.push_back(e.child);
       }
     }
   }
@@ -201,13 +238,12 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
       for (const auto& [slab_begin, slab_end] : slabs) {
         for (size_t begin = slab_begin; begin < slab_end; begin += cap) {
           const size_t end = std::min(begin + cap, slab_end);
-          auto node = std::make_unique<Node>();
+          Node* node = tree.arena_->Create();
           node->leaf = leaf_level;
-          node->entries.reserve(end - begin);
           for (size_t i = begin; i < end; ++i) {
             node->entries.push_back(std::move(level[i]));
           }
-          parents.push_back(MakeParentEntry(std::move(node)));
+          parents.push_back(MakeParentEntry(node));
         }
       }
       level = std::move(parents);
@@ -215,13 +251,18 @@ IurTree IurTree::Build(std::vector<Item> items, const IurTreeOptions& options,
       if (level.size() == 1) break;
     }
 
-    if (level.size() == 1 && level.front().child) {
-      tree.root_ = std::move(level.front().child);
+    // Either way the constructor's placeholder root is replaced; hand its
+    // chunk back so single-build trees hold exactly NodeCount() chunks.
+    if (level.size() == 1 && level.front().child != nullptr) {
+      tree.arena_->Destroy(tree.root_);
+      tree.root_ = level.front().child;
+      level.front().child = nullptr;
     } else {
-      auto root = std::make_unique<Node>();
+      Node* root = tree.arena_->Create();
       root->leaf = false;
       for (Entry& e : level) root->entries.push_back(std::move(e));
-      tree.root_ = std::move(root);
+      tree.arena_->Destroy(tree.root_);
+      tree.root_ = root;
     }
     if (trace != nullptr) trace->Exit();  // pack
   }
@@ -259,10 +300,12 @@ IurTree IurTree::BuildFromUsers(const std::vector<StUser>& users,
   return Build(std::move(items), options, nullptr);
 }
 
-void IurTree::SplitNode(Node* node, std::unique_ptr<Node>* split_off) const {
-  std::vector<Entry> entries = std::move(node->entries);
+void IurTree::SplitNode(Node* node, Node** split_off) {
+  std::vector<Entry> entries;
+  entries.reserve(node->entries.size());
+  for (Entry& e : node->entries) entries.push_back(std::move(e));
   node->entries.clear();
-  *split_off = std::make_unique<Node>();
+  *split_off = arena_->Create();
   (*split_off)->leaf = node->leaf;
 
   size_t seed_a = 0, seed_b = 1;
@@ -280,7 +323,7 @@ void IurTree::SplitNode(Node* node, std::unique_ptr<Node>* split_off) const {
   }
 
   Node* group_a = node;
-  Node* group_b = split_off->get();
+  Node* group_b = *split_off;
   Rect mbr_a = entries[seed_a].rect;
   Rect mbr_b = entries[seed_b].rect;
   group_a->entries.push_back(std::move(entries[seed_a]));
@@ -334,7 +377,7 @@ void IurTree::SplitNode(Node* node, std::unique_ptr<Node>* split_off) const {
 }
 
 struct IurTree::InsertResult {
-  std::unique_ptr<Node> split_off;
+  Node* split_off = nullptr;
 };
 
 IurTree::InsertResult IurTree::InsertRec(Node* node, Entry entry,
@@ -358,15 +401,13 @@ IurTree::InsertResult IurTree::InsertRec(Node* node, Entry entry,
     }
     Entry& slot = node->entries[best];
     InsertResult child_result =
-        InsertRec(slot.child.get(), std::move(entry), node_height - 1);
+        InsertRec(slot.child, std::move(entry), node_height - 1);
     // Refresh the slot from its (possibly split) child.
-    std::unique_ptr<Node> child = std::move(slot.child);
-    Entry refreshed = MakeParentEntry(std::move(child));
+    Entry refreshed = MakeParentEntry(slot.child);
     refreshed.id = kNoObject;
     node->entries[best] = std::move(refreshed);
-    if (child_result.split_off) {
-      node->entries.push_back(
-          MakeParentEntry(std::move(child_result.split_off)));
+    if (child_result.split_off != nullptr) {
+      node->entries.push_back(MakeParentEntry(child_result.split_off));
     }
   }
   InsertResult result;
@@ -386,13 +427,13 @@ void IurTree::Insert(uint32_t id, Point loc, const TermVector* doc,
     e.clusters.push_back({cluster, e.summary});
     clustered_ = true;
   }
-  InsertResult result = InsertRec(root_.get(), std::move(e), height());
-  if (result.split_off) {
-    auto new_root = std::make_unique<Node>();
+  InsertResult result = InsertRec(root_, std::move(e), height());
+  if (result.split_off != nullptr) {
+    Node* new_root = arena_->Create();
     new_root->leaf = false;
-    new_root->entries.push_back(MakeParentEntry(std::move(root_)));
-    new_root->entries.push_back(MakeParentEntry(std::move(result.split_off)));
-    root_ = std::move(new_root);
+    new_root->entries.push_back(MakeParentEntry(root_));
+    new_root->entries.push_back(MakeParentEntry(result.split_off));
+    root_ = new_root;
   }
   ++size_;
   storage_dirty_ = true;
@@ -414,16 +455,18 @@ void RefreshEntry(IurTree::Entry* e) {
   }
 }
 
-/// Collects all object entries beneath `entry` (moving them out).
-void FlattenToObjects(IurTree::Entry entry,
+/// Collects all object entries beneath `entry` (moving them out), handing
+/// the emptied subtree nodes back to the arena.
+void FlattenToObjects(IurTree::Entry entry, NodeArena* arena,
                       std::vector<IurTree::Entry>* out) {
   if (entry.is_object()) {
     out->push_back(std::move(entry));
     return;
   }
   for (IurTree::Entry& ce : entry.child->entries) {
-    FlattenToObjects(std::move(ce), out);
+    FlattenToObjects(std::move(ce), arena, out);
   }
+  arena->Destroy(entry.child);
 }
 
 }  // namespace
@@ -442,12 +485,13 @@ bool IurTree::DeleteRec(Node* node, uint32_t id, const Rect& target,
   for (size_t i = 0; i < node->entries.size(); ++i) {
     Entry& e = node->entries[i];
     if (!e.rect.Contains(target)) continue;
-    if (!DeleteRec(e.child.get(), id, target, orphans)) continue;
+    if (!DeleteRec(e.child, id, target, orphans)) continue;
     if (e.child->entries.size() < options_.min_entries) {
       // Condense: re-home the survivors, drop the underfull node.
       for (Entry& ce : e.child->entries) {
-        FlattenToObjects(std::move(ce), orphans);
+        FlattenToObjects(std::move(ce), arena_.get(), orphans);
       }
+      arena_->Destroy(e.child);
       node->entries.erase(node->entries.begin() + i);
     } else {
       RefreshEntry(&e);
@@ -459,27 +503,28 @@ bool IurTree::DeleteRec(Node* node, uint32_t id, const Rect& target,
 
 Status IurTree::Delete(uint32_t id, Point loc) {
   std::vector<Entry> orphans;
-  if (!DeleteRec(root_.get(), id, Rect::FromPoint(loc), &orphans)) {
+  if (!DeleteRec(root_, id, Rect::FromPoint(loc), &orphans)) {
     return Status::NotFound("no such (id, location)");
   }
   --size_;
   // Shrink an internal root down to its single child.
   while (!root_->leaf && root_->entries.size() == 1) {
-    root_ = std::move(root_->entries.front().child);
+    Node* old_root = root_;
+    root_ = root_->entries.front().child;
+    arena_->Destroy(old_root);
   }
   if (!root_->leaf && root_->entries.empty()) {
-    root_ = std::make_unique<Node>();
+    arena_->Destroy(root_);
+    root_ = arena_->Create();
   }
   for (Entry& orphan : orphans) {
-    InsertResult result =
-        InsertRec(root_.get(), std::move(orphan), height());
-    if (result.split_off) {
-      auto new_root = std::make_unique<Node>();
+    InsertResult result = InsertRec(root_, std::move(orphan), height());
+    if (result.split_off != nullptr) {
+      Node* new_root = arena_->Create();
       new_root->leaf = false;
-      new_root->entries.push_back(MakeParentEntry(std::move(root_)));
-      new_root->entries.push_back(
-          MakeParentEntry(std::move(result.split_off)));
-      root_ = std::move(new_root);
+      new_root->entries.push_back(MakeParentEntry(root_));
+      new_root->entries.push_back(MakeParentEntry(result.split_off));
+      root_ = new_root;
     }
   }
   storage_dirty_ = true;
@@ -491,7 +536,7 @@ Status IurTree::Delete(uint32_t id, Point loc) {
 
 void IurTree::SerializeNode(Node* node) {
   if (!node->leaf) {
-    for (Entry& e : node->entries) SerializeNode(e.child.get());
+    for (Entry& e : node->entries) SerializeNode(e.child);
   }
   // Structural record: what an R-tree page would hold.
   std::string record;
@@ -537,15 +582,15 @@ void IurTree::FinalizeStorage() {
     return;
   }
   page_store_ = std::make_unique<PageStore>();
-  SerializeNode(root_.get());
+  SerializeNode(root_);
   storage_dirty_ = false;
 }
 
 size_t IurTree::height() const {
   size_t h = 0;
-  const Node* node = root_.get();
+  const Node* node = root_;
   while (!node->leaf) {
-    node = node->entries.front().child.get();
+    node = node->entries.front().child;
     ++h;
   }
   return h;
@@ -553,13 +598,13 @@ size_t IurTree::height() const {
 
 size_t IurTree::NodeCount() const {
   size_t count = 0;
-  std::vector<const Node*> stack = {root_.get()};
+  std::vector<const Node*> stack = {root_};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     ++count;
     if (!node->leaf) {
-      for (const Entry& e : node->entries) stack.push_back(e.child.get());
+      for (const Entry& e : node->entries) stack.push_back(e.child);
     }
   }
   return count;
@@ -653,7 +698,7 @@ Status IurTree::CheckInvariants(
   if (root_ == nullptr) return Status::Corruption("null root");
   size_t leaf_depth = SIZE_MAX;
   uint64_t objects_seen = 0;
-  std::vector<Frame> stack = {{root_.get(), 0}};
+  std::vector<Frame> stack = {{root_, 0}};
   while (!stack.empty()) {
     auto [node, depth] = stack.back();
     stack.pop_back();
@@ -726,7 +771,7 @@ Status IurTree::CheckInvariants(
       if (e.is_object()) {
         return Status::Corruption(context + ": object entry in internal node");
       }
-      const Node* child = e.child.get();
+      const Node* child = e.child;
       const Rect child_mbr = child->ComputeMbr();
       if (!(e.rect == child_mbr)) {
         return Status::Corruption(context + ": stale MBR " + e.rect.ToString() +
@@ -814,7 +859,7 @@ ExplainIndex::ExplainIndex(const IurTree& tree) {
     // still only depend on structure either way.
     for (size_t i = frame.node->entries.size(); i-- > 0;) {
       const IurTree::Entry& e = frame.node->entries[i];
-      if (!e.is_object()) stack.push_back({e.child.get(), frame.level + 1});
+      if (!e.is_object()) stack.push_back({e.child, frame.level + 1});
     }
     for (const IurTree::Entry& e : frame.node->entries) {
       info_.emplace(&e, Info{next_id++, frame.level});

@@ -9,6 +9,7 @@
 #include "rst/common/geometry.h"
 #include "rst/common/status.h"
 #include "rst/data/dataset.h"
+#include "rst/iurtree/arena_array.h"
 #include "rst/storage/buffer_pool.h"
 #include "rst/storage/codec.h"
 #include "rst/storage/io_stats.h"
@@ -51,29 +52,39 @@ struct TextBounds {
   double max_sim = 1.0;
 };
 
+class NodeArena;  // rst/iurtree/node_arena.h
+
 class IurTree {
  public:
   static constexpr uint32_t kNoObject = 0xFFFFFFFFu;
 
   struct Node;
 
-  /// One child slot of a node: either an object (leaf) or a subtree.
+  /// One child slot of a node: either an object (leaf) or a subtree. The
+  /// child pointer is non-owning — every Node lives on the tree's NodeArena
+  /// and is destroyed explicitly (DestroyRecursive) or with the tree.
   struct Entry {
     Rect rect;
     TextSummary summary;
     /// CIUR-tree: (cluster id, summary) pairs, sorted by cluster id; empty
     /// for a plain IUR-tree.
     std::vector<std::pair<uint32_t, TextSummary>> clusters;
-    uint32_t id = kNoObject;      ///< object/user id (leaf entries)
-    std::unique_ptr<Node> child;  ///< subtree (internal entries)
+    uint32_t id = kNoObject;  ///< object/user id (leaf entries)
+    Node* child = nullptr;    ///< subtree (internal entries), arena-owned
 
     bool is_object() const { return child == nullptr; }
     uint32_t count() const { return summary.count; }
   };
 
+  /// Tree node. Constructed only by NodeArena::Create, which co-allocates
+  /// the entry storage in the same cache-line-aligned arena chunk — one
+  /// allocation per node, entries adjacent to the header they belong to.
   struct Node {
+    Node(Entry* entry_storage, size_t entry_capacity)
+        : entries(entry_storage, entry_capacity) {}
+
     bool leaf = true;
-    std::vector<Entry> entries;
+    ArenaArray<Entry> entries;
     /// Storage handles (valid after the build serializes payloads).
     PageHandle record_handle;
     PageHandle invfile_handle;
@@ -106,8 +117,9 @@ class IurTree {
   static IurTree BuildFromUsers(const std::vector<StUser>& users,
                                 const IurTreeOptions& options);
 
-  IurTree(IurTree&&) noexcept = default;
-  IurTree& operator=(IurTree&&) noexcept = default;
+  IurTree(IurTree&& other) noexcept;
+  IurTree& operator=(IurTree&& other) noexcept;
+  ~IurTree();
 
   /// Dynamic insertion (quadratic split, summaries propagated upward).
   /// Invalidates the serialized payloads until FinalizeStorage() is called
@@ -126,7 +138,7 @@ class IurTree {
   /// (Re)serializes node records and inverted files into the page store.
   void FinalizeStorage();
 
-  const Node* root() const { return root_.get(); }
+  const Node* root() const { return root_; }
   size_t size() const { return size_; }
   size_t height() const;
   size_t NodeCount() const;
@@ -139,6 +151,7 @@ class IurTree {
   /// Total serialized bytes (node records + inverted files).
   uint64_t IndexBytes() const;
   const PageStore& page_store() const { return *page_store_; }
+  const NodeArena& arena() const { return *arena_; }
 
   /// Charges the simulated I/O of opening `node`: one node read plus the
   /// blocks of its inverted file (papers' methodology; DESIGN.md §3.5).
@@ -166,12 +179,17 @@ class IurTree {
   InsertResult InsertRec(Node* node, Entry entry, size_t node_height);
   bool DeleteRec(Node* node, uint32_t id, const Rect& target,
                  std::vector<Entry>* orphans);
-  void SplitNode(Node* node, std::unique_ptr<Node>* split_off) const;
-  static Entry MakeParentEntry(std::unique_ptr<Node> node);
+  void SplitNode(Node* node, Node** split_off);
+  static Entry MakeParentEntry(Node* node);
+  /// Destroys `node` and its whole subtree back into the arena.
+  void DestroyRecursive(Node* node);
   void SerializeNode(Node* node);
 
   IurTreeOptions options_;
-  std::unique_ptr<Node> root_;
+  /// Owns every Node (and its co-allocated entry storage); declared before
+  /// root_ so the slabs outlive the pointers into them.
+  std::unique_ptr<NodeArena> arena_;
+  Node* root_ = nullptr;
   std::unique_ptr<PageStore> page_store_;
   size_t size_ = 0;
   bool clustered_ = false;

@@ -1,0 +1,79 @@
+#include "rst/iurtree/node_arena.h"
+
+#include <cstdint>
+#include <new>
+
+#include "rst/common/check.h"
+
+namespace rst {
+
+namespace {
+
+constexpr size_t kCacheLine = 64;
+/// Slab size target: large enough that slab allocation is noise next to the
+/// node construction it amortizes, small enough not to strand memory on tiny
+/// trees (one slab still holds hundreds of chunks at default fanout).
+constexpr size_t kTargetSlabBytes = size_t{256} * 1024;
+
+size_t AlignUp(size_t n, size_t alignment) {
+  return (n + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+NodeArena::NodeArena(size_t entry_capacity) : entry_capacity_(entry_capacity) {
+  static_assert(alignof(IurTree::Node) <= kCacheLine);
+  static_assert(sizeof(NodeArena::FreeChunk) <= sizeof(IurTree::Node),
+                "free-list link must fit in a destroyed chunk");
+  entry_offset_ = AlignUp(sizeof(IurTree::Node), alignof(IurTree::Entry));
+  chunk_bytes_ = AlignUp(
+      entry_offset_ + entry_capacity_ * sizeof(IurTree::Entry), kCacheLine);
+  chunks_per_slab_ = kTargetSlabBytes / chunk_bytes_;
+  if (chunks_per_slab_ == 0) chunks_per_slab_ = 1;
+  slab_bytes_ = chunks_per_slab_ * chunk_bytes_;
+}
+
+NodeArena::~NodeArena() {
+  // Owners destroy every node before the arena (IurTree::~IurTree walks the
+  // tree); a live node here means its Entry vectors are about to leak.
+  RST_DCHECK_EQ(live_nodes_, size_t{0})
+      << "NodeArena destroyed with live nodes";
+}
+
+void NodeArena::AddSlab() {
+  // The + kCacheLine - 1 slack lets the first chunk be aligned manually —
+  // make_unique<std::byte[]> only guarantees max_align_t. Keeping the
+  // allocation on the standard path (no raw operator new) means sanitizers
+  // and the project linter see a plain owned array.
+  slabs_.push_back(std::make_unique<std::byte[]>(slab_bytes_ + kCacheLine - 1));
+  const auto addr = reinterpret_cast<uintptr_t>(slabs_.back().get());
+  bump_ = slabs_.back().get() +
+          static_cast<ptrdiff_t>(AlignUp(addr, kCacheLine) - addr);
+  bump_remaining_ = chunks_per_slab_;
+}
+
+IurTree::Node* NodeArena::Create() {
+  std::byte* chunk;
+  if (free_list_ != nullptr) {
+    chunk = reinterpret_cast<std::byte*>(free_list_);
+    free_list_ = free_list_->next;
+  } else {
+    if (bump_remaining_ == 0) AddSlab();
+    chunk = bump_;
+    bump_ += chunk_bytes_;
+    --bump_remaining_;
+  }
+  ++live_nodes_;
+  auto* entries = reinterpret_cast<IurTree::Entry*>(chunk + entry_offset_);
+  return new (chunk) IurTree::Node(entries, entry_capacity_);
+}
+
+void NodeArena::Destroy(IurTree::Node* node) {
+  RST_DCHECK_GT(live_nodes_, size_t{0});
+  node->~Node();
+  FreeChunk* chunk = new (static_cast<void*>(node)) FreeChunk{free_list_};
+  free_list_ = chunk;
+  --live_nodes_;
+}
+
+}  // namespace rst

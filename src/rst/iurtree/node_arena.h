@@ -1,0 +1,71 @@
+#ifndef RST_IURTREE_NODE_ARENA_H_
+#define RST_IURTREE_NODE_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "rst/iurtree/iurtree.h"
+
+namespace rst {
+
+/// Slab/bump allocator for IurTree nodes. Each chunk holds one Node header
+/// followed by storage for a fixed number of Entry slots (max_entries + 1,
+/// the worst case during an insert split), starts on a cache-line boundary,
+/// and is carved from a large slab — so a bulk load makes one heap
+/// allocation per ~256 KiB of nodes instead of two (node + entry vector) per
+/// node, and sibling nodes land adjacent in memory in build order, which is
+/// exactly the order the STR-packed tree is traversed.
+///
+/// Destroy() runs the node's destructor and pushes the chunk onto a free
+/// list for reuse by the next Create(); slabs themselves are only released
+/// when the arena dies. Not thread-safe — each tree owns one arena and tree
+/// mutation is single-threaded (the parallel bulk-load phase only sorts
+/// entry ranges; nodes are created serially).
+class NodeArena {
+ public:
+  /// `entry_capacity` is the fixed Entry-slot count of every chunk.
+  explicit NodeArena(size_t entry_capacity);
+  ~NodeArena();
+
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  /// Placement-constructs a Node (leaf, no entries) in a fresh or recycled
+  /// chunk. The node's entry array points into the same chunk.
+  IurTree::Node* Create();
+
+  /// Destroys `node` (running Entry destructors via ArenaArray) and recycles
+  /// its chunk. The pointer must come from this arena's Create().
+  void Destroy(IurTree::Node* node);
+
+  size_t live_nodes() const { return live_nodes_; }
+  size_t entry_capacity() const { return entry_capacity_; }
+  size_t chunk_bytes() const { return chunk_bytes_; }
+  size_t slab_count() const { return slabs_.size(); }
+  /// Total bytes reserved in slabs (≥ live_nodes() * chunk_bytes()).
+  size_t allocated_bytes() const { return slabs_.size() * slab_bytes_; }
+
+ private:
+  /// Recycled chunks form an intrusive list through their first bytes.
+  struct FreeChunk {
+    FreeChunk* next;
+  };
+
+  void AddSlab();
+
+  size_t entry_capacity_;
+  size_t entry_offset_;  ///< byte offset of the Entry storage within a chunk
+  size_t chunk_bytes_;   ///< chunk stride, cache-line multiple
+  size_t chunks_per_slab_;
+  size_t slab_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::byte* bump_ = nullptr;   ///< next unused chunk of the newest slab
+  size_t bump_remaining_ = 0;   ///< unused chunks after bump_
+  FreeChunk* free_list_ = nullptr;
+  size_t live_nodes_ = 0;
+};
+
+}  // namespace rst
+
+#endif  // RST_IURTREE_NODE_ARENA_H_

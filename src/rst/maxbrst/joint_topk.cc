@@ -125,7 +125,7 @@ JointTraversal JointTopKProcessor::Traverse(const SuperUser& super_user,
       if (e.is_object()) {
         pq.push({lb, ub, true, e.id, nullptr});
       } else {
-        pq.push({lb, ub, false, 0, e.child.get()});
+        pq.push({lb, ub, false, 0, e.child});
       }
     }
   }

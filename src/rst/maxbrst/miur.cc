@@ -66,7 +66,7 @@ MiurResult MiurMaxBrstSolver::Solve(const MaxBrstQuery& query,
   // toward this node (tighter than the global RS_k(u_s)). Cached per node.
   std::unordered_map<const IurTree::Node*, double> node_rsk_lb;
   auto node_threshold = [&](const IurTree::Entry& e) -> double {
-    auto it = node_rsk_lb.find(e.child.get());
+    auto it = node_rsk_lb.find(e.child);
     if (it != node_rsk_lb.end()) return it->second;
     std::vector<double> mins;
     mins.reserve(traversal.lo.size());
@@ -83,7 +83,7 @@ MiurResult MiurMaxBrstSolver::Solve(const MaxBrstQuery& query,
                        std::greater<>());
       lb = std::max(lb, mins[query.k - 1]);
     }
-    node_rsk_lb.emplace(e.child.get(), lb);
+    node_rsk_lb.emplace(e.child, lb);
     return lb;
   };
   auto node_qualifies = [&](const IurTree::Entry& e, Point loc) {
@@ -197,7 +197,7 @@ MiurResult MiurMaxBrstSolver::Solve(const MaxBrstQuery& query,
 
     if (node_idx != SIZE_MAX) {
       const IurTree::Entry* eu = state.elems[node_idx].node;
-      const IurTree::Node* child_node = eu->child.get();
+      const IurTree::Node* child_node = eu->child;
       if (charged_nodes.insert(child_node).second) {
         user_tree_->ChargeAccess(child_node, &result.stats.user_io);
       }

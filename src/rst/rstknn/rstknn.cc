@@ -58,7 +58,7 @@ struct PointerTreeView {
   EntryRef EntryAt(NodeRef n, size_t i) const { return &n->entries[i]; }
   bool IsObject(EntryRef e) const { return e->is_object(); }
   ObjectId Id(EntryRef e) const { return e->id; }
-  NodeRef Child(EntryRef e) const { return e->child.get(); }
+  NodeRef Child(EntryRef e) const { return e->child; }
   uint32_t Count(EntryRef e) const { return e->count(); }
   const Rect& RectOf(EntryRef e) const { return e->rect; }
   SummarySpan Summary(EntryRef e) const { return AsSpan(e->summary); }

@@ -1,0 +1,454 @@
+// AVX2 implementations of the balanced sorted-merge kernels.
+//
+// Strategy: the scalar reference fixes the *value* contract — matched pairs
+// visited in ascending term order, doubles accumulated left-to-right — so
+// only the match *finding* is vectorized. Blocks of 8 term ids from each run
+// are compared all-pairs (8 lane rotations of one side); the resulting lane
+// masks give the matching positions of both blocks, and the per-match work
+// (double multiply-add, float min) then runs scalar over the mask bits in
+// ascending order. Since ascending bit position == ascending term id on both
+// sides, the emission order — and therefore every accumulated double — is
+// bit-identical to the scalar kernel. Tails (< 8 remaining on either side)
+// finish with the scalar two-pointer walk from the current positions.
+//
+// Block advance follows the classic rule: step the side whose block maximum
+// is smaller (both on a tie). Every common term's two enclosing blocks are
+// active together exactly once, so no match is missed or double-counted.
+//
+// This translation unit is compiled with -mavx2; nothing here executes
+// unless runtime CPUID detection (rst::simd::DetectedLevel) confirmed AVX2,
+// so the binary stays safe on older x86-64.
+
+#include "rst/simd/simd.h"
+
+#if defined(__x86_64__) && defined(RST_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rst::simd {
+
+namespace {
+
+/// Loads the 8 term ids of entries[0..7] (AoS {u32 term, f32 weight} pairs)
+/// into one vector: even 32-bit lanes of two 256-bit loads, packed.
+inline __m256i LoadTerms8(const TermWeight* entries) {
+  const __m256i lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries));
+  const __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries + 4));
+  const __m256i even = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m256i lo_packed = _mm256_permutevar8x32_epi32(lo, even);
+  const __m256i hi_packed = _mm256_permutevar8x32_epi32(hi, even);
+  // lanes 0-3 of lo_packed and hi_packed hold the terms; fuse the low halves.
+  return _mm256_permute2x128_si256(lo_packed, hi_packed, 0x20);
+}
+
+/// Rotates 8 32-bit lanes left by r (lane i receives lane (i + r) & 7).
+template <int r>
+inline __m256i RotateLanes(__m256i v) {
+  const __m256i idx = _mm256_setr_epi32(
+      (0 + r) & 7, (1 + r) & 7, (2 + r) & 7, (3 + r) & 7, (4 + r) & 7,
+      (5 + r) & 7, (6 + r) & 7, (7 + r) & 7);
+  return _mm256_permutevar8x32_epi32(v, idx);
+}
+
+/// Rotates an 8-bit lane mask left by r (bit j of the result covers bit
+/// (j - r) & 7 of the input) — realigns an a-lane match mask to b lanes.
+inline uint32_t RotateMask8(uint32_t m, int r) {
+  return ((m << r) | (m >> (8 - r))) & 0xFFu;
+}
+
+/// Lane mask of the terms in `t` that lie inside [lo, hi]. Unsigned compare
+/// via the sign-bias trick — term ids are arbitrary uint32 values.
+inline uint32_t LanesInRange8(__m256i t, TermId lo, TermId hi) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int32_t>(0x80000000u));
+  const __m256i tt = _mm256_xor_si256(t, bias);
+  const __m256i vlo =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int32_t>(lo)), bias);
+  const __m256i vhi =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int32_t>(hi)), bias);
+  const __m256i outside = _mm256_or_si256(_mm256_cmpgt_epi32(vlo, tt),
+                                          _mm256_cmpgt_epi32(tt, vhi));
+  return ~static_cast<uint32_t>(
+             _mm256_movemask_ps(_mm256_castsi256_ps(outside))) &
+         0xFFu;
+}
+
+/// All-pairs match masks between two blocks of 8 sorted unique terms:
+/// bit i of `ma` ⇔ a[i] matches something in b, bit j of `mb` ⇔ b[j]
+/// matches something in a. Set-bit ranks pair up: the nth set bit of `ma`
+/// and the nth set bit of `mb` name the same shared term.
+inline void MatchMasks8(__m256i ta, __m256i tb, uint32_t* ma, uint32_t* mb) {
+  // r = 0 needs no rotation — and strict sortedness means a fully matched
+  // unrotated compare is the whole answer (a[i] == b[i] for all i leaves no
+  // room for cross-lane matches), so identical stretches pay one round.
+  const __m256i eq0 = _mm256_cmpeq_epi32(ta, tb);
+  const uint32_t m0 =
+      static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(eq0)));
+  if (m0 == 0xFFu) {
+    *ma = m0;
+    *mb = m0;
+    return;
+  }
+  uint32_t a_mask = m0;
+  uint32_t b_mask = m0;
+#define RST_SIMD_MATCH_ROUND(r)                                             \
+  {                                                                         \
+    const __m256i eq = _mm256_cmpeq_epi32(ta, RotateLanes<r>(tb));          \
+    const uint32_t m = static_cast<uint32_t>(                               \
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));                       \
+    a_mask |= m;                                                            \
+    b_mask |= RotateMask8(m, r);                                            \
+  }
+  RST_SIMD_MATCH_ROUND(1)
+  RST_SIMD_MATCH_ROUND(2)
+  RST_SIMD_MATCH_ROUND(3)
+  RST_SIMD_MATCH_ROUND(4)
+  RST_SIMD_MATCH_ROUND(5)
+  RST_SIMD_MATCH_ROUND(6)
+  RST_SIMD_MATCH_ROUND(7)
+#undef RST_SIMD_MATCH_ROUND
+  *ma = a_mask;
+  *mb = b_mask;
+}
+
+inline int Ctz(uint32_t m) { return __builtin_ctz(m); }
+
+/// Elements of `a` walked scalar after a dense (>= 6 of 8 matched) block
+/// pair before vector probing resumes; see the dense fallback in DotAvx2.
+constexpr ptrdiff_t RST_SIMD_DENSE_RUN = 64;
+
+double DotAvx2(const TermWeight* a, size_t a_len, const TermWeight* b,
+               size_t b_len) {
+  double dot = 0.0;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  __m256i ta = _mm256_setzero_si256();
+  const TermWeight* ta_at = nullptr;  // block `ta` currently holds
+  while (ea - ia >= 8 && eb - ib >= 8) {
+    const TermId a_max = ia[7].term;
+    const TermId b_max = ib[7].term;
+    // Disjoint-block screen: skip the all-pairs rounds when the ranges
+    // cannot overlap at all (the common case on low-overlap inputs).
+    if (a_max < ib[0].term) {
+      ia += 8;
+      continue;
+    }
+    if (b_max < ia[0].term) {
+      ib += 8;
+      continue;
+    }
+    if (ta_at != ia) {
+      ta = LoadTerms8(ia);
+      ta_at = ia;
+    }
+    // Range screen: every match is an a-term inside b's block range, so an
+    // empty in-range mask proves zero matches without touching b's terms —
+    // the dominant case when a few query terms probe a long run (the
+    // balanced-kernel view of the skewed shape).
+    if (LanesInRange8(ta, ib[0].term, b_max) == 0) {
+      if (a_max < b_max) {
+        ia += 8;
+      } else if (b_max < a_max) {
+        ib += 8;
+      } else {
+        ia += 8;
+        ib += 8;
+      }
+      continue;
+    }
+    uint32_t ma, mb;
+    MatchMasks8(ta, LoadTerms8(ib), &ma, &mb);
+    const bool dense = __builtin_popcount(ma) >= 6;
+    while (ma != 0) {
+      const int i = Ctz(ma);
+      const int j = Ctz(mb);
+      ma &= ma - 1;
+      mb &= mb - 1;
+      dot += static_cast<double>(ia[i].weight) * ib[j].weight;
+    }
+    if (a_max < b_max) {
+      ia += 8;
+    } else if (b_max < a_max) {
+      ib += 8;
+    } else {
+      ia += 8;
+      ib += 8;
+    }
+    if (dense) {
+      // Near-identical stretches are scalar-optimal: the in-order double
+      // accumulation chain is the bound and the match branch predicts, so
+      // walk the next stretch with the reference merge (identical per-match
+      // ops — bit-equality unaffected) before re-probing with vectors.
+      const TermWeight* stop = ia + (RST_SIMD_DENSE_RUN < ea - ia
+                                         ? RST_SIMD_DENSE_RUN
+                                         : ea - ia);
+      while (ia != stop && ib != eb) {
+        if (ia->term < ib->term) {
+          ++ia;
+        } else if (ib->term < ia->term) {
+          ++ib;
+        } else {
+          dot += static_cast<double>(ia->weight) * ib->weight;
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+  }
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      dot += static_cast<double>(ia->weight) * ib->weight;
+      ++ia;
+      ++ib;
+    }
+  }
+  return dot;
+}
+
+size_t OverlapAvx2(const TermWeight* a, size_t a_len, const TermWeight* b,
+                   size_t b_len) {
+  size_t overlap = 0;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  __m256i ta = _mm256_setzero_si256();
+  const TermWeight* ta_at = nullptr;
+  while (ea - ia >= 8 && eb - ib >= 8) {
+    const TermId a_max = ia[7].term;
+    const TermId b_max = ib[7].term;
+    if (a_max < ib[0].term) {
+      ia += 8;
+      continue;
+    }
+    if (b_max < ia[0].term) {
+      ib += 8;
+      continue;
+    }
+    if (ta_at != ia) {
+      ta = LoadTerms8(ia);
+      ta_at = ia;
+    }
+    if (LanesInRange8(ta, ib[0].term, b_max) == 0) {
+      if (a_max < b_max) {
+        ia += 8;
+      } else if (b_max < a_max) {
+        ib += 8;
+      } else {
+        ia += 8;
+        ib += 8;
+      }
+      continue;
+    }
+    uint32_t ma, mb;
+    MatchMasks8(ta, LoadTerms8(ib), &ma, &mb);
+    const int matched = __builtin_popcount(ma);
+    overlap += static_cast<size_t>(matched);
+    if (a_max < b_max) {
+      ia += 8;
+    } else if (b_max < a_max) {
+      ib += 8;
+    } else {
+      ia += 8;
+      ib += 8;
+    }
+    if (matched >= 6) {
+      const TermWeight* stop = ia + (RST_SIMD_DENSE_RUN < ea - ia
+                                         ? RST_SIMD_DENSE_RUN
+                                         : ea - ia);
+      while (ia != stop && ib != eb) {
+        if (ia->term < ib->term) {
+          ++ia;
+        } else if (ib->term < ia->term) {
+          ++ib;
+        } else {
+          ++overlap;
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+  }
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+size_t IntersectMinAvx2(const TermWeight* a, size_t a_len, const TermWeight* b,
+                        size_t b_len, TermWeight* out) {
+  TermWeight* o = out;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  __m256i ta = _mm256_setzero_si256();
+  const TermWeight* ta_at = nullptr;
+  while (ea - ia >= 8 && eb - ib >= 8) {
+    const TermId a_max = ia[7].term;
+    const TermId b_max = ib[7].term;
+    if (a_max < ib[0].term) {
+      ia += 8;
+      continue;
+    }
+    if (b_max < ia[0].term) {
+      ib += 8;
+      continue;
+    }
+    if (ta_at != ia) {
+      ta = LoadTerms8(ia);
+      ta_at = ia;
+    }
+    if (LanesInRange8(ta, ib[0].term, b_max) == 0) {
+      if (a_max < b_max) {
+        ia += 8;
+      } else if (b_max < a_max) {
+        ib += 8;
+      } else {
+        ia += 8;
+        ib += 8;
+      }
+      continue;
+    }
+    uint32_t ma, mb;
+    MatchMasks8(ta, LoadTerms8(ib), &ma, &mb);
+    const bool dense = __builtin_popcount(ma) >= 6;
+    while (ma != 0) {
+      const int i = Ctz(ma);
+      const int j = Ctz(mb);
+      ma &= ma - 1;
+      mb &= mb - 1;
+      const float w = std::min(ia[i].weight, ib[j].weight);
+      if (w > 0.0f) *o++ = {ia[i].term, w};
+    }
+    if (a_max < b_max) {
+      ia += 8;
+    } else if (b_max < a_max) {
+      ib += 8;
+    } else {
+      ia += 8;
+      ib += 8;
+    }
+    if (dense) {
+      const TermWeight* stop = ia + (RST_SIMD_DENSE_RUN < ea - ia
+                                         ? RST_SIMD_DENSE_RUN
+                                         : ea - ia);
+      while (ia != stop && ib != eb) {
+        if (ia->term < ib->term) {
+          ++ia;
+        } else if (ib->term < ia->term) {
+          ++ib;
+        } else {
+          const float w = std::min(ia->weight, ib->weight);
+          if (w > 0.0f) *o++ = {ia->term, w};
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+  }
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      const float w = std::min(ia->weight, ib->weight);
+      if (w > 0.0f) *o++ = {ia->term, w};
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<size_t>(o - out);
+}
+
+size_t UnionMaxAvx2(const TermWeight* a, size_t a_len, const TermWeight* b,
+                    size_t b_len, TermWeight* out) {
+  // The union's output interleaves both runs, so the win here is bulk block
+  // copies whenever one block sits entirely below the other side's next
+  // term; overlapping stretches fall through to the scalar merge step. The
+  // copied bytes are the input bytes, so output equality is structural.
+  TermWeight* o = out;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ea - ia >= 8 && eb - ib >= 8) {
+    if (ia[7].term < ib[0].term) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o),
+                          _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(ia)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 4),
+                          _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(ia + 4)));
+      o += 8;
+      ia += 8;
+      continue;
+    }
+    if (ib[7].term < ia[0].term) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o),
+                          _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(ib)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 4),
+                          _mm256_loadu_si256(
+                              reinterpret_cast<const __m256i*>(ib + 4)));
+      o += 8;
+      ib += 8;
+      continue;
+    }
+    // Overlapping blocks: merge scalar until one block is consumed.
+    const TermWeight* block_ea = ia + 8;
+    const TermWeight* block_eb = ib + 8;
+    while (ia != block_ea && ib != block_eb) {
+      if (ia->term < ib->term) {
+        *o++ = *ia++;
+      } else if (ib->term < ia->term) {
+        *o++ = *ib++;
+      } else {
+        *o++ = {ia->term, std::max(ia->weight, ib->weight)};
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  while (ia != ea || ib != eb) {
+    if (ib == eb || (ia != ea && ia->term < ib->term)) {
+      *o++ = *ia++;
+    } else if (ia == ea || ib->term < ia->term) {
+      *o++ = *ib++;
+    } else {
+      *o++ = {ia->term, std::max(ia->weight, ib->weight)};
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<size_t>(o - out);
+}
+
+}  // namespace
+
+extern const Kernels kAvx2Kernels;
+const Kernels kAvx2Kernels = {DotAvx2, OverlapAvx2, UnionMaxAvx2,
+                              IntersectMinAvx2, Level::kAvx2};
+
+}  // namespace rst::simd
+
+#endif  // __x86_64__ && RST_SIMD_HAVE_AVX2

@@ -1,0 +1,280 @@
+// NEON (aarch64 Advanced SIMD) implementations of the balanced sorted-merge
+// kernels. Same construction as the AVX2 translation unit, with 4-entry
+// blocks: vld2q_u32 deinterleaves the AoS {u32 term, f32 weight} runs into a
+// term vector per block, 4 lane rotations produce all-pairs match masks, and
+// the per-match work runs scalar over the mask bits in ascending order so
+// every accumulated double is bit-identical to the scalar reference. NEON is
+// baseline on arm64, so no runtime detection is needed beyond the compile
+// gate.
+
+#include "rst/simd/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rst::simd {
+
+namespace {
+
+/// Terms of entries[0..3]: stride-2 deinterleaving load, keep lane 0.
+inline uint32x4_t LoadTerms4(const TermWeight* entries) {
+  return vld2q_u32(reinterpret_cast<const uint32_t*>(entries)).val[0];
+}
+
+/// 4-bit lane mask of a compare result (bit i ⇔ lane i all-ones).
+inline uint32_t MoveMask4(uint32x4_t eq) {
+  const uint64_t m64 =
+      vget_lane_u64(vreinterpret_u64_u16(vmovn_u32(eq)), 0);
+  return static_cast<uint32_t>(((m64 >> 0) & 1u) | ((m64 >> 15) & 2u) |
+                               ((m64 >> 30) & 4u) | ((m64 >> 45) & 8u));
+}
+
+inline uint32_t RotateMask4(uint32_t m, int r) {
+  return ((m << r) | (m >> (4 - r))) & 0xFu;
+}
+
+/// All-pairs match masks between two blocks of 4 sorted unique terms; the
+/// nth set bit of `ma` and of `mb` name the same shared term.
+inline void MatchMasks4(uint32x4_t ta, uint32x4_t tb, uint32_t* ma,
+                        uint32_t* mb) {
+  uint32_t a_mask = 0;
+  uint32_t b_mask = 0;
+  {
+    const uint32_t m = MoveMask4(vceqq_u32(ta, tb));
+    a_mask |= m;
+    b_mask |= m;
+  }
+  {
+    const uint32_t m = MoveMask4(vceqq_u32(ta, vextq_u32(tb, tb, 1)));
+    a_mask |= m;
+    b_mask |= RotateMask4(m, 1);
+  }
+  {
+    const uint32_t m = MoveMask4(vceqq_u32(ta, vextq_u32(tb, tb, 2)));
+    a_mask |= m;
+    b_mask |= RotateMask4(m, 2);
+  }
+  {
+    const uint32_t m = MoveMask4(vceqq_u32(ta, vextq_u32(tb, tb, 3)));
+    a_mask |= m;
+    b_mask |= RotateMask4(m, 3);
+  }
+  *ma = a_mask;
+  *mb = b_mask;
+}
+
+inline int Ctz(uint32_t m) { return __builtin_ctz(m); }
+
+double DotNeon(const TermWeight* a, size_t a_len, const TermWeight* b,
+               size_t b_len) {
+  double dot = 0.0;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ea - ia >= 4 && eb - ib >= 4) {
+    const TermId a_max = ia[3].term;
+    const TermId b_max = ib[3].term;
+    if (a_max < ib[0].term) {
+      ia += 4;
+      continue;
+    }
+    if (b_max < ia[0].term) {
+      ib += 4;
+      continue;
+    }
+    uint32_t ma, mb;
+    MatchMasks4(LoadTerms4(ia), LoadTerms4(ib), &ma, &mb);
+    while (ma != 0) {
+      const int i = Ctz(ma);
+      const int j = Ctz(mb);
+      ma &= ma - 1;
+      mb &= mb - 1;
+      dot += static_cast<double>(ia[i].weight) * ib[j].weight;
+    }
+    if (a_max < b_max) {
+      ia += 4;
+    } else if (b_max < a_max) {
+      ib += 4;
+    } else {
+      ia += 4;
+      ib += 4;
+    }
+  }
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      dot += static_cast<double>(ia->weight) * ib->weight;
+      ++ia;
+      ++ib;
+    }
+  }
+  return dot;
+}
+
+size_t OverlapNeon(const TermWeight* a, size_t a_len, const TermWeight* b,
+                   size_t b_len) {
+  size_t overlap = 0;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ea - ia >= 4 && eb - ib >= 4) {
+    const TermId a_max = ia[3].term;
+    const TermId b_max = ib[3].term;
+    if (a_max < ib[0].term) {
+      ia += 4;
+      continue;
+    }
+    if (b_max < ia[0].term) {
+      ib += 4;
+      continue;
+    }
+    uint32_t ma, mb;
+    MatchMasks4(LoadTerms4(ia), LoadTerms4(ib), &ma, &mb);
+    overlap += static_cast<size_t>(__builtin_popcount(ma));
+    if (a_max < b_max) {
+      ia += 4;
+    } else if (b_max < a_max) {
+      ib += 4;
+    } else {
+      ia += 4;
+      ib += 4;
+    }
+  }
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+size_t IntersectMinNeon(const TermWeight* a, size_t a_len, const TermWeight* b,
+                        size_t b_len, TermWeight* out) {
+  TermWeight* o = out;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ea - ia >= 4 && eb - ib >= 4) {
+    const TermId a_max = ia[3].term;
+    const TermId b_max = ib[3].term;
+    if (a_max < ib[0].term) {
+      ia += 4;
+      continue;
+    }
+    if (b_max < ia[0].term) {
+      ib += 4;
+      continue;
+    }
+    uint32_t ma, mb;
+    MatchMasks4(LoadTerms4(ia), LoadTerms4(ib), &ma, &mb);
+    while (ma != 0) {
+      const int i = Ctz(ma);
+      const int j = Ctz(mb);
+      ma &= ma - 1;
+      mb &= mb - 1;
+      const float w = std::min(ia[i].weight, ib[j].weight);
+      if (w > 0.0f) *o++ = {ia[i].term, w};
+    }
+    if (a_max < b_max) {
+      ia += 4;
+    } else if (b_max < a_max) {
+      ib += 4;
+    } else {
+      ia += 4;
+      ib += 4;
+    }
+  }
+  while (ia != ea && ib != eb) {
+    if (ia->term < ib->term) {
+      ++ia;
+    } else if (ib->term < ia->term) {
+      ++ib;
+    } else {
+      const float w = std::min(ia->weight, ib->weight);
+      if (w > 0.0f) *o++ = {ia->term, w};
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<size_t>(o - out);
+}
+
+size_t UnionMaxNeon(const TermWeight* a, size_t a_len, const TermWeight* b,
+                    size_t b_len, TermWeight* out) {
+  TermWeight* o = out;
+  const TermWeight* ia = a;
+  const TermWeight* ib = b;
+  const TermWeight* ea = a + a_len;
+  const TermWeight* eb = b + b_len;
+  while (ea - ia >= 4 && eb - ib >= 4) {
+    if (ia[3].term < ib[0].term) {
+      vst1q_u32(reinterpret_cast<uint32_t*>(o),
+                vld1q_u32(reinterpret_cast<const uint32_t*>(ia)));
+      vst1q_u32(reinterpret_cast<uint32_t*>(o + 2),
+                vld1q_u32(reinterpret_cast<const uint32_t*>(ia + 2)));
+      o += 4;
+      ia += 4;
+      continue;
+    }
+    if (ib[3].term < ia[0].term) {
+      vst1q_u32(reinterpret_cast<uint32_t*>(o),
+                vld1q_u32(reinterpret_cast<const uint32_t*>(ib)));
+      vst1q_u32(reinterpret_cast<uint32_t*>(o + 2),
+                vld1q_u32(reinterpret_cast<const uint32_t*>(ib + 2)));
+      o += 4;
+      ib += 4;
+      continue;
+    }
+    const TermWeight* block_ea = ia + 4;
+    const TermWeight* block_eb = ib + 4;
+    while (ia != block_ea && ib != block_eb) {
+      if (ia->term < ib->term) {
+        *o++ = *ia++;
+      } else if (ib->term < ia->term) {
+        *o++ = *ib++;
+      } else {
+        *o++ = {ia->term, std::max(ia->weight, ib->weight)};
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  while (ia != ea || ib != eb) {
+    if (ib == eb || (ia != ea && ia->term < ib->term)) {
+      *o++ = *ia++;
+    } else if (ia == ea || ib->term < ia->term) {
+      *o++ = *ib++;
+    } else {
+      *o++ = {ia->term, std::max(ia->weight, ib->weight)};
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<size_t>(o - out);
+}
+
+}  // namespace
+
+extern const Kernels kNeonKernels;
+const Kernels kNeonKernels = {DotNeon, OverlapNeon, UnionMaxNeon,
+                              IntersectMinNeon, Level::kNeon};
+
+}  // namespace rst::simd
+
+#endif  // __aarch64__

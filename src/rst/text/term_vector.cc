@@ -1,6 +1,7 @@
 #include "rst/text/term_vector.h"
 
 #include "rst/common/check.h"
+#include "rst/simd/simd.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -79,46 +80,17 @@ double DotSpan(const TermWeight* a, size_t a_len, const TermWeight* b,
                size_t b_len) {
   if (Skewed(a_len, b_len)) return DotGalloped(a, a_len, b, b_len);
   if (Skewed(b_len, a_len)) return DotGalloped(b, b_len, a, a_len);
-  double dot = 0.0;
-  const TermWeight* ia = a;
-  const TermWeight* ib = b;
-  const TermWeight* ea = a + a_len;
-  const TermWeight* eb = b + b_len;
-  while (ia != ea && ib != eb) {
-    if (ia->term < ib->term) {
-      ++ia;
-    } else if (ib->term < ia->term) {
-      ++ib;
-    } else {
-      dot += static_cast<double>(ia->weight) * ib->weight;
-      ++ia;
-      ++ib;
-    }
-  }
-  return dot;
+  // Balanced inputs dispatch to the active SIMD level (scalar fallback).
+  // Every level produces bit-identical doubles — see rst/simd/simd.h — so
+  // this choice never shows up in answers, stats, or EXPLAIN output.
+  return simd::Active().dot(a, a_len, b, b_len);
 }
 
 size_t OverlapCountSpan(const TermWeight* a, size_t a_len, const TermWeight* b,
                         size_t b_len) {
   if (Skewed(a_len, b_len)) return OverlapGalloped(a, a_len, b, b_len);
   if (Skewed(b_len, a_len)) return OverlapGalloped(b, b_len, a, a_len);
-  size_t overlap = 0;
-  const TermWeight* ia = a;
-  const TermWeight* ib = b;
-  const TermWeight* ea = a + a_len;
-  const TermWeight* eb = b + b_len;
-  while (ia != ea && ib != eb) {
-    if (ia->term < ib->term) {
-      ++ia;
-    } else if (ib->term < ia->term) {
-      ++ib;
-    } else {
-      ++overlap;
-      ++ia;
-      ++ib;
-    }
-  }
-  return overlap;
+  return simd::Active().overlap(a, a_len, b, b_len);
 }
 
 float GetSpan(const TermWeight* a, size_t a_len, TermId term) {
@@ -233,22 +205,11 @@ TermVector UnionMaxSkewed(const std::vector<TermWeight>& small,
 TermVector TermVector::UnionMax(const TermVector& a, const TermVector& b) {
   if (Skewed(a.size(), b.size())) return UnionMaxSkewed(a.entries_, b.entries_);
   if (Skewed(b.size(), a.size())) return UnionMaxSkewed(b.entries_, a.entries_);
-  std::vector<TermWeight> out;
-  out.reserve(a.size() + b.size());
-  auto ia = a.entries_.begin();
-  auto ib = b.entries_.begin();
-  while (ia != a.entries_.end() || ib != b.entries_.end()) {
-    if (ib == b.entries_.end() ||
-        (ia != a.entries_.end() && ia->term < ib->term)) {
-      out.push_back(*ia++);
-    } else if (ia == a.entries_.end() || ib->term < ia->term) {
-      out.push_back(*ib++);
-    } else {
-      out.push_back({ia->term, std::max(ia->weight, ib->weight)});
-      ++ia;
-      ++ib;
-    }
-  }
+  std::vector<TermWeight> out(a.size() + b.size());
+  const size_t n = simd::Active().union_max(a.entries_.data(), a.size(),
+                                            b.entries_.data(), b.size(),
+                                            out.data());
+  out.resize(n);
   return FromSorted(std::move(out));
 }
 
@@ -283,21 +244,11 @@ TermVector TermVector::IntersectMin(const TermVector& a, const TermVector& b) {
   if (Skewed(b.size(), a.size())) {
     return IntersectMinGalloped(b.entries_, a.entries_);
   }
-  std::vector<TermWeight> out;
-  auto ia = a.entries_.begin();
-  auto ib = b.entries_.begin();
-  while (ia != a.entries_.end() && ib != b.entries_.end()) {
-    if (ia->term < ib->term) {
-      ++ia;
-    } else if (ib->term < ia->term) {
-      ++ib;
-    } else {
-      const float w = std::min(ia->weight, ib->weight);
-      if (w > 0.0f) out.push_back({ia->term, w});
-      ++ia;
-      ++ib;
-    }
-  }
+  std::vector<TermWeight> out(std::min(a.size(), b.size()));
+  const size_t n = simd::Active().intersect_min(a.entries_.data(), a.size(),
+                                                b.entries_.data(), b.size(),
+                                                out.data());
+  out.resize(n);
   return FromSorted(std::move(out));
 }
 

@@ -120,7 +120,7 @@ std::vector<TopKResult> TopKSearcher::Search(const TopKQuery& query,
         const double upper =
             alpha * scorer_->SpatialSim(MinDistance(query.loc, e.rect)) +
             (1.0 - alpha) * tb.max_sim;
-        pq.push({upper, false, 0, e.child.get()});
+        pq.push({upper, false, 0, e.child});
       }
     }
   }

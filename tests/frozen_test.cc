@@ -99,7 +99,7 @@ TEST(FrozenTreeTest, LayoutMatchesExplainNumbering) {
         EXPECT_EQ(frozen.ObjectIdOf(e), entry.id);
         ++objects;
       } else {
-        stack.push_back(entry.child.get());
+        stack.push_back(entry.child);
       }
       // Summaries must be the same term-by-term data (shared span kernels
       // then guarantee bit-identical bounds).

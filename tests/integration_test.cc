@@ -180,7 +180,7 @@ TEST_F(IntegrationTest, StoredNodeRecordsHaveHonestSizes) {
     total += payload.size();
     if (!node->leaf) {
       for (const IurTree::Entry& e : node->entries) {
-        stack.push_back(e.child.get());
+        stack.push_back(e.child);
       }
     }
   }

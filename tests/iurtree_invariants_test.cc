@@ -40,7 +40,7 @@ IurTree::Node* MutableRoot(const IurTree& tree) {
 
 // Descends leftmost to a leaf.
 IurTree::Node* LeftmostLeaf(IurTree::Node* node) {
-  while (!node->leaf) node = node->entries[0].child.get();
+  while (!node->leaf) node = node->entries[0].child;
   return node;
 }
 

@@ -90,7 +90,7 @@ TEST(IurTreeTest, NodeSummariesBracketSubtreeDocs) {
               EXPECT_GE(e.summary.intr.Get(tw.term), tw.weight - 1e-7f);
             }
           }
-          if (!e.is_object()) check(e.child.get(), &e.summary);
+          if (!e.is_object()) check(e.child, &e.summary);
         }
       };
   check(tree.root(), nullptr);
@@ -147,7 +147,7 @@ TEST(IurTreeTest, ClusteredBoundsAreTighterOrEqual) {
           EXPECT_LE(ba.min_sim, bb.min_sim + 1e-9);
           EXPECT_GE(ba.max_sim, bb.max_sim - 1e-9);
           if (!a->entries[i].is_object()) {
-            walk(a->entries[i].child.get(), b->entries[i].child.get());
+            walk(a->entries[i].child, b->entries[i].child);
           }
         }
       };
@@ -189,7 +189,7 @@ TEST(IurTreeTest, ClusterAwareBoundsStillBracketTruth) {
         EXPECT_LE(b.min_sim, s + 1e-9);
         EXPECT_GE(b.max_sim, s - 1e-9);
       }
-      if (!e.is_object()) walk(e.child.get());
+      if (!e.is_object()) walk(e.child);
     }
   };
   walk(tree.root());

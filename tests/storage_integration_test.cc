@@ -66,7 +66,7 @@ TEST(StorageIntegrationTest, WholeTreeScanWithSmallPool) {
     ++nodes;
     if (!node->leaf) {
       for (const IurTree::Entry& e : node->entries) {
-        stack.push_back(e.child.get());
+        stack.push_back(e.child);
       }
     }
   }

@@ -1,0 +1,14 @@
+// Bad fixture: placement new outside the arena sources listed in
+// PLACEMENT_NEW_ALLOWED. Never compiled; linted only.
+
+namespace lintfix {
+
+struct Widget {
+  int value = 0;
+};
+
+Widget* BuildInto(void* storage) {
+  return new (storage) Widget{};  // expect-finding: raw-new-delete
+}
+
+}  // namespace lintfix
