@@ -7,6 +7,7 @@
 #include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
 #include "rst/exec/batch_runner.h"
+#include "rst/obs/journal.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
 
@@ -75,12 +76,9 @@ void AppendEnvJson(obs::JsonWriter* writer) {
   writer->BeginObject();
   writer->Key("hardware_threads");
   writer->Uint(std::thread::hardware_concurrency());
-  writer->Key("build_type");
-#ifdef NDEBUG
-  writer->String("release");
-#else
-  writer->String("debug");
-#endif
+  // simd_level / force_scalar / build_type: which kernel dispatch and build
+  // flavor produced these numbers — captures are not comparable without it.
+  obs::AppendProvenanceJson(writer);
   writer->Key("objects");
   writer->Uint(DefaultObjects());
   writer->Key("reps");

@@ -19,18 +19,29 @@
 //                      query objects are cycled to reach the count)
 //   RST_LOAD_MODE    — closed | open | both (default both)
 //   RST_LOAD_QPS     — open-loop arrival rate (default 200)
+//
+// Flags:
+//   --journal-out FILE — capture the load as a replayable workload journal
+//     (DESIGN.md §14). The generated dataset is materialized next to it as
+//     FILE.data.tsv and referenced from the journal header, so
+//     `rst_replay --journal FILE` works standalone. When both load modes
+//     run, the closed loop is the one captured (the open loop re-runs the
+//     same queries and would duplicate every record).
 
 #include "bench_common.h"
 
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "rst/common/file_util.h"
 #include "rst/common/stopwatch.h"
+#include "rst/data/csv.h"
 #include "rst/exec/batch_runner.h"
 #include "rst/exec/thread_pool.h"
+#include "rst/obs/journal.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/metrics.h"
@@ -99,10 +110,11 @@ std::vector<rst::RstknnQuery> BuildQueries(const rst::bench::CoreEnv& env,
 
 ModeResult RunClosed(const rst::bench::CoreEnv& env, const rst::StScorer& scorer,
                      const std::vector<rst::RstknnQuery>& queries,
-                     size_t workers) {
+                     size_t workers, rst::obs::WorkloadRecorder* journal) {
   rst::exec::ThreadPool pool(workers);
   rst::exec::BatchRunner runner(&env.ciur, &env.dataset, &scorer, &pool);
   runner.set_profiling(true);
+  if (journal != nullptr && journal->is_open()) runner.set_journal(journal);
 
   // Per-query latencies land in the registry (the runner records
   // rstknn.query.ms and exec.batch.queue_wait_ms for every query); the delta
@@ -132,7 +144,8 @@ ModeResult RunClosed(const rst::bench::CoreEnv& env, const rst::StScorer& scorer
 
 ModeResult RunOpen(const rst::bench::CoreEnv& env, const rst::StScorer& scorer,
                    const std::vector<rst::RstknnQuery>& queries,
-                   size_t workers, double qps) {
+                   size_t workers, double qps,
+                   rst::obs::WorkloadRecorder* journal) {
   using Clock = std::chrono::steady_clock;
   const rst::RstknnSearcher searcher(&env.ciur, &env.dataset, &scorer);
 
@@ -165,10 +178,18 @@ ModeResult RunOpen(const rst::bench::CoreEnv& env, const rst::StScorer& scorer,
       // (all workers busy) skips the wait and the backlog shows up in the
       // measured latency.
       std::this_thread::sleep_until(arrival);
-      searcher.Search(queries[i], options);
-      latencies[w].Record(
+      const rst::RstknnResult result = searcher.Search(queries[i], options);
+      const double latency_ms =
           std::chrono::duration<double, std::milli>(Clock::now() - arrival)
-              .count());
+              .count();
+      latencies[w].Record(latency_ms);
+      if (journal != nullptr && journal->is_open() &&
+          journal->ShouldSample(i)) {
+        // Append serializes outside its lock, so concurrent workers only
+        // contend on the final fwrite.
+        journal->Append(
+            rst::exec::MakeJournalRecord(i, queries[i], result, latency_ms));
+      }
     }
   };
 
@@ -196,10 +217,31 @@ ModeResult RunOpen(const rst::bench::CoreEnv& env, const rst::StScorer& scorer,
   return result;
 }
 
+/// Journal-header measure token ("ej"/"cos"/"sum" — the vocabulary
+/// rstknn_cli's --measure flag and rst_replay consume; rst::TextMeasureName
+/// returns the long display names).
+const char* MeasureToken(rst::TextMeasure measure) {
+  switch (measure) {
+    case rst::TextMeasure::kCosine:
+      return "cos";
+    case rst::TextMeasure::kSum:
+      return "sum";
+    default:
+      return "ej";
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rst::bench;
+
+  std::string journal_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      journal_out = argv[++i];
+    }
+  }
 
   CoreParams params;
   const CoreEnv& env = CachedCoreEnv(params);
@@ -213,10 +255,45 @@ int main() {
   const std::vector<rst::RstknnQuery> queries =
       BuildQueries(env, params.k, num_queries);
 
+  rst::obs::WorkloadRecorder journal;
+  if (!journal_out.empty()) {
+    // The generated dataset must outlive this process for the journal to be
+    // replayable; materialize it next to the journal and reference it from
+    // the header.
+    const std::string data_path = journal_out + ".data.tsv";
+    rst::Status s = rst::SaveDatasetIds(env.dataset, data_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "--journal-out dataset: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    rst::obs::JournalHeader header;
+    header.label = "load_driver";
+    header.data = data_path;
+    header.algo = "probe";
+    header.view = "pointer";
+    header.tree = "ciur";
+    header.measure = MeasureToken(params.measure);
+    header.weighting = rst::WeightingName(params.weighting);
+    header.alpha = params.alpha;
+    header.threads = workers;
+    s = journal.Open(journal_out, header);
+    if (!s.ok()) {
+      std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
   std::vector<ModeResult> series;
-  if (mode != "open") series.push_back(RunClosed(env, scorer, queries, workers));
+  if (mode != "open") {
+    series.push_back(RunClosed(env, scorer, queries, workers, &journal));
+  }
   if (mode != "closed") {
-    series.push_back(RunOpen(env, scorer, queries, workers, qps));
+    // Capture the open loop only when the closed loop didn't run — both
+    // replay the same query list, and duplicating every record would make
+    // the journal ambiguous.
+    series.push_back(RunOpen(env, scorer, queries, workers, qps,
+                             mode == "open" ? &journal : nullptr));
   }
 
   PrintTitle("load_driver: RSTkNN under load  (|D|=" +
@@ -275,6 +352,17 @@ int main() {
   if (rst::WriteStringToFileAtomic("BENCH_profile.json", writer.TakeString())
           .ok()) {
     std::printf("[series: BENCH_profile.json]\n");
+  }
+
+  if (journal.is_open()) {
+    const uint64_t recorded = journal.recorded();
+    const rst::Status s = journal.Close();
+    if (!s.ok()) {
+      std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("[journal: %s (%llu records)]\n", journal_out.c_str(),
+                static_cast<unsigned long long>(recorded));
   }
 
   EmitFigureMetrics("load_driver");

@@ -7,6 +7,9 @@
 #include "rst/common/stopwatch.h"
 #include "rst/frozen/frozen.h"
 #include "rst/obs/explain.h"
+#include "rst/obs/heatmap.h"
+#include "rst/obs/journal.h"
+#include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/phase_timer.h"
@@ -64,6 +67,45 @@ struct alignas(64) WorkerSlot {
 
 }  // namespace
 
+obs::JournalStats ToJournalStats(const RstknnStats& stats) {
+  obs::JournalStats out;
+  out.io_node_reads = stats.io.node_reads;
+  out.io_payload_blocks = stats.io.payload_blocks;
+  out.io_payload_bytes = stats.io.payload_bytes;
+  out.io_cache_hits = stats.io.cache_hits;
+  out.entries_created = stats.entries_created;
+  out.expansions = stats.expansions;
+  out.pruned_entries = stats.pruned_entries;
+  out.reported_entries = stats.reported_entries;
+  out.bound_computations = stats.bound_computations;
+  out.probes = stats.probes;
+  out.pq_pops = stats.pq_pops;
+  return out;
+}
+
+obs::JournalQueryRecord MakeJournalRecord(uint64_t index,
+                                          const RstknnQuery& query,
+                                          const RstknnResult& result,
+                                          double wall_ms) {
+  obs::JournalQueryRecord record;
+  record.index = index;
+  record.x = query.loc.x;
+  record.y = query.loc.y;
+  record.k = query.k;
+  record.self = query.self;  // IurTree::kNoObject maps to kNoSelf verbatim
+  if (query.doc != nullptr) {
+    record.terms.reserve(query.doc->entries().size());
+    for (const TermWeight& tw : query.doc->entries()) {
+      record.terms.emplace_back(tw.term, tw.weight);
+    }
+  }
+  record.wall_ms = wall_ms;
+  record.answer_count = result.answers.size();
+  record.answer_digest = obs::AnswerDigest(result.answers);
+  record.stats = ToJournalStats(result.stats);
+  return record;
+}
+
 std::vector<RstknnResult> BatchRunner::RunRstknn(
     const std::vector<RstknnQuery>& queries, const RstknnOptions& options,
     BatchStats* batch_stats) const {
@@ -83,8 +125,20 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
   // runner needs no index — the frozen layout's entry indices ARE the
   // explain numbering.
   std::unique_ptr<ExplainIndex> explain_index;
-  if (slow_log_ != nullptr && tree_ != nullptr) {
+  if ((slow_log_ != nullptr || heatmap_ != nullptr) && tree_ != nullptr) {
     explain_index = std::make_unique<ExplainIndex>(*tree_);
+  }
+
+  // Index heatmap: one PRIVATE recorder per worker (the searcher hot path
+  // stays lock-free), merged into the caller's recorder after the join —
+  // counters are commutative sums keyed by stable node ids, so the merged
+  // heatmap is identical at any thread count.
+  std::vector<std::unique_ptr<obs::HeatmapRecorder>> worker_heatmaps;
+  if (heatmap_ != nullptr) {
+    worker_heatmaps.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      worker_heatmaps.push_back(std::make_unique<obs::HeatmapRecorder>());
+    }
   }
 
   // Profiling: one PRIVATE profiler per worker (heap-allocated so adjacent
@@ -124,7 +178,8 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
         }
         Stopwatch query_timer;
         RstknnOptions worker_options = options;
-        worker_options.trace = nullptr;  // a shared trace would race
+        worker_options.trace = nullptr;    // a shared trace would race
+        worker_options.heatmap = nullptr;  // so would a shared heatmap
         worker_options.scratch = scratches[w].get();
         worker_options.publish_metrics = false;
         if (profiling_) worker_options.profiler = profilers[w].get();
@@ -136,10 +191,25 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
         }
         if (slow_log_ != nullptr) {
           worker_options.explain = &recorder;
+        }
+        if (heatmap_ != nullptr) {
+          worker_options.heatmap = worker_heatmaps[w].get();
+        }
+        if (explain_index != nullptr) {
           worker_options.explain_index = explain_index.get();
         }
         results[i] = searcher.Search(queries[i], worker_options);
         const double ms = query_timer.ElapsedMillis();
+        if (journal_ != nullptr && journal_->ShouldSample(i)) {
+          obs::JournalQueryRecord record =
+              MakeJournalRecord(i, queries[i], results[i], ms);
+          if (profiling_) {
+            obs::JsonWriter phases;
+            profilers[w]->AppendJson(&phases);
+            record.phases_json = phases.TakeString();
+          }
+          journal_->Append(record);
+        }
         if (trace != nullptr) trace->Finish();
         if (slow_log_ != nullptr && slow_log_->ShouldCapture(ms)) {
           obs::SlowQueryRecord record;
@@ -175,6 +245,14 @@ std::vector<RstknnResult> BatchRunner::RunRstknn(
         slots[w].stats.Merge(results[i].stats);
       });
   const double wall_ms = wall.ElapsedMillis();
+
+  if (heatmap_ != nullptr) {
+    for (const std::unique_ptr<obs::HeatmapRecorder>& worker_heatmap :
+         worker_heatmaps) {
+      heatmap_->Merge(*worker_heatmap);
+    }
+    heatmap_->AddQueries(queries.size());
+  }
 
   BatchStats aggregate;
   aggregate.queries = queries.size();

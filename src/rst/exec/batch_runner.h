@@ -6,17 +6,32 @@
 #include "rst/data/dataset.h"
 #include "rst/exec/thread_pool.h"
 #include "rst/iurtree/iurtree.h"
+#include "rst/obs/journal.h"
 #include "rst/rstknn/rstknn.h"
 #include "rst/topk/topk.h"
 
 namespace rst {
 
 namespace obs {
+class HeatmapRecorder;
 class SlowQueryLog;
 class TraceEventWriter;
+class WorkloadRecorder;
 }  // namespace obs
 
 namespace exec {
+
+/// Flattens RstknnStats into the journal's stats block (rst::obs cannot see
+/// rstknn types, so the bridge lives here).
+obs::JournalStats ToJournalStats(const RstknnStats& stats);
+
+/// Builds one workload-journal record from an executed query: query object,
+/// wall time, flattened stats and the FNV-1a64 answer digest. Shared by the
+/// batch runner, the serial CLI path, the load driver and rst_replay.
+obs::JournalQueryRecord MakeJournalRecord(uint64_t index,
+                                          const RstknnQuery& query,
+                                          const RstknnResult& result,
+                                          double wall_ms);
 
 /// Aggregate accounting for one batch run.
 struct BatchStats {
@@ -94,6 +109,22 @@ class BatchRunner {
     trace_events_ = trace_events;
   }
 
+  /// Attaches an open workload journal for RunRstknn: every sampled query
+  /// (WorkloadRecorder::ShouldSample over the query's batch index) appends
+  /// one record — query object, wall/phase timings, stats and answer
+  /// digest. Append is thread-safe; records land in completion order and
+  /// carry the index, so replay restores capture order. Null disables
+  /// capture — the default.
+  void set_journal(obs::WorkloadRecorder* journal) { journal_ = journal; }
+
+  /// Attaches a cross-batch index heatmap for RunRstknn. Each worker feeds
+  /// a private recorder (the searcher hot path stays lock-free); the
+  /// workers' recorders are merged into `heatmap` after the join, so totals
+  /// reconcile exactly against BatchStats::total at any thread count. The
+  /// recorder is not reset — successive batches accumulate. Null disables —
+  /// the default.
+  void set_heatmap(obs::HeatmapRecorder* heatmap) { heatmap_ = heatmap; }
+
   /// Runs every query through RstknnSearcher::Search. `options.trace`,
   /// `options.scratch`, `options.explain` and `options.explain_index` are
   /// overridden per worker; `options.pool` (real-I/O mode) is honored and
@@ -118,6 +149,8 @@ class BatchRunner {
   ThreadPool* pool_;
   obs::SlowQueryLog* slow_log_ = nullptr;
   obs::TraceEventWriter* trace_events_ = nullptr;
+  obs::WorkloadRecorder* journal_ = nullptr;
+  obs::HeatmapRecorder* heatmap_ = nullptr;
   bool profiling_ = false;
 };
 

@@ -1,0 +1,258 @@
+#include "rst/obs/heatmap.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rst/obs/json.h"
+
+namespace rst::obs {
+
+HeatmapNodeCounters& HeatmapNodeCounters::operator+=(
+    const HeatmapNodeCounters& other) {
+  visits += other.visits;
+  pruned += other.pruned;
+  expanded += other.expanded;
+  reported_hit += other.reported_hit;
+  reported_miss += other.reported_miss;
+  objects_pruned += other.objects_pruned;
+  objects_reported += other.objects_reported;
+  lower_bound_fires += other.lower_bound_fires;
+  upper_bound_fires += other.upper_bound_fires;
+  exact_fires += other.exact_fires;
+  return *this;
+}
+
+namespace {
+
+void Tally(HeatmapNodeCounters* c, ExplainVerdict verdict, ExplainBound bound,
+           uint64_t decided_objects) {
+  ++c->visits;
+  switch (verdict) {
+    case ExplainVerdict::kPrune:
+      ++c->pruned;
+      c->objects_pruned += decided_objects;
+      break;
+    case ExplainVerdict::kExpand:
+      ++c->expanded;
+      break;
+    case ExplainVerdict::kReportHit:
+      ++c->reported_hit;
+      c->objects_reported += decided_objects;
+      break;
+    case ExplainVerdict::kReportMiss:
+      ++c->reported_miss;
+      c->objects_pruned += decided_objects;
+      break;
+  }
+  switch (bound) {
+    case ExplainBound::kNone:
+      break;
+    case ExplainBound::kLowerBound:
+      ++c->lower_bound_fires;
+      break;
+    case ExplainBound::kUpperBound:
+      ++c->upper_bound_fires;
+      break;
+    case ExplainBound::kExact:
+      ++c->exact_fires;
+      break;
+  }
+}
+
+}  // namespace
+
+void HeatmapRecorder::Record(uint64_t node_id, uint32_t level,
+                             ExplainVerdict verdict, ExplainBound bound,
+                             uint64_t decided_objects) {
+  Tally(&totals_, verdict, bound, decided_objects);
+  HeatmapNodeCounters& node = nodes_[node_id];
+  node.level = level;
+  Tally(&node, verdict, bound, decided_objects);
+}
+
+void HeatmapRecorder::Merge(const HeatmapRecorder& other) {
+  queries_ += other.queries_;
+  totals_ += other.totals_;
+  for (const auto& [id, counters] : other.nodes_) {
+    HeatmapNodeCounters& node = nodes_[id];
+    node.level = counters.level;
+    node += counters;
+  }
+}
+
+void HeatmapRecorder::Reset() {
+  queries_ = 0;
+  totals_ = HeatmapNodeCounters{};
+  nodes_.clear();
+}
+
+std::vector<HeatmapNodeCounters> HeatmapRecorder::LevelSummaries() const {
+  std::vector<HeatmapNodeCounters> levels;
+  for (const auto& [id, counters] : nodes_) {
+    if (counters.level >= levels.size()) {
+      size_t old_size = levels.size();
+      levels.resize(counters.level + 1);
+      for (size_t i = old_size; i < levels.size(); ++i) {
+        levels[i].level = static_cast<uint32_t>(i);
+      }
+    }
+    const uint32_t level = counters.level;
+    const HeatmapNodeCounters saved = levels[level];
+    levels[level] += counters;
+    levels[level].level = saved.level;
+  }
+  levels.erase(std::remove_if(levels.begin(), levels.end(),
+                              [](const HeatmapNodeCounters& c) {
+                                return c.visits == 0;
+                              }),
+               levels.end());
+  return levels;
+}
+
+Status HeatmapRecorder::CheckReconciles(uint64_t expansions,
+                                        uint64_t pruned_entries,
+                                        uint64_t reported_entries) const {
+  auto mismatch = [](std::string_view what, uint64_t got, uint64_t want) {
+    std::ostringstream os;
+    os << "heatmap does not reconcile with RstknnStats: " << what
+       << ": heatmap=" << got << " stats=" << want;
+    return Status::InvalidArgument(os.str());
+  };
+  if (totals_.pruned + totals_.reported_miss != pruned_entries) {
+    return mismatch("prune + report_miss vs pruned_entries",
+                    totals_.pruned + totals_.reported_miss, pruned_entries);
+  }
+  if (totals_.reported_hit != reported_entries) {
+    return mismatch("report_hit vs reported_entries", totals_.reported_hit,
+                    reported_entries);
+  }
+  if (totals_.expanded != expansions) {
+    return mismatch("expand vs expansions", totals_.expanded, expansions);
+  }
+  // The per-node map must agree with the running totals (catches a bad
+  // Merge): sum the map and compare the decision counters.
+  HeatmapNodeCounters sum;
+  for (const auto& [id, counters] : nodes_) sum += counters;
+  if (sum.pruned != totals_.pruned || sum.expanded != totals_.expanded ||
+      sum.reported_hit != totals_.reported_hit ||
+      sum.reported_miss != totals_.reported_miss) {
+    return mismatch("per-node sum vs totals",
+                    sum.pruned + sum.expanded + sum.reported_hit +
+                        sum.reported_miss,
+                    decisions());
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void AppendCounterFields(JsonWriter* w, const HeatmapNodeCounters& c) {
+  w->Key("visits");
+  w->Uint(c.visits);
+  w->Key("pruned");
+  w->Uint(c.pruned);
+  w->Key("expanded");
+  w->Uint(c.expanded);
+  w->Key("reported_hit");
+  w->Uint(c.reported_hit);
+  w->Key("reported_miss");
+  w->Uint(c.reported_miss);
+  w->Key("objects_pruned");
+  w->Uint(c.objects_pruned);
+  w->Key("objects_reported");
+  w->Uint(c.objects_reported);
+  w->Key("lower_bound_fires");
+  w->Uint(c.lower_bound_fires);
+  w->Key("upper_bound_fires");
+  w->Uint(c.upper_bound_fires);
+  w->Key("exact_fires");
+  w->Uint(c.exact_fires);
+}
+
+}  // namespace
+
+void HeatmapRecorder::AppendJson(JsonWriter* writer, size_t max_nodes) const {
+  writer->BeginObject();
+  writer->Key("queries");
+  writer->Uint(queries_);
+  writer->Key("decisions");
+  writer->Uint(decisions());
+  writer->Key("totals");
+  writer->BeginObject();
+  AppendCounterFields(writer, totals_);
+  writer->EndObject();
+  writer->Key("levels");
+  writer->BeginArray();
+  for (const HeatmapNodeCounters& level : LevelSummaries()) {
+    writer->BeginObject();
+    writer->Key("level");
+    writer->Uint(level.level);
+    AppendCounterFields(writer, level);
+    writer->EndObject();
+  }
+  writer->EndArray();
+
+  std::vector<std::pair<uint64_t, const HeatmapNodeCounters*>> ordered;
+  ordered.reserve(nodes_.size());
+  for (const auto& [id, counters] : nodes_) ordered.emplace_back(id, &counters);
+  if (max_nodes > 0 && ordered.size() > max_nodes) {
+    // Hottest first for truncation, then back to id order for stable output.
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+      if (a.second->visits != b.second->visits) {
+        return a.second->visits > b.second->visits;
+      }
+      return a.first < b.first;
+    });
+    ordered.resize(max_nodes);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  writer->Key("nodes");
+  writer->BeginArray();
+  for (const auto& [id, counters] : ordered) {
+    writer->BeginObject();
+    writer->Key("id");
+    writer->Uint(id);
+    writer->Key("level");
+    writer->Uint(counters->level);
+    AppendCounterFields(writer, *counters);
+    writer->EndObject();
+  }
+  writer->EndArray();
+  if (max_nodes > 0 && nodes_.size() > max_nodes) {
+    writer->Key("nodes_dropped");
+    writer->Uint(nodes_.size() - max_nodes);
+  }
+  writer->EndObject();
+}
+
+std::string HeatmapRecorder::ToJson(size_t max_nodes) const {
+  JsonWriter writer;
+  AppendJson(&writer, max_nodes);
+  return writer.TakeString();
+}
+
+std::string HeatmapRecorder::ToString() const {
+  std::ostringstream os;
+  os << "heatmap: " << queries_ << " queries, " << decisions()
+     << " decisions over " << nodes_.size() << " nodes — prune="
+     << totals_.pruned << " expand=" << totals_.expanded
+     << " report_hit=" << totals_.reported_hit
+     << " report_miss=" << totals_.reported_miss << "\n";
+  for (const HeatmapNodeCounters& level : LevelSummaries()) {
+    const uint64_t decided = level.pruned + level.reported_miss;
+    os << "  level " << level.level << ": visits=" << level.visits
+       << " prune=" << level.pruned << " expand=" << level.expanded
+       << " report_hit=" << level.reported_hit
+       << " report_miss=" << level.reported_miss << " obj_pruned="
+       << level.objects_pruned << " obj_reported=" << level.objects_reported;
+    if (level.visits > 0) {
+      os << " prune_rate=" << static_cast<double>(decided) /
+                                  static_cast<double>(level.visits);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rst::obs

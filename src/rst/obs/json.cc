@@ -15,15 +15,71 @@ const JsonValue* JsonValue::Get(const std::string& key) const {
 
 namespace {
 
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes do
+/// not form one (bad lead byte, truncated/wrong continuation, overlong form,
+/// surrogate code point, or beyond U+10FFFF).
+size_t ValidUtf8SequenceLength(std::string_view s, size_t i) {
+  const auto byte = [&s](size_t j) {
+    return static_cast<unsigned char>(s[j]);
+  };
+  const unsigned char lead = byte(i);
+  if (lead < 0x80) return 1;
+  size_t len = 0;
+  unsigned char lo = 0x80;
+  unsigned char hi = 0xBF;
+  if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if (lead >= 0xE0 && lead <= 0xEF) {
+    len = 3;
+    if (lead == 0xE0) lo = 0xA0;          // reject overlong
+    if (lead == 0xED) hi = 0x9F;          // reject surrogates
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+    if (lead == 0xF0) lo = 0x90;          // reject overlong
+    if (lead == 0xF4) hi = 0x8F;          // reject > U+10FFFF
+  } else {
+    return 0;  // continuation byte, 0xC0/0xC1, or 0xF5..0xFF lead
+  }
+  if (i + len > s.size()) return 0;
+  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
+  for (size_t j = 2; j < len; ++j) {
+    if (byte(i + j) < 0x80 || byte(i + j) > 0xBF) return 0;
+  }
+  return len;
+}
+
 void AppendEscaped(std::string* out, std::string_view s) {
   out->push_back('"');
-  for (char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (uc >= 0x80) {
+      // The output must stay valid UTF-8 (and therefore valid JSON): copy
+      // well-formed multi-byte sequences through verbatim, and replace each
+      // offending byte of a malformed one with U+FFFD.
+      const size_t len = ValidUtf8SequenceLength(s, i);
+      if (len == 0) {
+        out->append("\xEF\xBF\xBD");
+        ++i;
+      } else {
+        out->append(s.substr(i, len));
+        i += len;
+      }
+      continue;
+    }
+    ++i;
     switch (c) {
       case '"':
         out->append("\\\"");
         break;
       case '\\':
         out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
         break;
       case '\n':
         out->append("\\n");
@@ -35,9 +91,9 @@ void AppendEscaped(std::string* out, std::string_view s) {
         out->append("\\t");
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (uc < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
           out->append(buf);
         } else {
           out->push_back(c);

@@ -83,6 +83,11 @@ inline constexpr char kRuntimeCpuSysMs[] = "runtime.cpu_sys_ms";
 inline constexpr char kRuntimeThreads[] = "runtime.threads";
 inline constexpr char kRuntimeSamples[] = "runtime.samples";
 
+// --- workload capture journal (obs/journal.h) ---
+inline constexpr char kJournalRecords[] = "journal.records";
+inline constexpr char kJournalSkipped[] = "journal.skipped";
+inline constexpr char kJournalErrors[] = "journal.errors";
+
 // --- Chrome trace-event export (obs/trace_event.h) ---
 // Event names and categories; tracks are named per worker.
 inline constexpr char kTraceEventRun[] = "run";

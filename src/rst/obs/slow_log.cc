@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rst/obs/journal.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
@@ -52,6 +53,10 @@ std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
 
 void SlowQueryLog::AppendJson(JsonWriter* writer) const {
   writer->BeginObject();
+  writer->Key("provenance");
+  writer->BeginObject();
+  AppendProvenanceJson(writer);
+  writer->EndObject();
   writer->Key("threshold_ms");
   writer->Double(threshold_ms_);
   writer->Key("capacity");

@@ -13,6 +13,7 @@
 #include "rst/frozen/frozen.h"
 #include "rst/iurtree/cluster.h"
 #include "rst/obs/explain.h"
+#include "rst/obs/heatmap.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/phase_timer.h"
@@ -356,25 +357,35 @@ namespace {
 template <typename View>
 struct ExplainSink {
   obs::ExplainRecorder* recorder = nullptr;
+  obs::HeatmapRecorder* heatmap = nullptr;
   const ExplainIndex* index = nullptr;
   std::unique_ptr<ExplainIndex> local_index;
 
   ExplainSink(const View& view, const RstknnOptions& options,
               std::string_view algorithm) {
     recorder = options.explain;
-    if (recorder == nullptr) return;
-    recorder->Reset();
-    recorder->SetAlgorithm(algorithm);
+    heatmap = options.heatmap;
+    if (recorder == nullptr && heatmap == nullptr) return;
+    if (recorder != nullptr) {
+      recorder->Reset();
+      recorder->SetAlgorithm(algorithm);
+    }
+    // The heatmap is deliberately NOT reset: it accumulates across queries.
     view.PrepareExplain(options, &index, &local_index);
   }
 
   void Record(const View& view, typename View::EntryRef entry, double q_min,
               double q_max, obs::ExplainVerdict verdict,
               obs::ExplainBound bound, uint64_t decided_objects) const {
-    if (recorder == nullptr) return;
+    if (recorder == nullptr && heatmap == nullptr) return;
     const ExplainIndex::Info info = view.ExplainInfo(entry, index);
-    recorder->Record({info.id, info.level, verdict, bound, q_min, q_max,
-                      decided_objects});
+    if (recorder != nullptr) {
+      recorder->Record({info.id, info.level, verdict, bound, q_min, q_max,
+                        decided_objects});
+    }
+    if (heatmap != nullptr) {
+      heatmap->Record(info.id, info.level, verdict, bound, decided_objects);
+    }
   }
 };
 

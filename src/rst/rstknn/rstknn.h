@@ -14,6 +14,7 @@ namespace rst {
 
 namespace obs {
 class ExplainRecorder;
+class HeatmapRecorder;
 class PhaseProfiler;
 }  // namespace obs
 
@@ -125,6 +126,15 @@ struct RstknnOptions {
   /// the search builds a private index (an O(tree) walk per query — share
   /// one across a batch instead).
   const ExplainIndex* explain_index = nullptr;
+  /// Optional cross-query index heatmap: every branch-and-bound decision
+  /// also bumps per-node visit/prune/expand/report counters keyed by the
+  /// same stable explain ids. Unlike `explain` the recorder is NOT reset per
+  /// query — it accumulates a workload-level view whose totals reconcile
+  /// exactly against the summed RstknnStats over the recorded queries
+  /// (HeatmapRecorder::CheckReconciles). Not thread-safe: one per worker,
+  /// merged after the batch. `explain_index` sharing applies here too.
+  /// Null (the default) costs one branch per decision.
+  obs::HeatmapRecorder* heatmap = nullptr;
 };
 
 struct RstknnStats {

@@ -522,5 +522,45 @@ TEST(JsonTest, WriterEscapesAndRoundTrips) {
   EXPECT_EQ(parsed.value().Get("msg")->AsString(), "line1\nline2\t\"q\"");
 }
 
+TEST(JsonTest, WriterEscapesControlCharacters) {
+  JsonWriter writer;
+  writer.String(std::string("a\b\f\x01\x1f") + "z");
+  EXPECT_EQ(writer.str(), "\"a\\b\\f\\u0001\\u001fz\"");
+  // Every escaped form parses back to the original bytes.
+  const Result<JsonValue> parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), std::string("a\b\f\x01\x1f") + "z");
+}
+
+TEST(JsonTest, WriterPassesValidUtf8Verbatim) {
+  // 2-, 3-, and 4-byte sequences: é, €, 😀.
+  const std::string s = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80";
+  JsonWriter writer;
+  writer.String(s);
+  EXPECT_EQ(writer.str(), "\"" + s + "\"");
+}
+
+TEST(JsonTest, WriterReplacesInvalidUtf8WithReplacementCharacter) {
+  const std::string fffd = "\xEF\xBF\xBD";
+  const auto escaped = [](std::string_view s) {
+    JsonWriter writer;
+    writer.String(s);
+    return writer.str();
+  };
+  // Lone continuation byte, truncated lead, and bytes never valid in UTF-8
+  // each become one U+FFFD; surrounding ASCII is untouched.
+  EXPECT_EQ(escaped("a\x80z"), "\"a" + fffd + "z\"");
+  EXPECT_EQ(escaped("a\xC3"), "\"a" + fffd + "\"");
+  EXPECT_EQ(escaped("\xFE\xFF"), "\"" + fffd + fffd + "\"");
+  // Overlong encoding of '/' (C0 AF) and a CESU-8 surrogate (ED A0 80) are
+  // rejected byte-by-byte.
+  EXPECT_EQ(escaped("\xC0\xAF"), "\"" + fffd + fffd + "\"");
+  EXPECT_EQ(escaped("\xED\xA0\x80"), "\"" + fffd + fffd + fffd + "\"");
+  // A valid sequence right after an invalid byte still passes through.
+  EXPECT_EQ(escaped("\x80\xC3\xA9"), "\"" + fffd + "\xC3\xA9\"");
+  // The output is always parseable JSON.
+  EXPECT_TRUE(JsonValue::Parse(escaped("\xFF\xC3\xA9\x80")).ok());
+}
+
 }  // namespace
 }  // namespace rst::obs

@@ -29,6 +29,13 @@ know about:
                             .cc file includes its own header first
   header-guard              include guards spell the path: src/rst/a/b.h
                             guards with RST_A_B_H_
+  journal-fixture           checked-in workload journals (*.jsonl under the
+                            scanned dirs, e.g. tests/fixtures/journals/) must
+                            be strictly valid: one JSON object per line, a
+                            complete header first, every record carrying the
+                            full capture schema (DESIGN.md SS14). ReadJournal
+                            tolerates torn tails from crashed captures;
+                            fixtures get no such grace
   bad-suppression           a suppression comment without a reason
 
 Any finding is suppressible on its own line or the line above with
@@ -44,6 +51,7 @@ Usage:
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -53,6 +61,9 @@ DEFAULT_SCAN_DIRS = ["src", "tools", "bench", "tests", "fuzz"]
 # normal run.
 EXCLUDED_DIRS = {os.path.join("tools", "lint_fixtures")}
 SOURCE_EXTENSIONS = (".h", ".cc")
+# Workload-journal fixtures (obs::ReadJournal inputs) checked by the
+# journal-fixture rule.
+JOURNAL_EXTENSIONS = (".jsonl",)
 
 RULES = [
     "unchecked-status",
@@ -61,6 +72,7 @@ RULES = [
     "raw-new-delete",
     "include-hygiene",
     "header-guard",
+    "journal-fixture",
     "bad-suppression",
 ]
 
@@ -446,6 +458,58 @@ def check_header_guard(f, findings, root):
             % guard))
 
 
+# Schema for the journal-fixture rule, mirroring obs/journal.cc. Key sets are
+# exact requirements; extra keys are tolerated (ReadJournal ignores them, and
+# future versions may add fields).
+JOURNAL_HEADER_KEYS = frozenset([
+    "type", "version", "label", "data", "algo", "view", "tree", "measure",
+    "weighting", "alpha", "threads", "sample_every", "provenance"])
+JOURNAL_RECORD_KEYS = frozenset([
+    "type", "index", "x", "y", "k", "terms", "wall_ms", "answer_count",
+    "answer_digest", "stats"])
+JOURNAL_DIGEST_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def check_journal_fixture(f, findings):
+    def flag(lineno, message):
+        findings.append(Finding(f.path, lineno, "journal-fixture", message))
+
+    for lineno, line in enumerate(f.lines, start=1):
+        if not line.strip():
+            flag(lineno, "blank line in journal fixture")
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            flag(lineno, "line is not valid JSON: %s" % e)
+            continue
+        if not isinstance(obj, dict):
+            flag(lineno, "line must be a JSON object")
+            continue
+        kind = obj.get("type")
+        if lineno == 1:
+            if kind != "header":
+                flag(lineno, "first line must be the journal header")
+                continue
+            missing = JOURNAL_HEADER_KEYS - obj.keys()
+            if missing:
+                flag(lineno, "header missing key(s): %s"
+                     % ", ".join(sorted(missing)))
+        elif kind == "header":
+            flag(lineno, "duplicate header")
+        elif kind == "query":
+            missing = JOURNAL_RECORD_KEYS - obj.keys()
+            if missing:
+                flag(lineno, "record missing key(s): %s"
+                     % ", ".join(sorted(missing)))
+            elif not JOURNAL_DIGEST_RE.match(str(obj["answer_digest"])):
+                flag(lineno, "answer_digest must be 16 lowercase hex chars")
+        else:
+            flag(lineno, "unknown record type %r" % kind)
+    if not f.lines:
+        flag(1, "journal fixture is empty")
+
+
 def lint_files(paths, root):
     files = []
     for path in paths:
@@ -455,8 +519,15 @@ def lint_files(paths, root):
         except OSError as e:
             print("rst_lint: cannot read %s: %s" % (path, e), file=sys.stderr)
             return None
+    journal_files = [f for f in files
+                     if f.path.endswith(JOURNAL_EXTENSIONS)]
+    files = [f for f in files if not f.path.endswith(JOURNAL_EXTENSIONS)]
     status_names = collect_status_functions(files)
     all_findings = []
+    for f in journal_files:
+        findings = []
+        check_journal_fixture(f, findings)
+        all_findings.extend(findings)
     for f in files:
         findings = []
         check_unchecked_status(f, status_names, findings)
@@ -492,7 +563,7 @@ def gather_sources(root, scan_dirs):
                 dirnames[:] = []
                 continue
             for name in sorted(filenames):
-                if name.endswith(SOURCE_EXTENSIONS):
+                if name.endswith(SOURCE_EXTENSIONS + JOURNAL_EXTENSIONS):
                     paths.append(os.path.join(dirpath, name))
     return sorted(paths)
 

@@ -1,0 +1,548 @@
+// rst_replay — deterministic replay of a captured workload journal
+// (tools/rstknn_cli --journal-out, bench/load_driver --journal-out) against a
+// freshly built index. Turns any capture into a regression test: every
+// replayed query's FNV-1a64 answer digest must equal the recorded one, and
+// the accumulated index heatmap must reconcile counter-exactly with the
+// summed RstknnStats.
+//
+//   rst_replay --journal FILE [--data FILE] [--view pointer|frozen|journal]
+//              [--algo probe|cl|journal] [--threads N] [--report FILE]
+//              [--heatmap-out FILE] [--max-diffs N]
+//
+//   --journal FILE   the JSONL capture to replay (required)
+//   --data FILE      dataset TSV (default: the journal header's data path)
+//   --view           tree view to replay on (default: journal = as captured)
+//   --algo           algorithm to replay with (default: journal). Answers —
+//                    and therefore digests — are independent of algo/view by
+//                    the equality contract; stats are only compared when the
+//                    replay algorithm matches the capture
+//   --threads N      replay through exec::BatchRunner with N workers
+//                    (default 1 = serial RstknnSearcher loop); digests are
+//                    identical at any thread count
+//   --report FILE    write the per-query diff report as JSON
+//   --heatmap-out    write the replay's accumulated heatmap JSON
+//   --max-diffs N    cap per-query diff lines on stderr (default 10)
+//
+// Exit status: 0 clean; 1 on any digest mismatch, comparable-stats mismatch,
+// or heatmap reconciliation failure; 2 on usage/IO errors. Scripted gates
+// (the CI replay-smoke job) rely on this.
+//
+// After replaying, an aggregate analytics table is printed: per-level prune
+// efficiency, bound-fire frequency, hottest nodes and hottest query terms —
+// the workload-level view ROADMAP item 5's planner trains from.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rst/common/file_util.h"
+#include "rst/common/stopwatch.h"
+#include "rst/data/csv.h"
+#include "rst/exec/batch_runner.h"
+#include "rst/exec/thread_pool.h"
+#include "rst/frozen/frozen.h"
+#include "rst/obs/explain.h"
+#include "rst/obs/heatmap.h"
+#include "rst/obs/journal.h"
+#include "rst/obs/json.h"
+#include "rst/rstknn/rstknn.h"
+
+namespace rst {
+namespace {
+
+struct ReplayFlags {
+  std::string journal;
+  std::string data;
+  std::string view = "journal";
+  std::string algo = "journal";
+  size_t threads = 1;
+  std::string report;
+  std::string heatmap_out;
+  size_t max_diffs = 10;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rst_replay --journal FILE [--data FILE]\n"
+               "                  [--view pointer|frozen|journal]\n"
+               "                  [--algo probe|cl|journal] [--threads N]\n"
+               "                  [--report FILE] [--heatmap-out FILE]\n"
+               "                  [--max-diffs N]\n"
+               "(see the header of tools/rst_replay.cc)\n");
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, ReplayFlags* flags) {
+  for (int i = 1; i < argc;) {
+    const std::string name = argv[i];
+    std::string value;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[i + 1];
+      i += 2;
+    } else {
+      value = "1";
+      i += 1;
+    }
+    if (name == "--journal") {
+      flags->journal = value;
+    } else if (name == "--data") {
+      flags->data = value;
+    } else if (name == "--view") {
+      flags->view = value;
+    } else if (name == "--algo") {
+      flags->algo = value;
+    } else if (name == "--threads") {
+      flags->threads = static_cast<size_t>(
+          std::max(1L, std::strtol(value.c_str(), nullptr, 10)));
+    } else if (name == "--report") {
+      flags->report = value;
+    } else if (name == "--heatmap-out") {
+      flags->heatmap_out = value;
+    } else if (name == "--max-diffs") {
+      flags->max_diffs = static_cast<size_t>(
+          std::max(0L, std::strtol(value.c_str(), nullptr, 10)));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", name.c_str());
+      return false;
+    }
+  }
+  return !flags->journal.empty();
+}
+
+WeightingOptions WeightingFromHeader(const obs::JournalHeader& header) {
+  if (header.weighting == "lm") return {Weighting::kLanguageModel, 0.1};
+  if (header.weighting == "binary") return {Weighting::kBinary, 0.1};
+  return {Weighting::kTfIdf, 0.1};
+}
+
+TextMeasure MeasureFromHeader(const obs::JournalHeader& header) {
+  if (header.measure == "cos") return TextMeasure::kCosine;
+  if (header.measure == "sum") return TextMeasure::kSum;
+  return TextMeasure::kExtendedJaccard;
+}
+
+/// Per-query comparison outcome feeding both the stderr diff lines and the
+/// --report JSON.
+struct QueryDiff {
+  uint64_t index = 0;
+  uint64_t recorded_digest = 0;
+  uint64_t replayed_digest = 0;
+  uint64_t recorded_answers = 0;
+  uint64_t replayed_answers = 0;
+  bool digest_match = false;
+  bool stats_match = true;  ///< only meaningful when stats are comparable
+  obs::JournalStats recorded_stats;
+  obs::JournalStats replayed_stats;
+};
+
+std::string DigestHex(uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void AppendStatsJson(obs::JsonWriter* w, const obs::JournalStats& s) {
+  w->BeginObject();
+  w->Key("expansions");
+  w->Uint(s.expansions);
+  w->Key("pruned_entries");
+  w->Uint(s.pruned_entries);
+  w->Key("reported_entries");
+  w->Uint(s.reported_entries);
+  w->Key("bound_computations");
+  w->Uint(s.bound_computations);
+  w->Key("probes");
+  w->Uint(s.probes);
+  w->Key("pq_pops");
+  w->Uint(s.pq_pops);
+  w->Key("entries_created");
+  w->Uint(s.entries_created);
+  w->Key("io_node_reads");
+  w->Uint(s.io_node_reads);
+  w->Key("io_payload_blocks");
+  w->Uint(s.io_payload_blocks);
+  w->Key("io_payload_bytes");
+  w->Uint(s.io_payload_bytes);
+  w->Key("io_cache_hits");
+  w->Uint(s.io_cache_hits);
+  w->EndObject();
+}
+
+int Main(int argc, char** argv) {
+  ReplayFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+
+  Result<obs::JournalFile> loaded = obs::ReadJournal(flags.journal);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "--journal: %s\n",
+                 loaded.status().ToString().c_str());
+    return 2;
+  }
+  const obs::JournalFile& journal = loaded.value();
+  if (journal.truncated_lines > 0) {
+    std::fprintf(stderr,
+                 "note: %llu torn trailing line(s) skipped (crash-truncated "
+                 "capture)\n",
+                 static_cast<unsigned long long>(journal.truncated_lines));
+  }
+  if (journal.records.empty()) {
+    std::fprintf(stderr, "journal has no query records\n");
+    return 2;
+  }
+
+  const std::string data_path =
+      flags.data.empty() ? journal.header.data : flags.data;
+  if (data_path.empty()) {
+    std::fprintf(stderr,
+                 "journal header has no dataset path; pass --data\n");
+    return 2;
+  }
+  Result<Dataset> data =
+      LoadDatasetIds(data_path, WeightingFromHeader(journal.header));
+  if (!data.ok()) {
+    std::fprintf(stderr, "--data: %s\n", data.status().ToString().c_str());
+    return 2;
+  }
+  const Dataset& dataset = data.value();
+
+  const std::string view =
+      flags.view == "journal" ? journal.header.view : flags.view;
+  const std::string algo_name =
+      flags.algo == "journal"
+          ? journal.header.algo
+          : (flags.algo == "cl" || flags.algo == "contribution-list"
+                 ? "contribution_list"
+                 : "probe");
+  const bool use_frozen = view == "frozen";
+  const RstknnAlgorithm algo = algo_name == "contribution_list"
+                                   ? RstknnAlgorithm::kContributionList
+                                   : RstknnAlgorithm::kProbe;
+  // Stats depend on the algorithm and tree shape (not the view or thread
+  // count); digests depend on neither.
+  const bool stats_comparable =
+      algo_name == journal.header.algo && journal.header.tree == "iur";
+
+  const IurTree tree = IurTree::BuildFromDataset(dataset, {});
+  std::optional<frozen::FrozenTree> frozen;
+  if (use_frozen) frozen.emplace(frozen::FrozenTree::Freeze(tree));
+
+  TextSimilarity sim(MeasureFromHeader(journal.header),
+                     &dataset.corpus_max());
+  StScorer scorer(&sim, {journal.header.alpha, dataset.max_dist()});
+
+  // Reconstruct the queries. Docs need stable storage: TermVectors for
+  // ad-hoc queries live in `docs` (journal weights round-trip exactly);
+  // self-queries take the dataset object's own doc, as captured.
+  const size_t n = journal.records.size();
+  std::vector<TermVector> docs(n);
+  std::vector<RstknnQuery> queries(n);
+  for (size_t i = 0; i < n; ++i) {
+    const obs::JournalQueryRecord& r = journal.records[i];
+    RstknnQuery& q = queries[i];
+    q.k = r.k;
+    if (r.self != obs::JournalQueryRecord::kNoSelf &&
+        r.self < dataset.size()) {
+      const StObject& object = dataset.object(static_cast<ObjectId>(r.self));
+      q.loc = object.loc;
+      q.doc = &object.doc;
+      q.self = static_cast<ObjectId>(r.self);
+    } else {
+      std::vector<TermWeight> terms;
+      terms.reserve(r.terms.size());
+      for (const auto& [term, weight] : r.terms) {
+        terms.push_back({term, weight});
+      }
+      docs[i] = TermVector::FromSorted(std::move(terms));
+      q.loc = {r.x, r.y};
+      q.doc = &docs[i];
+    }
+  }
+
+  // Execute — serial searcher loop or the batch runner; both accumulate the
+  // same heatmap (batch merges per-worker recorders after the join).
+  RstknnOptions options;
+  options.algorithm = algo;
+  obs::HeatmapRecorder heatmap;
+  options.heatmap = &heatmap;
+  std::vector<RstknnResult> results;
+  RstknnStats total;
+  Stopwatch wall;
+  if (flags.threads <= 1) {
+    const RstknnSearcher searcher =
+        use_frozen ? RstknnSearcher(&*frozen, &dataset, &scorer)
+                   : RstknnSearcher(&tree, &dataset, &scorer);
+    std::unique_ptr<ExplainIndex> explain_index;
+    if (!use_frozen) {
+      // One shared numbering for the whole replay instead of an O(tree)
+      // rebuild per query.
+      explain_index = std::make_unique<ExplainIndex>(tree);
+      options.explain_index = explain_index.get();
+    }
+    ProbeScratch scratch;
+    options.scratch = &scratch;
+    options.publish_metrics = false;
+    results.reserve(n);
+    for (const RstknnQuery& q : queries) {
+      results.push_back(searcher.Search(q, options));
+    }
+    heatmap.AddQueries(n);
+  } else {
+    exec::ThreadPool pool(flags.threads);
+    exec::BatchRunner runner =
+        use_frozen ? exec::BatchRunner(&*frozen, &dataset, &scorer, &pool)
+                   : exec::BatchRunner(&tree, &dataset, &scorer, &pool);
+    runner.set_heatmap(&heatmap);
+    results = runner.RunRstknn(queries, options);
+  }
+  const double wall_ms = wall.ElapsedMillis();
+
+  // Compare against the capture.
+  std::vector<QueryDiff> diffs(n);
+  size_t digest_mismatches = 0;
+  size_t stats_mismatches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const obs::JournalQueryRecord& r = journal.records[i];
+    QueryDiff& d = diffs[i];
+    d.index = r.index;
+    d.recorded_digest = r.answer_digest;
+    d.replayed_digest = obs::AnswerDigest(results[i].answers);
+    d.recorded_answers = r.answer_count;
+    d.replayed_answers = results[i].answers.size();
+    d.digest_match = d.recorded_digest == d.replayed_digest &&
+                     d.recorded_answers == d.replayed_answers;
+    d.recorded_stats = r.stats;
+    d.replayed_stats = exec::ToJournalStats(results[i].stats);
+    if (stats_comparable) {
+      d.stats_match = d.replayed_stats == d.recorded_stats;
+      if (!d.stats_match) ++stats_mismatches;
+    }
+    if (!d.digest_match) ++digest_mismatches;
+    total.Merge(results[i].stats);
+  }
+
+  size_t printed = 0;
+  for (const QueryDiff& d : diffs) {
+    if (d.digest_match && d.stats_match) continue;
+    if (printed++ >= flags.max_diffs) continue;
+    if (!d.digest_match) {
+      std::fprintf(stderr,
+                   "query %llu: ANSWER DIGEST MISMATCH recorded=%s (%llu "
+                   "answers) replayed=%s (%llu answers)\n",
+                   static_cast<unsigned long long>(d.index),
+                   DigestHex(d.recorded_digest).c_str(),
+                   static_cast<unsigned long long>(d.recorded_answers),
+                   DigestHex(d.replayed_digest).c_str(),
+                   static_cast<unsigned long long>(d.replayed_answers));
+    } else {
+      std::fprintf(stderr,
+                   "query %llu: stats diverged (expansions %llu->%llu, "
+                   "pruned %llu->%llu, reported %llu->%llu, probes "
+                   "%llu->%llu)\n",
+                   static_cast<unsigned long long>(d.index),
+                   static_cast<unsigned long long>(d.recorded_stats.expansions),
+                   static_cast<unsigned long long>(d.replayed_stats.expansions),
+                   static_cast<unsigned long long>(
+                       d.recorded_stats.pruned_entries),
+                   static_cast<unsigned long long>(
+                       d.replayed_stats.pruned_entries),
+                   static_cast<unsigned long long>(
+                       d.recorded_stats.reported_entries),
+                   static_cast<unsigned long long>(
+                       d.replayed_stats.reported_entries),
+                   static_cast<unsigned long long>(d.recorded_stats.probes),
+                   static_cast<unsigned long long>(d.replayed_stats.probes));
+    }
+  }
+  if (printed > flags.max_diffs) {
+    std::fprintf(stderr, "... %zu more diffs suppressed (--max-diffs)\n",
+                 printed - flags.max_diffs);
+  }
+
+  // The heatmap must reconcile EXACTLY with the summed stats — the same
+  // contract ExplainRecorder::CheckReconciles enforces per query.
+  const Status reconciled = heatmap.CheckReconciles(
+      total.expansions, total.pruned_entries, total.reported_entries);
+  if (!reconciled.ok()) {
+    std::fprintf(stderr, "%s\n", reconciled.ToString().c_str());
+  }
+
+  // --- aggregate analytics ---
+  std::printf("replayed %zu queries (%s, %s view, %zu threads) in %.2f ms\n",
+              n, algo_name.c_str(), view.c_str(), flags.threads, wall_ms);
+  std::printf("digest mismatches: %zu/%zu\n", digest_mismatches, n);
+  if (stats_comparable) {
+    std::printf("stats mismatches:  %zu/%zu\n", stats_mismatches, n);
+  } else {
+    std::printf("stats mismatches:  n/a (capture algo=%s tree=%s)\n",
+                journal.header.algo.c_str(), journal.header.tree.c_str());
+  }
+  std::printf("heatmap reconciliation: %s\n",
+              reconciled.ok() ? "exact" : "FAILED");
+
+  std::printf("\nper-level prune efficiency:\n");
+  std::printf("  %-6s %10s %10s %10s %10s %12s\n", "level", "visits",
+              "pruned", "expanded", "reported", "prune_rate");
+  for (const obs::HeatmapNodeCounters& level : heatmap.LevelSummaries()) {
+    const uint64_t decided = level.pruned + level.reported_miss;
+    std::printf("  %-6u %10llu %10llu %10llu %10llu %11.1f%%\n", level.level,
+                static_cast<unsigned long long>(level.visits),
+                static_cast<unsigned long long>(level.pruned),
+                static_cast<unsigned long long>(level.expanded),
+                static_cast<unsigned long long>(level.reported_hit +
+                                                level.reported_miss),
+                level.visits > 0
+                    ? 100.0 * static_cast<double>(decided) /
+                          static_cast<double>(level.visits)
+                    : 0.0);
+  }
+
+  const obs::HeatmapNodeCounters& totals = heatmap.totals();
+  const uint64_t fires = totals.lower_bound_fires + totals.upper_bound_fires +
+                         totals.exact_fires;
+  std::printf("\nbound-fire frequency (%llu decisions with a bound):\n",
+              static_cast<unsigned long long>(fires));
+  const auto fire_line = [fires](const char* name, uint64_t count) {
+    std::printf("  %-12s %10llu %11.1f%%\n", name,
+                static_cast<unsigned long long>(count),
+                fires > 0 ? 100.0 * static_cast<double>(count) /
+                                static_cast<double>(fires)
+                          : 0.0);
+  };
+  fire_line("lower_bound", totals.lower_bound_fires);
+  fire_line("upper_bound", totals.upper_bound_fires);
+  fire_line("exact", totals.exact_fires);
+
+  std::printf("\nhottest nodes (by visits):\n");
+  std::vector<std::pair<uint64_t, obs::HeatmapNodeCounters>> hot(
+      heatmap.nodes().begin(), heatmap.nodes().end());
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    if (a.second.visits != b.second.visits) {
+      return a.second.visits > b.second.visits;
+    }
+    return a.first < b.first;
+  });
+  for (size_t i = 0; i < hot.size() && i < 10; ++i) {
+    std::printf("  node %-6llu L%-3u visits=%llu pruned=%llu expanded=%llu "
+                "reported=%llu\n",
+                static_cast<unsigned long long>(hot[i].first),
+                hot[i].second.level,
+                static_cast<unsigned long long>(hot[i].second.visits),
+                static_cast<unsigned long long>(hot[i].second.pruned),
+                static_cast<unsigned long long>(hot[i].second.expanded),
+                static_cast<unsigned long long>(hot[i].second.reported_hit +
+                                                hot[i].second.reported_miss));
+  }
+
+  std::printf("\nhottest query terms (by occurrences):\n");
+  std::map<uint32_t, std::pair<uint64_t, double>> term_heat;
+  for (const RstknnQuery& q : queries) {
+    if (q.doc == nullptr) continue;
+    for (const TermWeight& tw : q.doc->entries()) {
+      auto& [count, weight] = term_heat[tw.term];
+      ++count;
+      weight += static_cast<double>(tw.weight);
+    }
+  }
+  std::vector<std::pair<uint32_t, std::pair<uint64_t, double>>> terms(
+      term_heat.begin(), term_heat.end());
+  std::sort(terms.begin(), terms.end(), [](const auto& a, const auto& b) {
+    if (a.second.first != b.second.first) {
+      return a.second.first > b.second.first;
+    }
+    return a.first < b.first;
+  });
+  for (size_t i = 0; i < terms.size() && i < 10; ++i) {
+    std::printf("  term %-8u queries=%llu total_weight=%.3f\n",
+                terms[i].first,
+                static_cast<unsigned long long>(terms[i].second.first),
+                terms[i].second.second);
+  }
+
+  if (!flags.heatmap_out.empty()) {
+    const Status s = WriteStringToFileAtomic(flags.heatmap_out,
+                                             heatmap.ToJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "--heatmap-out: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "heatmap written to %s\n", flags.heatmap_out.c_str());
+  }
+
+  if (!flags.report.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("journal");
+    w.String(flags.journal);
+    w.Key("replay");
+    w.BeginObject();
+    w.Key("algo");
+    w.String(algo_name);
+    w.Key("view");
+    w.String(view);
+    w.Key("threads");
+    w.Uint(flags.threads);
+    w.Key("stats_comparable");
+    w.Bool(stats_comparable);
+    w.EndObject();
+    w.Key("queries");
+    w.Uint(n);
+    w.Key("digest_mismatches");
+    w.Uint(digest_mismatches);
+    w.Key("stats_mismatches");
+    w.Uint(stats_comparable ? stats_mismatches : 0);
+    w.Key("reconciled");
+    w.Bool(reconciled.ok());
+    w.Key("per_query");
+    w.BeginArray();
+    for (const QueryDiff& d : diffs) {
+      w.BeginObject();
+      w.Key("index");
+      w.Uint(d.index);
+      w.Key("digest_match");
+      w.Bool(d.digest_match);
+      w.Key("recorded_digest");
+      w.String(DigestHex(d.recorded_digest));
+      w.Key("replayed_digest");
+      w.String(DigestHex(d.replayed_digest));
+      w.Key("recorded_answers");
+      w.Uint(d.recorded_answers);
+      w.Key("replayed_answers");
+      w.Uint(d.replayed_answers);
+      if (stats_comparable) {
+        w.Key("stats_match");
+        w.Bool(d.stats_match);
+      }
+      w.Key("recorded_stats");
+      AppendStatsJson(&w, d.recorded_stats);
+      w.Key("replayed_stats");
+      AppendStatsJson(&w, d.replayed_stats);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const Status s = WriteStringToFileAtomic(flags.report, w.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "--report: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "diff report written to %s\n", flags.report.c_str());
+  }
+
+  const bool failed =
+      digest_mismatches > 0 || !reconciled.ok() ||
+      (stats_comparable && stats_mismatches > 0);
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace rst
+
+int main(int argc, char** argv) { return rst::Main(argc, argv); }

@@ -73,9 +73,22 @@
 //                       summary) into an in-process ring buffer
 //   --slow-log-out FILE write the captured slow queries as JSON
 //
+// Workload capture / heatmap flags (rstknn only; DESIGN.md §14):
+//   --journal-out FILE  append every executed query to a crash-atomic JSONL
+//                       workload journal (query object, wall/phase timings,
+//                       stats, FNV-1a64 answer digest) replayable with
+//                       tools/rst_replay
+//   --journal-sample N  record every N-th query by batch index (default 1)
+//   --heatmap-out FILE  accumulate per-node visit/prune/expand/report
+//                       counters across the run (merged across workers in
+//                       batch mode) and write the heatmap JSON; exits
+//                       non-zero if the totals fail to reconcile exactly
+//                       with the summed RstknnStats
+//
 // Output-file errors (--metrics-out / --slow-log-out on an unwritable path)
 // exit non-zero with the underlying Status message.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -94,6 +107,8 @@
 #include "rst/frozen/frozen.h"
 #include "rst/maxbrst/maxbrst.h"
 #include "rst/obs/explain.h"
+#include "rst/obs/heatmap.h"
+#include "rst/obs/journal.h"
 #include "rst/obs/json.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/metrics.h"
@@ -179,6 +194,9 @@ struct ObsFlags {
   std::string trace_out;        ///< Chrome trace-event JSON path ("" = off)
   uint64_t trace_sample = 1;    ///< span tree of every N-th batch query
   long telemetry_ms = -1;       ///< runtime sampling period (< 0 = off)
+  std::string journal_out;      ///< workload-journal JSONL path ("" = off)
+  uint64_t journal_sample = 1;  ///< journal every N-th query by index
+  std::string heatmap_out;      ///< index-heatmap JSON path ("" = off)
 
   explicit ObsFlags(const Flags& flags)
       : trace(flags.Has("trace")),
@@ -193,7 +211,11 @@ struct ObsFlags {
         trace_out(flags.Get("trace-out", "")),
         trace_sample(static_cast<uint64_t>(flags.GetInt("trace-sample", 1))),
         telemetry_ms(flags.Has("telemetry-ms") ? flags.GetInt("telemetry-ms", 1)
-                                               : -1) {}
+                                               : -1),
+        journal_out(flags.Get("journal-out", "")),
+        journal_sample(static_cast<uint64_t>(
+            std::max(1L, flags.GetInt("journal-sample", 1)))),
+        heatmap_out(flags.Get("heatmap-out", "")) {}
 
   bool tracing() const {
     return trace || !metrics_out.empty() || !trace_out.empty();
@@ -294,6 +316,66 @@ RstknnAlgorithm ParseAlgorithm(const Flags& flags) {
     return RstknnAlgorithm::kContributionList;
   }
   return RstknnAlgorithm::kProbe;
+}
+
+/// Capture context for a workload journal (DESIGN.md §14): everything
+/// rst_replay needs to rebuild the same index and scorer, normalized to the
+/// CLI's own flag vocabulary.
+obs::JournalHeader MakeJournalHeader(const Flags& flags,
+                                     const std::string& label, bool use_frozen,
+                                     uint64_t threads, uint64_t sample_every) {
+  obs::JournalHeader header;
+  header.label = label;
+  header.data = flags.Get("data", "objects.csv");
+  header.algo = ParseAlgorithm(flags) == RstknnAlgorithm::kContributionList
+                    ? "contribution_list"
+                    : "probe";
+  header.view = use_frozen ? "frozen" : "pointer";
+  header.tree = "iur";  // the CLI builds an unclustered IUR-tree
+  header.measure = flags.Get("measure", "ej");
+  header.weighting = flags.Get("weighting", "tfidf");
+  header.alpha = flags.GetDouble("alpha", 0.5);
+  header.threads = threads;
+  header.sample_every = sample_every;
+  return header;
+}
+
+/// Writes the heatmap JSON after verifying its totals reconcile exactly with
+/// the summed per-query stats; any mismatch or write failure is fatal so
+/// scripted runs can gate on it (same contract as the CI counter gate).
+int EmitHeatmap(const std::string& path, const obs::HeatmapRecorder& heatmap,
+                const RstknnStats& total) {
+  const Status reconciled = heatmap.CheckReconciles(
+      total.expansions, total.pruned_entries, total.reported_entries);
+  if (!reconciled.ok()) {
+    std::fprintf(stderr, "--heatmap-out: %s\n", reconciled.ToString().c_str());
+    return 1;
+  }
+  const Status s = WriteStringToFileAtomic(path, heatmap.ToJson());
+  if (!s.ok()) {
+    std::fprintf(stderr, "--heatmap-out: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "heatmap (%llu queries, %llu decisions over %zu nodes) written "
+               "to %s\n",
+               static_cast<unsigned long long>(heatmap.queries()),
+               static_cast<unsigned long long>(heatmap.decisions()),
+               heatmap.nodes().size(), path.c_str());
+  return 0;
+}
+
+/// Closes the journal and reports it; a latched append error is fatal.
+int FinishJournal(obs::WorkloadRecorder* journal, const std::string& path) {
+  const uint64_t recorded = journal->recorded();
+  const Status s = journal->Close();
+  if (!s.ok()) {
+    std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "workload journal (%llu records) written to %s\n",
+               static_cast<unsigned long long>(recorded), path.c_str());
+  return 0;
 }
 
 int CmdGen(const Flags& flags) {
@@ -488,6 +570,21 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                                      obs_flags.trace_sample);
   if (obs_flags.profile) runner.set_profiling(true);
   if (!obs_flags.trace_out.empty()) runner.set_trace_events(&trace_events);
+  obs::WorkloadRecorder journal;
+  if (!obs_flags.journal_out.empty()) {
+    const Status s = journal.Open(
+        obs_flags.journal_out,
+        MakeJournalHeader(flags, "rstknn.batch", frozen != nullptr,
+                          thread_pool.num_threads(),
+                          obs_flags.journal_sample));
+    if (!s.ok()) {
+      std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    runner.set_journal(&journal);
+  }
+  obs::HeatmapRecorder heatmap;
+  if (!obs_flags.heatmap_out.empty()) runner.set_heatmap(&heatmap);
   exec::BatchStats batch_stats;
   const std::vector<RstknnResult> results =
       runner.RunRstknn(queries, options, &batch_stats);
@@ -521,6 +618,15 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                  static_cast<unsigned long long>(slow_log.captured()),
                  slow_log.threshold_ms(),
                  static_cast<unsigned long long>(slow_log.dropped()));
+  }
+  if (!obs_flags.journal_out.empty()) {
+    const int rc = FinishJournal(&journal, obs_flags.journal_out);
+    if (rc != 0) return rc;
+  }
+  if (!obs_flags.heatmap_out.empty()) {
+    const int rc =
+        EmitHeatmap(obs_flags.heatmap_out, heatmap, batch_stats.total);
+    if (rc != 0) return rc;
   }
   // Stop before the artifact snapshot so the runtime.* gauges carry a final
   // post-batch sample.
@@ -660,6 +766,8 @@ int CmdRstknn(const Flags& flags) {
   }
   obs::ExplainRecorder recorder(obs_flags.explain_log);
   if (obs_flags.explain) options.explain = &recorder;
+  obs::HeatmapRecorder heatmap;
+  if (!obs_flags.heatmap_out.empty()) options.heatmap = &heatmap;
 
   obs::TraceEventWriter trace_events(/*capacity=*/1 << 16,
                                      obs_flags.trace_sample);
@@ -686,6 +794,36 @@ int CmdRstknn(const Flags& flags) {
     if (!reconciled.ok()) {
       std::fprintf(stderr, "WARNING: %s\n", reconciled.ToString().c_str());
     }
+  }
+  if (!obs_flags.journal_out.empty()) {
+    // Serial capture: a one-record journal with the same header/record
+    // format as batch mode, so single-query runs replay identically.
+    obs::WorkloadRecorder journal;
+    const Status s = journal.Open(
+        obs_flags.journal_out,
+        MakeJournalHeader(flags, "rstknn", use_frozen, /*threads=*/1,
+                          obs_flags.journal_sample));
+    if (!s.ok()) {
+      std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (journal.ShouldSample(0)) {
+      obs::JournalQueryRecord record =
+          exec::MakeJournalRecord(0, query, result, ms);
+      if (obs_flags.profile) {
+        obs::JsonWriter phases;
+        profiler.AppendJson(&phases);
+        record.phases_json = phases.TakeString();
+      }
+      journal.Append(record);
+    }
+    const int rc = FinishJournal(&journal, obs_flags.journal_out);
+    if (rc != 0) return rc;
+  }
+  if (!obs_flags.heatmap_out.empty()) {
+    heatmap.AddQueries(1);
+    const int rc = EmitHeatmap(obs_flags.heatmap_out, heatmap, result.stats);
+    if (rc != 0) return rc;
   }
   obs::SlowQueryLog slow_log(obs_flags.slow_log_ms);
   if (obs_flags.slow_logging() && slow_log.ShouldCapture(ms)) {
