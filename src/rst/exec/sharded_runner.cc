@@ -1,0 +1,149 @@
+#include "rst/exec/sharded_runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "rst/common/stopwatch.h"
+#include "rst/obs/heatmap.h"
+#include "rst/obs/journal.h"
+#include "rst/obs/metrics.h"
+#include "rst/obs/metric_names.h"
+
+namespace rst {
+namespace exec {
+
+namespace {
+
+/// Batch-level registry handles, cached once (all updates are lock-free
+/// atomics, safe from any worker).
+struct ShardedBatchMetrics {
+  obs::Counter batches;
+  obs::Counter batch_queries;
+  obs::HistogramRef batch_ms;
+  obs::HistogramRef worker_busy_ms;
+  obs::Counter rstknn_queries;
+  obs::Counter rstknn_answers;
+  obs::HistogramRef rstknn_query_ms;
+
+  static const ShardedBatchMetrics& Get() {
+    static const ShardedBatchMetrics* metrics = [] {
+      // rst-lint: allow(raw-new-delete) leaky singleton; cached metric handles live for the process
+      auto* m = new ShardedBatchMetrics();
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      m->batches = registry.GetCounter(obs::names::kExecBatches);
+      m->batch_queries = registry.GetCounter(obs::names::kExecBatchQueries);
+      m->batch_ms = registry.GetHistogram(obs::names::kExecBatchMs,
+                                          obs::HistogramSpec::LatencyMs());
+      m->worker_busy_ms = registry.GetHistogram(
+          obs::names::kExecWorkerBusyMs, obs::HistogramSpec::LatencyMs());
+      m->rstknn_queries = registry.GetCounter(obs::names::kRstknnQueries);
+      m->rstknn_answers = registry.GetCounter(obs::names::kRstknnAnswers);
+      m->rstknn_query_ms = registry.GetHistogram(
+          obs::names::kRstknnQueryMs, obs::HistogramSpec::LatencyMs());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+/// Per-worker accumulator, cache-line padded so adjacent workers never share
+/// a line on the hot path.
+struct alignas(64) ShardedWorkerSlot {
+  RstknnStats stats;
+  shard::ShardedStats shards;
+  double busy_ms = 0.0;
+  uint64_t answers = 0;
+};
+
+}  // namespace
+
+std::vector<RstknnResult> ShardedBatchRunner::RunRstknn(
+    const std::vector<RstknnQuery>& queries, const RstknnOptions& options,
+    BatchStats* batch_stats, shard::ShardedStats* shard_stats) const {
+  const ShardedBatchMetrics& metrics = ShardedBatchMetrics::Get();
+  const size_t workers = pool_->num_threads();
+  std::vector<RstknnResult> results(queries.size());
+  std::vector<ShardedWorkerSlot> slots(workers);
+  std::vector<std::unique_ptr<ProbeScratch>> scratches;
+  scratches.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    scratches.push_back(std::make_unique<ProbeScratch>());
+  }
+
+  // Index heatmap: one PRIVATE recorder per worker, merged into the caller's
+  // recorder after the join — same scheme as BatchRunner, with forest node
+  // ids (ShardedSearcher's numbering) instead of tree ids.
+  std::vector<std::unique_ptr<obs::HeatmapRecorder>> worker_heatmaps;
+  if (heatmap_ != nullptr) {
+    worker_heatmaps.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      worker_heatmaps.push_back(std::make_unique<obs::HeatmapRecorder>());
+    }
+  }
+
+  const shard::ShardedSearcher searcher(index_, dataset_, scorer_);
+  Stopwatch wall;
+  pool_->ParallelFor(
+      queries.size(), /*chunk=*/1, [&](size_t i, size_t w) {
+        Stopwatch query_timer;
+        RstknnOptions worker_options = options;
+        worker_options.trace = nullptr;     // a shared trace would race
+        worker_options.profiler = nullptr;  // so would a shared profiler
+        worker_options.scratch = scratches[w].get();
+        worker_options.publish_metrics = false;
+        worker_options.heatmap =
+            heatmap_ != nullptr ? worker_heatmaps[w].get() : nullptr;
+        // Shards run serially on this worker (pool=nullptr): ParallelFor
+        // does not nest, and query-major parallelism already fills the pool.
+        shard::ShardedResult res =
+            searcher.Search(queries[i], worker_options, /*pool=*/nullptr);
+        results[i] = RstknnResult{std::move(res.answers), res.stats};
+        const double ms = query_timer.ElapsedMillis();
+        if (journal_ != nullptr && journal_->ShouldSample(i)) {
+          journal_->Append(MakeJournalRecord(i, queries[i], results[i], ms));
+        }
+        metrics.rstknn_query_ms.Record(ms);
+        slots[w].busy_ms += ms;
+        slots[w].answers += results[i].answers.size();
+        slots[w].stats.Merge(res.stats);
+        slots[w].shards.Merge(res.shards);
+      });
+  const double wall_ms = wall.ElapsedMillis();
+
+  if (heatmap_ != nullptr) {
+    for (const std::unique_ptr<obs::HeatmapRecorder>& worker_heatmap :
+         worker_heatmaps) {
+      heatmap_->Merge(*worker_heatmap);
+    }
+    heatmap_->AddQueries(queries.size());
+  }
+
+  BatchStats aggregate;
+  shard::ShardedStats shard_totals;
+  aggregate.queries = queries.size();
+  aggregate.wall_ms = wall_ms;
+  aggregate.worker_busy_ms.reserve(workers);
+  for (const ShardedWorkerSlot& slot : slots) {
+    aggregate.total.Merge(slot.stats);
+    shard_totals.Merge(slot.shards);
+    aggregate.answers += slot.answers;
+    aggregate.worker_busy_ms.push_back(slot.busy_ms);
+    metrics.worker_busy_ms.Record(slot.busy_ms);
+  }
+  // One aggregated publish for the whole batch (the per-query publishes were
+  // suppressed above) — the registry sees the same totals as N serial
+  // queries, in 1/N the registry traffic.
+  aggregate.total.Publish(obs::names::kRstknnPrefix);
+  shard_totals.Publish();
+  metrics.rstknn_queries.Add(aggregate.queries);
+  metrics.rstknn_answers.Add(aggregate.answers);
+  metrics.batches.Increment();
+  metrics.batch_queries.Add(aggregate.queries);
+  metrics.batch_ms.Record(wall_ms);
+  if (batch_stats != nullptr) *batch_stats = std::move(aggregate);
+  if (shard_stats != nullptr) *shard_stats = shard_totals;
+  return results;
+}
+
+}  // namespace exec
+}  // namespace rst

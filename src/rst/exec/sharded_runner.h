@@ -1,0 +1,84 @@
+#ifndef RST_EXEC_SHARDED_RUNNER_H_
+#define RST_EXEC_SHARDED_RUNNER_H_
+
+#include <vector>
+
+#include "rst/data/dataset.h"
+#include "rst/exec/batch_runner.h"
+#include "rst/exec/thread_pool.h"
+#include "rst/rstknn/rstknn.h"
+#include "rst/shard/sharded_index.h"
+#include "rst/shard/sharded_search.h"
+
+namespace rst {
+
+namespace obs {
+class HeatmapRecorder;
+class WorkloadRecorder;
+}  // namespace obs
+
+namespace exec {
+
+/// Evaluates batches of RSTkNN queries concurrently over a shared read-only
+/// ShardedIndex + Dataset (DESIGN.md §15).
+///
+/// Parallelism is query-major: the pool fans QUERIES across workers and each
+/// query runs its shards serially on its worker (ThreadPool::ParallelFor does
+/// not nest, and for batches query-major keeps every worker busy without the
+/// per-shard fan-out's merge overhead). Single interactive queries that want
+/// shard-level parallelism call ShardedSearcher::Search with a pool directly.
+///
+/// Determinism contract: results are written into slots keyed by query index
+/// and each query runs the unmodified scatter-gather algorithm, so the output
+/// vector is byte-identical to running the same queries serially — at any
+/// thread count and any shard count (see ShardedSearcher).
+///
+/// Observability: journal capture (set_journal) and the index heatmap
+/// (set_heatmap) mirror BatchRunner — per-worker private recorders merged
+/// after the join, one aggregated registry publish per batch (rstknn.* totals,
+/// rstknn.shard.* triage counters, exec.batch.* timings). Slow-query capture,
+/// phase profiling and trace events are not supported in sharded batches —
+/// they are per-tree instruments; capture those through the single-index
+/// BatchRunner or a serial ShardedSearcher loop.
+class ShardedBatchRunner {
+ public:
+  /// All referents must outlive the runner. `pool` is borrowed, not owned.
+  ShardedBatchRunner(const shard::ShardedIndex* index, const Dataset* dataset,
+                     const StScorer* scorer, ThreadPool* pool)
+      : index_(index), dataset_(dataset), scorer_(scorer), pool_(pool) {}
+
+  /// Attaches an open workload journal: every sampled query appends one
+  /// record (query object, wall time, stats, answer digest), exactly as
+  /// BatchRunner does. Null disables capture — the default.
+  void set_journal(obs::WorkloadRecorder* journal) { journal_ = journal; }
+
+  /// Attaches a cross-batch index heatmap. Each worker feeds a private
+  /// recorder, merged into `heatmap` after the join; totals reconcile exactly
+  /// against BatchStats::total at any thread count (node ids are the forest
+  /// ids assigned by ShardedSearcher, stable across runs). Null disables —
+  /// the default.
+  void set_heatmap(obs::HeatmapRecorder* heatmap) { heatmap_ = heatmap; }
+
+  /// Runs every query through ShardedSearcher::Search. `options.scratch` and
+  /// `options.heatmap` are overridden per worker; `options.explain` and
+  /// `options.pool` are unsupported in sharded mode (RST_CHECK in the
+  /// searcher). `shard_stats`, when non-null, receives the batch-summed
+  /// triage counters.
+  std::vector<RstknnResult> RunRstknn(
+      const std::vector<RstknnQuery>& queries, const RstknnOptions& options,
+      BatchStats* batch_stats = nullptr,
+      shard::ShardedStats* shard_stats = nullptr) const;
+
+ private:
+  const shard::ShardedIndex* index_;
+  const Dataset* dataset_;
+  const StScorer* scorer_;
+  ThreadPool* pool_;
+  obs::WorkloadRecorder* journal_ = nullptr;
+  obs::HeatmapRecorder* heatmap_ = nullptr;
+};
+
+}  // namespace exec
+}  // namespace rst
+
+#endif  // RST_EXEC_SHARDED_RUNNER_H_

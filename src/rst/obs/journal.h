@@ -40,6 +40,10 @@ struct JournalHeader {
   double alpha = 0.5;
   uint64_t threads = 1;
   uint64_t sample_every = 1;
+  /// Shard count of the capturing index: 0 = single (unsharded) index, K > 0
+  /// = K-shard ShardedIndex. Parsed leniently (absent ⇒ 0) so journals from
+  /// before the field existed keep loading.
+  uint64_t shards = 0;
 };
 
 /// Flattened RstknnStats counters carried per record (obs cannot depend on

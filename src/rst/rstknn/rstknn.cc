@@ -1,963 +1,20 @@
 #include "rst/rstknn/rstknn.h"
 
 #include <algorithm>
-#include <cstdint>
-#include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <utility>
+#include <vector>
 
 #include "rst/common/check.h"
 #include "rst/common/stopwatch.h"
-#include "rst/frozen/frozen.h"
-#include "rst/iurtree/cluster.h"
-#include "rst/obs/explain.h"
-#include "rst/obs/heatmap.h"
 #include "rst/obs/metrics.h"
 #include "rst/obs/metric_names.h"
-#include "rst/obs/phase_timer.h"
 #include "rst/obs/trace.h"
-#include "rst/storage/codec.h"
+#include "rst/rstknn/search_impl.h"
 
 namespace rst {
 
-namespace {
-
-using Entry = IurTree::Entry;
-using Node = IurTree::Node;
-
-/// The tree-view abstraction: both RSTkNN algorithms are templates over a
-/// read-only view so the pointer IUR-/CIUR-tree and the frozen flat-layout
-/// snapshot (rst::frozen) run the exact same code. A view names nodes and
-/// entries by a NodeRef/EntryRef (pointers for the pointer tree, dense
-/// indices for the frozen one) and exposes:
-///   * topology    — Root, NumEntries, EntryAt, Child, IsObject, Id, Count;
-///   * geometry    — RectOf;
-///   * text        — Summary / ClusterSummary as SummarySpan, which feed the
-///                   single span-kernel implementation of every similarity
-///                   bound, so all floats are bit-identical across views;
-///   * keys        — NodeKey/EntryKey map refs to uintptr_t so one
-///                   ProbeScratch::Impl (hash sets/memos) serves both views;
-///   * I/O         — Charge (simulated or real through a buffer pool);
-///   * explain     — ExplainInfo yielding the deterministic preorder ids,
-///                   from an ExplainIndex for the pointer tree and directly
-///                   from entry indices for the frozen layout (which stores
-///                   entries in that exact order: id = index + 1).
-/// Entry iteration order is identical in both views, every queue receives the
-/// same insertion sequence, and the memo containers are never iterated — so
-/// results, RstknnStats, and EXPLAIN output are byte-identical.
-struct PointerTreeView {
-  using NodeRef = const Node*;
-  using EntryRef = const Entry*;
-
-  const IurTree* tree = nullptr;
-
-  size_t TreeSize() const { return tree->size(); }
-  NodeRef Root() const { return tree->root(); }
-  size_t NumEntries(NodeRef n) const { return n->entries.size(); }
-  EntryRef EntryAt(NodeRef n, size_t i) const { return &n->entries[i]; }
-  bool IsObject(EntryRef e) const { return e->is_object(); }
-  ObjectId Id(EntryRef e) const { return e->id; }
-  NodeRef Child(EntryRef e) const { return e->child; }
-  uint32_t Count(EntryRef e) const { return e->count(); }
-  const Rect& RectOf(EntryRef e) const { return e->rect; }
-  SummarySpan Summary(EntryRef e) const { return AsSpan(e->summary); }
-  size_t NumClusters(EntryRef e) const { return e->clusters.size(); }
-  SummarySpan ClusterSummary(EntryRef e, size_t i) const {
-    return AsSpan(e->clusters[i].second);
-  }
-  uint32_t ClusterCount(EntryRef e, size_t i) const {
-    return e->clusters[i].second.count;
-  }
-
-  static uintptr_t NodeKey(NodeRef n) { return reinterpret_cast<uintptr_t>(n); }
-  static uintptr_t EntryKey(EntryRef e) {
-    return reinterpret_cast<uintptr_t>(e);
-  }
-
-  /// Charges one node access. In real-I/O mode (options.pool set) the node's
-  /// serialized inverted file is read through the buffer pool — hits charge
-  /// nothing and the pool's hit/miss/fill metrics reflect genuine traffic;
-  /// otherwise the papers' simulated accounting applies.
-  void Charge(NodeRef n, const RstknnOptions& options,
-              RstknnStats* stats) const {
-    if (options.pool != nullptr) {
-      obs::TraceSpan span(options.trace, obs::names::kSpanStorageReadNode);
-      obs::PhaseTimer io_phase(options.profiler, obs::Phase::kIo);
-      InvertedFile invfile;
-      if (tree->ReadNodePayload(n, options.pool, &stats->io, &invfile).ok()) {
-        return;
-      }
-      // Payloads not finalized: fall back below (nothing was charged).
-    }
-    tree->ChargeAccess(n, &stats->io);
-  }
-
-  void PrepareExplain(const RstknnOptions& options, const ExplainIndex** index,
-                      std::unique_ptr<ExplainIndex>* local) const {
-    *index = options.explain_index;
-    if (*index == nullptr) {
-      *local = std::make_unique<ExplainIndex>(*tree);
-      *index = local->get();
-    }
-  }
-  ExplainIndex::Info ExplainInfo(EntryRef e, const ExplainIndex* index) const {
-    return index->Lookup(e);
-  }
-};
-
-struct FrozenTreeView {
-  using NodeRef = uint32_t;
-  using EntryRef = uint32_t;
-
-  const frozen::FrozenTree* tree = nullptr;
-
-  size_t TreeSize() const { return tree->size(); }
-  NodeRef Root() const { return tree->root(); }
-  size_t NumEntries(NodeRef n) const { return tree->EntryCount(n); }
-  EntryRef EntryAt(NodeRef n, size_t i) const {
-    return tree->EntryBegin(n) + static_cast<uint32_t>(i);
-  }
-  bool IsObject(EntryRef e) const { return tree->IsObject(e); }
-  ObjectId Id(EntryRef e) const { return tree->ObjectIdOf(e); }
-  NodeRef Child(EntryRef e) const { return tree->Child(e); }
-  uint32_t Count(EntryRef e) const { return tree->Count(e); }
-  const Rect& RectOf(EntryRef e) const { return tree->EntryRect(e); }
-  SummarySpan Summary(EntryRef e) const { return tree->Summary(e); }
-  size_t NumClusters(EntryRef e) const { return tree->NumClusters(e); }
-  SummarySpan ClusterSummary(EntryRef e, size_t i) const {
-    return tree->ClusterSummary(e, static_cast<uint32_t>(i));
-  }
-  uint32_t ClusterCount(EntryRef e, size_t i) const {
-    return tree->ClusterCount(e, static_cast<uint32_t>(i));
-  }
-
-  static uintptr_t NodeKey(NodeRef n) { return n; }
-  static uintptr_t EntryKey(EntryRef e) { return e; }
-
-  void Charge(NodeRef n, const RstknnOptions& options,
-              RstknnStats* stats) const {
-    if (options.pool != nullptr) {
-      obs::TraceSpan span(options.trace, obs::names::kSpanStorageReadNode);
-      obs::PhaseTimer io_phase(options.profiler, obs::Phase::kIo);
-      InvertedFile invfile;
-      if (tree->ReadNodePayload(n, options.pool, &stats->io, &invfile).ok()) {
-        return;
-      }
-    }
-    tree->ChargeAccess(n, &stats->io);
-  }
-
-  /// Frozen entry indices ARE the explain numbering (index + 1); no
-  /// ExplainIndex is built or consulted.
-  void PrepareExplain(const RstknnOptions&, const ExplainIndex**,
-                      std::unique_ptr<ExplainIndex>*) const {}
-  ExplainIndex::Info ExplainInfo(EntryRef e, const ExplainIndex*) const {
-    return ExplainIndex::Info{static_cast<uint64_t>(e) + 1,
-                              tree->EntryLevel(e)};
-  }
-};
-
-/// Generic counterparts of EntryTextBounds / EntryPairTextBounds /
-/// EntryTextBoundsVsClusters / EntryClusterEntropy (iurtree.h). Cluster
-/// iteration order and kernel call sequence match the pointer-tree free
-/// functions exactly — those now share the same span kernels underneath, so
-/// the computed doubles are bit-identical.
-template <typename View>
-TextBounds ViewEntryTextBounds(const View& view, typename View::EntryRef e,
-                               const SummarySpan& other,
-                               const TextSimilarity& sim) {
-  const size_t nc = view.NumClusters(e);
-  if (nc == 0) {
-    const SummarySpan s = view.Summary(e);
-    return {sim.MinSim(s, other), sim.MaxSim(s, other)};
-  }
-  TextBounds bounds{1.0, 0.0};
-  for (size_t i = 0; i < nc; ++i) {
-    const SummarySpan s = view.ClusterSummary(e, i);
-    bounds.min_sim = std::min(bounds.min_sim, sim.MinSim(s, other));
-    bounds.max_sim = std::max(bounds.max_sim, sim.MaxSim(s, other));
-  }
-  return bounds;
-}
-
-template <typename View>
-TextBounds ViewPairTextBounds(const View& view, typename View::EntryRef a,
-                              typename View::EntryRef b,
-                              const TextSimilarity& sim) {
-  const size_t na = view.NumClusters(a);
-  const size_t nb = view.NumClusters(b);
-  if (na == 0 && nb == 0) {
-    const SummarySpan sa = view.Summary(a);
-    const SummarySpan sb = view.Summary(b);
-    return {sim.MinSim(sa, sb), sim.MaxSim(sa, sb)};
-  }
-  // Treat an unclustered side as one blended cluster.
-  TextBounds bounds{1.0, 0.0};
-  for (size_t i = 0; i < std::max<size_t>(na, 1); ++i) {
-    const SummarySpan sa = na == 0 ? view.Summary(a) : view.ClusterSummary(a, i);
-    for (size_t j = 0; j < std::max<size_t>(nb, 1); ++j) {
-      const SummarySpan sb =
-          nb == 0 ? view.Summary(b) : view.ClusterSummary(b, j);
-      bounds.min_sim = std::min(bounds.min_sim, sim.MinSim(sa, sb));
-      bounds.max_sim = std::max(bounds.max_sim, sim.MaxSim(sa, sb));
-    }
-  }
-  return bounds;
-}
-
-template <typename View>
-TextBounds ViewBoundsVsClusters(const View& view, const SummarySpan& a,
-                                typename View::EntryRef b,
-                                const TextSimilarity& sim) {
-  const size_t nb = view.NumClusters(b);
-  if (nb == 0) {
-    const SummarySpan sb = view.Summary(b);
-    return {sim.MinSim(a, sb), sim.MaxSim(a, sb)};
-  }
-  TextBounds bounds{1.0, 0.0};
-  for (size_t i = 0; i < nb; ++i) {
-    const SummarySpan sb = view.ClusterSummary(b, i);
-    bounds.min_sim = std::min(bounds.min_sim, sim.MinSim(a, sb));
-    bounds.max_sim = std::max(bounds.max_sim, sim.MaxSim(a, sb));
-  }
-  return bounds;
-}
-
-template <typename View>
-double ViewClusterEntropy(const View& view, typename View::EntryRef e) {
-  const size_t nc = view.NumClusters(e);
-  if (nc == 0) return 0.0;
-  std::vector<uint32_t> counts;
-  counts.reserve(nc);
-  for (size_t i = 0; i < nc; ++i) counts.push_back(view.ClusterCount(e, i));
-  return ClusterEntropy(counts);
-}
-
-/// A candidate entry of the branch-and-bound search: a subtree (or object)
-/// whose membership in the answer is still to be decided.
-template <typename View>
-struct Candidate {
-  typename View::EntryRef entry{};
-  /// NodeKeys of the root path whose subtrees contain this entry (used to
-  /// avoid double-counting the candidate's own objects during probes).
-  std::vector<uintptr_t> path;
-  bool contains_self = false;  ///< subtree holds the query object
-  double q_min = 0.0;          ///< MinST(q, E)
-  double q_max = 0.0;          ///< MaxST(q, E)
-  double priority = 0.0;
-};
-
-/// Collects the node-key set on the root-to-leaf path of object `id`.
-template <typename View>
-bool CollectPath(const View& view, typename View::NodeRef node, ObjectId id,
-                 std::unordered_set<uintptr_t>* path) {
-  for (size_t i = 0, n = view.NumEntries(node); i < n; ++i) {
-    const auto e = view.EntryAt(node, i);
-    if (view.IsObject(e)) {
-      if (view.Id(e) == id) {
-        path->insert(View::NodeKey(node));
-        return true;
-      }
-    } else if (CollectPath(view, view.Child(e), id, path)) {
-      path->insert(View::NodeKey(node));
-      return true;
-    }
-  }
-  return false;
-}
-
-template <typename View>
-void CollectObjectIds(const View& view, typename View::EntryRef entry,
-                      ObjectId exclude, std::vector<ObjectId>* out) {
-  if (view.IsObject(entry)) {
-    if (view.Id(entry) != exclude) out->push_back(view.Id(entry));
-    return;
-  }
-  const auto child = view.Child(entry);
-  for (size_t i = 0, n = view.NumEntries(child); i < n; ++i) {
-    CollectObjectIds(view, view.EntryAt(child, i), exclude, out);
-  }
-}
-
-/// Memoized blended bounds of (candidate, other) for one candidate's two
-/// probes. The spatial legs are kept so a later lazy cluster refinement can
-/// recombine them with tighter text bounds. Refined bounds are strictly
-/// tighter and remain valid brackets, so reusing them across the guaranteed
-/// and potential probes never changes answers — only the redundant kernel
-/// evaluations disappear.
-struct CandPairBounds {
-  double spatial_min = 0.0;
-  double spatial_max = 0.0;
-  double mn = 0.0;
-  double mx = 0.0;
-  bool refined = false;
-};
-
-/// Key/hash for the contribution-list pair memo (ordered entry-key pair).
-struct EntryPairKey {
-  uintptr_t a = 0;
-  uintptr_t b = 0;
-  bool operator==(const EntryPairKey& o) const { return a == o.a && b == o.b; }
-};
-struct EntryPairKeyHash {
-  size_t operator()(const EntryPairKey& k) const {
-    const size_t h1 = std::hash<uintptr_t>()(k.a);
-    const size_t h2 = std::hash<uintptr_t>()(k.b);
-    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
-  }
-};
-
-struct PairBoundsValue {
-  double mn = 0.0;
-  double mx = 0.0;
-};
-
-}  // namespace
-
-/// The working memory behind the public ProbeScratch handle. Entry pair
-/// bounds are pure functions of immutable tree entries, so the memos are safe
-/// to keep for as long as their scope allows: cand_bounds spans one
-/// candidate's two probes, pair_bounds spans one whole contribution-list
-/// query. clear() keeps hash-table buckets, which is the point of reuse.
-/// Nodes and entries are keyed by the view's uintptr_t keys (pointers or
-/// frozen indices), so the same scratch serves both tree views — never mix
-/// views within one query, which no searcher does.
-struct ProbeScratch::Impl {
-  std::unordered_set<uintptr_t> self_path;
-  std::unordered_set<uintptr_t> charged;
-  std::unordered_map<uintptr_t, CandPairBounds> cand_bounds;
-  bool self_tb_valid = false;
-  TextBounds self_tb;
-  std::unordered_map<EntryPairKey, PairBoundsValue, EntryPairKeyHash>
-      pair_bounds;
-
-  void ResetForQuery() {
-    self_path.clear();
-    charged.clear();
-    pair_bounds.clear();
-    ResetForCandidate();
-  }
-  void ResetForCandidate() {
-    cand_bounds.clear();
-    self_tb_valid = false;
-  }
-};
-
 ProbeScratch::ProbeScratch() : impl_(std::make_unique<Impl>()) {}
 ProbeScratch::~ProbeScratch() = default;
-
-namespace {
-
-/// Per-query EXPLAIN state: the recorder (reset + stamped here) and the
-/// entry-numbering source — the pointer view uses an ExplainIndex (the
-/// caller's shared one or a private fallback); the frozen view reads ids off
-/// its entry indices. Everything is a no-op when no recorder is attached.
-template <typename View>
-struct ExplainSink {
-  obs::ExplainRecorder* recorder = nullptr;
-  obs::HeatmapRecorder* heatmap = nullptr;
-  const ExplainIndex* index = nullptr;
-  std::unique_ptr<ExplainIndex> local_index;
-
-  ExplainSink(const View& view, const RstknnOptions& options,
-              std::string_view algorithm) {
-    recorder = options.explain;
-    heatmap = options.heatmap;
-    if (recorder == nullptr && heatmap == nullptr) return;
-    if (recorder != nullptr) {
-      recorder->Reset();
-      recorder->SetAlgorithm(algorithm);
-    }
-    // The heatmap is deliberately NOT reset: it accumulates across queries.
-    view.PrepareExplain(options, &index, &local_index);
-  }
-
-  void Record(const View& view, typename View::EntryRef entry, double q_min,
-              double q_max, obs::ExplainVerdict verdict,
-              obs::ExplainBound bound, uint64_t decided_objects) const {
-    if (recorder == nullptr && heatmap == nullptr) return;
-    const ExplainIndex::Info info = view.ExplainInfo(entry, index);
-    if (recorder != nullptr) {
-      recorder->Record({info.id, info.level, verdict, bound, q_min, q_max,
-                        decided_objects});
-    }
-    if (heatmap != nullptr) {
-      heatmap->Record(info.id, info.level, verdict, bound, decided_objects);
-    }
-  }
-};
-
-/// Counts competitor objects of candidate E against `threshold`, stopping at
-/// k. In *guaranteed* mode (prune test, threshold = MaxST(q,E)) an object o'
-/// is counted only when every object of E is certainly more similar to o'
-/// than to q: pair MinST(E, o') > threshold; disjoint subtrees whose MinST
-/// already clears the threshold are counted wholesale. In *potential* mode
-/// (report test, threshold = MinST(q,E)) an object is counted when it COULD
-/// exceed the threshold (pair MaxST > threshold). Traversal is best-first by
-/// pair MaxST, so it terminates as soon as no remaining subtree can matter —
-/// and for an object candidate in guaranteed mode the count is exact, which
-/// forces a decision at leaf level.
-template <typename View>
-size_t CountCompetitors(const View& view, const StScorer& scorer,
-                        const RstknnOptions& options,
-                        const Candidate<View>& cand, ProbeScratch::Impl* mem,
-                        double threshold, size_t k, ObjectId exclude,
-                        bool guaranteed, RstknnStats* stats) {
-  using NodeRef = typename View::NodeRef;
-  const auto& exclude_path = mem->self_path;
-  const auto e = cand.entry;
-  const Rect& e_rect = view.RectOf(e);
-  const SummarySpan e_sum = view.Summary(e);
-  const bool e_is_object = view.IsObject(e);
-  const double alpha = scorer.options().alpha;
-  ++stats->probes;
-  auto charge_once = [&](NodeRef node) {
-    // The branch-and-bound keeps every opened node resident for the whole
-    // query (the contribution lists reference them), so each node costs its
-    // I/O once per query regardless of how many probes revisit it.
-    if (mem->charged.insert(View::NodeKey(node)).second) {
-      view.Charge(node, options, stats);
-    }
-  };
-
-  size_t count = 0;
-  // Self term: the candidate's own other objects compete among themselves.
-  // The pair text bounds are threshold-independent, so the potential probe
-  // reuses what the guaranteed probe computed.
-  uint32_t own = view.Count(e) - (cand.contains_self ? 1 : 0);
-  if (own > 1) {
-    if (!mem->self_tb_valid) {
-      mem->self_tb = ViewPairTextBounds(view, e, e, scorer.text());
-      mem->self_tb_valid = true;
-      ++stats->bound_computations;
-    }
-    const TextBounds& tb = mem->self_tb;
-    const double intra =
-        guaranteed
-            ? alpha * scorer.SpatialSim(MaxDistance(e_rect, e_rect)) +
-                  (1.0 - alpha) * tb.min_sim
-            : alpha * 1.0 + (1.0 - alpha) * tb.max_sim;
-    if (intra > threshold) {
-      count += own - 1;
-      if (count >= k) return k;
-    }
-  }
-
-  // Pair bounds with lazy cluster refinement: the cheap blended-summary
-  // bound decides most entries outright; per-cluster bounds (up to
-  // |clusters|^2 kernel evaluations) are computed only when the blended
-  // bound straddles the threshold and could change the outcome. Results are
-  // memoized per candidate (keyed by the other entry) so the potential probe
-  // reuses the guaranteed probe's kernels; a pair refined once stays refined
-  // — tighter bounds are still valid brackets at the other threshold.
-  auto pair_bounds = [&](typename View::EntryRef other) {
-    auto [it, inserted] = mem->cand_bounds.try_emplace(View::EntryKey(other));
-    CandPairBounds& cb = it->second;
-    const Rect& other_rect = view.RectOf(other);
-    if (inserted) {
-      cb.spatial_min = alpha * scorer.SpatialSim(MaxDistance(e_rect, other_rect));
-      cb.spatial_max = alpha * scorer.SpatialSim(MinDistance(e_rect, other_rect));
-      ++stats->bound_computations;
-      const SummarySpan other_sum = view.Summary(other);
-      cb.mn = cb.spatial_min +
-              (1.0 - alpha) * scorer.text().MinSim(e_sum, other_sum);
-      cb.mx = cb.spatial_max +
-              (1.0 - alpha) * scorer.text().MaxSim(e_sum, other_sum);
-    }
-    if (!cb.refined && view.NumClusters(other) > 0 && cb.mn <= threshold &&
-        cb.mx > threshold) {
-      const TextBounds tb =
-          ViewBoundsVsClusters(view, e_sum, other, scorer.text());
-      ++stats->bound_computations;
-      cb.mn = cb.spatial_min + (1.0 - alpha) * tb.min_sim;
-      cb.mx = cb.spatial_max + (1.0 - alpha) * tb.max_sim;
-      cb.refined = true;
-    }
-    return std::make_pair(cb.mn, cb.mx);
-  };
-
-  auto is_own_subtree = [&](NodeRef node) {
-    return !e_is_object && node == view.Child(e);
-  };
-  auto is_ancestor = [&](NodeRef node) {
-    return std::find(cand.path.begin(), cand.path.end(),
-                     View::NodeKey(node)) != cand.path.end();
-  };
-
-  struct ProbeItem {
-    double max_st;
-    double min_st;
-    NodeRef node;
-    bool contains_exclude;
-    bool operator<(const ProbeItem& other) const {
-      return max_st < other.max_st;
-    }
-  };
-  std::priority_queue<ProbeItem> pq;
-  pq.push({1.0, 0.0, view.Root(), true});
-
-  while (!pq.empty()) {
-    const ProbeItem item = pq.top();
-    pq.pop();
-    ++stats->pq_pops;
-    if (item.max_st <= threshold) break;  // nothing left can matter
-    charge_once(item.node);
-    for (size_t i = 0, n = view.NumEntries(item.node); i < n; ++i) {
-      const auto child = view.EntryAt(item.node, i);
-      if (view.IsObject(child)) {
-        if (view.Id(child) == exclude) continue;
-        if (e_is_object && view.Id(child) == view.Id(e)) continue;
-        const auto [mn, mx] = pair_bounds(child);
-        const double value = guaranteed ? mn : mx;
-        if (value > threshold && ++count >= k) return k;
-        continue;
-      }
-      const NodeRef child_node = view.Child(child);
-      if (is_own_subtree(child_node)) continue;  // covered by the self term
-      const auto [mn, mx] = pair_bounds(child);
-      if (mx <= threshold) continue;  // no object inside can matter
-      const bool overlaps_cand = is_ancestor(child_node);
-      const bool overlaps_excl =
-          exclude_path.count(View::NodeKey(child_node)) > 0;
-      if (mn > threshold && !overlaps_cand) {
-        // Every object in this disjoint subtree clears the threshold.
-        count += view.Count(child) - (overlaps_excl ? 1 : 0);
-        if (count >= k) return k;
-        continue;
-      }
-      pq.push({mx, mn, child_node, overlaps_excl});
-    }
-  }
-  return count;
-}
-
-template <typename View>
-RstknnResult SearchProbe(const View& view, const Dataset& dataset,
-                         const StScorer& scorer, const RstknnQuery& query,
-                         const RstknnOptions& options) {
-  using NodeRef = typename View::NodeRef;
-  using EntryRef = typename View::EntryRef;
-  RstknnResult result;
-  if (view.TreeSize() == 0 || query.k == 0) return result;
-  obs::QueryTrace* trace = options.trace;
-  obs::PhaseProfiler* profiler = options.profiler;
-  if (trace != nullptr) trace->Enter(obs::names::kSpanSetup);
-  if (profiler != nullptr) profiler->Enter(obs::Phase::kDescent);
-  const ExplainSink<View> explain(view, options, "probe");
-  const double alpha = scorer.options().alpha;
-  const TextSummary qsum = TextSummary::FromDoc(*query.doc);
-  const SummarySpan qspan = AsSpan(qsum);
-
-  // Working memory: reuse the caller's scratch (clearing keeps hash-table
-  // buckets warm across a batch) or allocate a query-local one.
-  std::unique_ptr<ProbeScratch> local_scratch;
-  if (options.scratch == nullptr) {
-    local_scratch = std::make_unique<ProbeScratch>();
-  }
-  ProbeScratch::Impl* mem =
-      (options.scratch != nullptr ? options.scratch : local_scratch.get())
-          ->impl();
-  mem->ResetForQuery();
-  std::unordered_set<uintptr_t>& self_path = mem->self_path;
-  if (query.self != IurTree::kNoObject) {
-    CollectPath(view, view.Root(), query.self, &self_path);
-  }
-  std::unordered_set<uintptr_t>& charged = mem->charged;  // nodes paid for
-
-  // Candidates live in a deque-like pool; the work queue orders them by a
-  // static priority (upper-bound similarity to q, optionally biased by
-  // cluster entropy under the TE policy).
-  std::vector<std::unique_ptr<Candidate<View>>> pool;
-  struct QueueItem {
-    double priority;
-    Candidate<View>* cand;
-    bool operator<(const QueueItem& other) const {
-      return priority < other.priority;
-    }
-  };
-  std::priority_queue<QueueItem> work;
-
-  auto add_candidate = [&](EntryRef e, std::vector<uintptr_t> path) {
-    if (view.IsObject(e) && view.Id(e) == query.self) return;  // never a
-                                                               // candidate
-    auto cand = std::make_unique<Candidate<View>>();
-    cand->entry = e;
-    cand->path = std::move(path);
-    if (view.IsObject(e)) {
-      const StObject& obj = dataset.object(view.Id(e));
-      cand->q_min = cand->q_max =
-          scorer.Score(obj.loc, obj.doc, query.loc, *query.doc);
-    } else {
-      cand->contains_self =
-          self_path.count(View::NodeKey(view.Child(e))) > 0;
-      const TextBounds tb = ViewEntryTextBounds(view, e, qspan, scorer.text());
-      const Rect& rect = view.RectOf(e);
-      cand->q_min = alpha * scorer.SpatialSim(MaxDistance(query.loc, rect)) +
-                    (1.0 - alpha) * tb.min_sim;
-      cand->q_max = alpha * scorer.SpatialSim(MinDistance(query.loc, rect)) +
-                    (1.0 - alpha) * tb.max_sim;
-    }
-    cand->priority = cand->q_max;
-    if (options.expand == ExpandPolicy::kTextEntropy) {
-      cand->priority += options.entropy_weight * ViewClusterEntropy(view, e);
-    }
-    ++result.stats.entries_created;
-    work.push({cand->priority, cand.get()});
-    pool.push_back(std::move(cand));
-  };
-
-  const NodeRef root = view.Root();
-  charged.insert(View::NodeKey(root));
-  view.Charge(root, options, &result.stats);
-  for (size_t i = 0, n = view.NumEntries(root); i < n; ++i) {
-    add_candidate(view.EntryAt(root, i), {View::NodeKey(root)});
-  }
-  if (profiler != nullptr) profiler->Exit();  // descent (setup)
-  if (trace != nullptr) trace->Exit();  // setup
-
-  while (!work.empty()) {
-    Candidate<View>* cand = work.top().cand;
-    work.pop();
-    ++result.stats.pq_pops;
-    const bool object = view.IsObject(cand->entry);
-    const uint32_t cand_count = view.Count(cand->entry);
-
-    // Prune test: at least k competitors are guaranteed to beat q for every
-    // object of the candidate (MaxST(q,E) < kNNL(E)).
-    mem->ResetForCandidate();
-    size_t guaranteed;
-    {
-      obs::TraceSpan span(trace, obs::names::kSpanProbeGuaranteed);
-      obs::PhaseTimer bounds_phase(profiler, obs::Phase::kBounds);
-      const uint64_t bounds_before = result.stats.bound_computations;
-      const uint64_t pops_before = result.stats.pq_pops;
-      guaranteed = CountCompetitors(view, scorer, options, *cand, mem,
-                                    cand->q_max, query.k, query.self,
-                                    /*guaranteed=*/true, &result.stats);
-      span.AddCount(obs::names::kCountBoundComputations,
-                    result.stats.bound_computations - bounds_before);
-      span.AddCount(obs::names::kCountPqPops, result.stats.pq_pops - pops_before);
-    }
-    if (guaranteed >= query.k) {
-      ++result.stats.pruned_entries;
-      explain.Record(view, cand->entry, cand->q_min, cand->q_max,
-                     object ? obs::ExplainVerdict::kReportMiss
-                            : obs::ExplainVerdict::kPrune,
-                     object ? obs::ExplainBound::kExact
-                            : obs::ExplainBound::kLowerBound,
-                     cand_count - (cand->contains_self ? 1 : 0));
-      continue;
-    }
-    // For an object candidate the guaranteed probe descends every straddling
-    // subtree to exact object-object scores, so its count is exact: fewer
-    // than k competitors beat q ⇒ the object is an answer. No second probe.
-    if (object) {
-      ++result.stats.reported_entries;
-      explain.Record(view, cand->entry, cand->q_min, cand->q_max,
-                     obs::ExplainVerdict::kReportHit, obs::ExplainBound::kExact,
-                     1);
-      result.answers.push_back(view.Id(cand->entry));
-      continue;
-    }
-    // Report test: fewer than k competitors can possibly beat q for any
-    // object of the candidate (MinST(q,E) >= kNNU(E)).
-    size_t potential;
-    {
-      obs::TraceSpan span(trace, obs::names::kSpanProbePotential);
-      obs::PhaseTimer bounds_phase(profiler, obs::Phase::kBounds);
-      const uint64_t bounds_before = result.stats.bound_computations;
-      const uint64_t pops_before = result.stats.pq_pops;
-      potential = CountCompetitors(view, scorer, options, *cand, mem,
-                                   cand->q_min, query.k, query.self,
-                                   /*guaranteed=*/false, &result.stats);
-      span.AddCount(obs::names::kCountBoundComputations,
-                    result.stats.bound_computations - bounds_before);
-      span.AddCount(obs::names::kCountPqPops, result.stats.pq_pops - pops_before);
-    }
-    if (potential < query.k) {
-      ++result.stats.reported_entries;
-      explain.Record(view, cand->entry, cand->q_min, cand->q_max,
-                     obs::ExplainVerdict::kReportHit,
-                     obs::ExplainBound::kUpperBound,
-                     cand_count - (cand->contains_self ? 1 : 0));
-      CollectObjectIds(view, cand->entry, query.self, &result.answers);
-      continue;
-    }
-    // Undecided: objects are always decided by the exact guaranteed count
-    // (bounds are tight at leaf level), so only nodes reach this point.
-    RST_DCHECK(!object);
-    obs::TraceSpan expand_span(trace, obs::names::kSpanExpand);
-    obs::PhaseTimer descent_phase(profiler, obs::Phase::kDescent);
-    const NodeRef child_node = view.Child(cand->entry);
-    if (charged.insert(View::NodeKey(child_node)).second) {
-      view.Charge(child_node, options, &result.stats);
-    }
-    ++result.stats.expansions;
-    explain.Record(view, cand->entry, cand->q_min, cand->q_max,
-                   obs::ExplainVerdict::kExpand, obs::ExplainBound::kNone, 0);
-    std::vector<uintptr_t> child_path = cand->path;
-    child_path.push_back(View::NodeKey(child_node));
-    const size_t num_children = view.NumEntries(child_node);
-    for (size_t i = 0; i < num_children; ++i) {
-      add_candidate(view.EntryAt(child_node, i), child_path);
-    }
-    expand_span.AddCount(obs::names::kCountEntries, num_children);
-  }
-
-  {
-    obs::PhaseTimer finalize_phase(profiler, obs::Phase::kFinalize);
-    std::sort(result.answers.begin(), result.answers.end());
-  }
-  return result;
-}
-
-/// Accumulated (min_st, max_st, count) contributions; the k-th guaranteed /
-/// potential similarity is read off the sorted list (2011 paper, §5).
-struct Contribution {
-  double min_st;
-  double max_st;
-  uint32_t count;
-};
-
-double KthSorted(std::vector<Contribution>* contributions, size_t k,
-                 bool lower) {
-  std::sort(contributions->begin(), contributions->end(),
-            [lower](const Contribution& a, const Contribution& b) {
-              return lower ? a.min_st > b.min_st : a.max_st > b.max_st;
-            });
-  uint64_t cum = 0;
-  for (const Contribution& c : *contributions) {
-    cum += c.count;
-    if (cum >= k) return lower ? c.min_st : c.max_st;
-  }
-  return -1.0;
-}
-
-template <typename View>
-RstknnResult SearchContributionList(const View& view, const Dataset& dataset,
-                                    const StScorer& scorer,
-                                    const RstknnQuery& query,
-                                    const RstknnOptions& options) {
-  using NodeRef = typename View::NodeRef;
-  using EntryRef = typename View::EntryRef;
-  RstknnResult result;
-  if (view.TreeSize() == 0 || query.k == 0) return result;
-  const ExplainSink<View> explain(view, options, "contribution_list");
-  const double alpha = scorer.options().alpha;
-  const TextSummary qsum = TextSummary::FromDoc(*query.doc);
-  const SummarySpan qspan = AsSpan(qsum);
-
-  std::unique_ptr<ProbeScratch> local_scratch;
-  if (options.scratch == nullptr) {
-    local_scratch = std::make_unique<ProbeScratch>();
-  }
-  ProbeScratch::Impl* mem =
-      (options.scratch != nullptr ? options.scratch : local_scratch.get())
-          ->impl();
-  mem->ResetForQuery();
-  std::unordered_set<uintptr_t>& self_path = mem->self_path;
-  if (query.self != IurTree::kNoObject) {
-    CollectPath(view, view.Root(), query.self, &self_path);
-  }
-  std::unordered_set<uintptr_t>& charged = mem->charged;
-
-  enum class State { kUndecided, kPruned, kReported };
-  struct FlatEntry {
-    EntryRef entry{};
-    State state = State::kUndecided;
-    bool alive = true;           // not yet replaced by its children
-    bool contains_self = false;  // subtree holds the query object
-    double q_min = 0.0;
-    double q_max = 0.0;
-  };
-  std::vector<FlatEntry> entries;
-
-  auto add_entry = [&](EntryRef e, State inherited) {
-    FlatEntry fe;
-    fe.entry = e;
-    fe.state = inherited;
-    if (view.IsObject(e)) {
-      fe.contains_self = (view.Id(e) == query.self);
-      if (fe.contains_self) {
-        fe.state = State::kPruned;  // never a candidate nor a contributor
-      } else {
-        const StObject& obj = dataset.object(view.Id(e));
-        fe.q_min = fe.q_max =
-            scorer.Score(obj.loc, obj.doc, query.loc, *query.doc);
-      }
-    } else {
-      fe.contains_self = self_path.count(View::NodeKey(view.Child(e))) > 0;
-      const TextBounds tb = ViewEntryTextBounds(view, e, qspan, scorer.text());
-      const Rect& rect = view.RectOf(e);
-      fe.q_min = alpha * scorer.SpatialSim(MaxDistance(query.loc, rect)) +
-                 (1.0 - alpha) * tb.min_sim;
-      fe.q_max = alpha * scorer.SpatialSim(MinDistance(query.loc, rect)) +
-                 (1.0 - alpha) * tb.max_sim;
-    }
-    ++result.stats.entries_created;
-    entries.push_back(fe);
-  };
-
-  auto expand = [&](size_t idx) {
-    obs::TraceSpan span(options.trace, obs::names::kSpanExpand);
-    obs::PhaseTimer descent_phase(options.profiler, obs::Phase::kDescent);
-    FlatEntry& fe = entries[idx];
-    const State inherited = fe.state;
-    const NodeRef child_node = view.Child(fe.entry);
-    if (charged.insert(View::NodeKey(child_node)).second) {
-      view.Charge(child_node, options, &result.stats);
-    }
-    fe.alive = false;
-    ++result.stats.expansions;
-    explain.Record(view, fe.entry, fe.q_min, fe.q_max,
-                   obs::ExplainVerdict::kExpand, obs::ExplainBound::kNone, 0);
-    const size_t num_children = view.NumEntries(child_node);
-    for (size_t i = 0; i < num_children; ++i) {
-      add_entry(view.EntryAt(child_node, i), inherited);
-    }
-    span.AddCount(obs::names::kCountEntries, num_children);
-  };
-
-  // Pair bounds are pure functions of the two (immutable) entries, and each
-  // pick recomputes its list against every live entry — memoizing across
-  // picks turns the per-round cost from |live|² kernel evaluations into
-  // lookups for every pair already seen.
-  auto pair_bounds = [&](const FlatEntry& a, const FlatEntry& b) {
-    auto [it, inserted] = mem->pair_bounds.try_emplace(
-        EntryPairKey{View::EntryKey(a.entry), View::EntryKey(b.entry)});
-    if (inserted) {
-      const TextBounds tb =
-          ViewPairTextBounds(view, a.entry, b.entry, scorer.text());
-      ++result.stats.bound_computations;
-      const Rect& ra = view.RectOf(a.entry);
-      const Rect& rb = view.RectOf(b.entry);
-      it->second.mn = alpha * scorer.SpatialSim(MaxDistance(ra, rb)) +
-                      (1.0 - alpha) * tb.min_sim;
-      it->second.mx = alpha * scorer.SpatialSim(MinDistance(ra, rb)) +
-                      (1.0 - alpha) * tb.max_sim;
-    }
-    return std::make_pair(it->second.mn, it->second.mx);
-  };
-
-  const NodeRef root = view.Root();
-  charged.insert(View::NodeKey(root));
-  view.Charge(root, options, &result.stats);
-  for (size_t i = 0, n = view.NumEntries(root); i < n; ++i) {
-    add_entry(view.EntryAt(root, i), State::kUndecided);
-  }
-
-  auto capacity = [&](const FlatEntry& fe) -> uint32_t {
-    const uint32_t n = view.Count(fe.entry);
-    return fe.contains_self && n > 0 ? n - 1 : n;
-  };
-
-  while (true) {
-    // Highest-priority undecided candidate.
-    size_t pick = SIZE_MAX;
-    double best_priority = -1.0;
-    {
-      obs::TraceSpan span(options.trace, obs::names::kSpanPick);
-      obs::PhaseTimer descent_phase(options.profiler, obs::Phase::kDescent);
-      for (size_t i = 0; i < entries.size(); ++i) {
-        const FlatEntry& fe = entries[i];
-        if (!fe.alive || fe.state != State::kUndecided) continue;
-        double priority = fe.q_max;
-        if (options.expand == ExpandPolicy::kTextEntropy) {
-          priority +=
-              options.entropy_weight * ViewClusterEntropy(view, fe.entry);
-        }
-        if (pick == SIZE_MAX || priority > best_priority) {
-          pick = i;
-          best_priority = priority;
-        }
-      }
-    }
-    if (pick == SIZE_MAX) break;
-
-    // Contribution list over all live entries.
-    std::vector<Contribution> contributions;
-    contributions.reserve(entries.size());
-    size_t best_blocker = SIZE_MAX;
-    double best_blocker_score = -1.0;
-    obs::QueryTrace* trace = options.trace;
-    if (trace != nullptr) trace->Enter(obs::names::kSpanContributions);
-    if (options.profiler != nullptr) {
-      options.profiler->Enter(obs::Phase::kMerge);
-    }
-    const uint64_t bounds_before = result.stats.bound_computations;
-    {
-      const FlatEntry& cand = entries[pick];
-      for (size_t j = 0; j < entries.size(); ++j) {
-        if (j == pick || !entries[j].alive) continue;
-        const uint32_t cap = capacity(entries[j]);
-        if (cap == 0) continue;
-        const auto [mn, mx] = pair_bounds(cand, entries[j]);
-        contributions.push_back({mn, mx, cap});
-        if (!view.IsObject(entries[j].entry) && mx > best_blocker_score) {
-          best_blocker_score = mx;
-          best_blocker = j;
-        }
-      }
-      const uint32_t self_cap = capacity(cand);
-      if (self_cap > 1) {
-        // Self pair: MinDistance(rect, rect) = 0, so mx already carries the
-        // maximal spatial term; mn uses the rect diameter.
-        const auto [mn, mx] = pair_bounds(cand, cand);
-        contributions.push_back({mn, mx, self_cap - 1});
-      }
-    }
-    std::vector<Contribution> scratch = contributions;
-    const double knn_lower = KthSorted(&scratch, query.k, /*lower=*/true);
-    scratch = contributions;
-    const double knn_upper = KthSorted(&scratch, query.k, /*lower=*/false);
-    if (options.profiler != nullptr) options.profiler->Exit();  // merge
-    if (trace != nullptr) {
-      trace->AddCount(obs::names::kCountBoundComputations,
-                      result.stats.bound_computations - bounds_before);
-      trace->Exit();  // contributions
-    }
-
-    FlatEntry& cand = entries[pick];
-    if (cand.q_max < knn_lower) {
-      cand.state = State::kPruned;
-      ++result.stats.pruned_entries;
-      explain.Record(view, cand.entry, cand.q_min, cand.q_max,
-                     view.IsObject(cand.entry)
-                         ? obs::ExplainVerdict::kReportMiss
-                         : obs::ExplainVerdict::kPrune,
-                     obs::ExplainBound::kLowerBound, capacity(cand));
-      continue;
-    }
-    if (cand.q_min >= knn_upper) {
-      cand.state = State::kReported;
-      ++result.stats.reported_entries;
-      explain.Record(view, cand.entry, cand.q_min, cand.q_max,
-                     obs::ExplainVerdict::kReportHit,
-                     obs::ExplainBound::kUpperBound, capacity(cand));
-      CollectObjectIds(view, cand.entry, query.self, &result.answers);
-      continue;
-    }
-    if (!view.IsObject(cand.entry)) {
-      expand(pick);
-    } else {
-      // Exact candidate blocked by a coarse contributor: refine the most
-      // entangled live node. One exists, else bounds were exact and a
-      // decision would have been forced.
-      RST_DCHECK_NE(best_blocker, SIZE_MAX);
-      expand(best_blocker);
-    }
-  }
-
-  {
-    obs::PhaseTimer finalize_phase(options.profiler, obs::Phase::kFinalize);
-    std::sort(result.answers.begin(), result.answers.end());
-  }
-  return result;
-}
-
-}  // namespace
 
 void RstknnStats::Publish(const std::string& prefix) const {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
@@ -985,6 +42,11 @@ RstknnStats& RstknnStats::Merge(const RstknnStats& other) {
 
 RstknnResult RstknnSearcher::Search(const RstknnQuery& query,
                                     const RstknnOptions& options) const {
+  using rstknn_internal::FrozenTreeView;
+  using rstknn_internal::PointerTreeView;
+  using rstknn_internal::SearchContributionList;
+  using rstknn_internal::SearchProbe;
+
   // Handles are cached so the per-query registry cost is two atomic adds
   // and one histogram record.
   struct QueryMetrics {

@@ -1,0 +1,243 @@
+#include "rst/shard/sharded_index.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "rst/common/check.h"
+#include "rst/common/file_util.h"
+#include "rst/exec/thread_pool.h"
+
+namespace rst {
+namespace shard {
+
+namespace {
+
+constexpr char kManifestMagic[] = "rst-shards";
+constexpr uint32_t kManifestVersion = 1;
+
+std::string ShardPath(const std::string& dir, size_t s) {
+  return dir + "/shard_" + std::to_string(s) + ".frz";
+}
+
+/// Copies a frozen summary slice back into an owning TextSummary. FromSorted
+/// rebuilds the cached norms in slice order, matching the frozen layout's
+/// own norm recomputation bit-for-bit.
+TextSummary OwnSummary(const SummarySpan& span) {
+  TextSummary out;
+  out.uni = TermVector::FromSorted(
+      std::vector<TermWeight>(span.uni.data, span.uni.data + span.uni.len));
+  out.intr = TermVector::FromSorted(
+      std::vector<TermWeight>(span.intr.data, span.intr.data + span.intr.len));
+  out.count = span.count;
+  return out;
+}
+
+}  // namespace
+
+ShardedIndex ShardedIndex::Build(const Dataset& dataset,
+                                 const ShardOptions& options,
+                                 const std::vector<uint32_t>* cluster_of,
+                                 exec::ThreadPool* pool) {
+  ShardedIndex index;
+  const size_t n = dataset.size();
+  if (n == 0) return index;
+  const size_t num_shards =
+      std::min(std::max<size_t>(options.num_shards, 1), n);
+
+  // Shard-level STR tiling: balanced x-slabs, then balanced y-runs within
+  // each slab, so tiles stay squarish — a slab-only cut would produce
+  // world-height shards whose MBRs the scatter-gather bound can never prune.
+  // Ties break on object id, so the partition is a pure function of the
+  // dataset and the whole forest is deterministic.
+  std::vector<ObjectId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<ObjectId>(i);
+  std::sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    const Point& pa = dataset.object(a).loc;
+    const Point& pb = dataset.object(b).loc;
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return a < b;
+  });
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_shards))));
+  std::vector<std::vector<ObjectId>> shard_members(num_shards);
+  size_t shard_index = 0;
+  size_t runs_done = 0;
+  for (size_t slab = 0; slab < num_slabs; ++slab) {
+    // Slab `slab` carries `runs` of the K shards; its object share is
+    // proportional, with floor boundaries guaranteeing every run (and hence
+    // every shard) at least one object when K <= N.
+    const size_t runs = num_shards / num_slabs +
+                        (slab < num_shards % num_slabs ? 1 : 0);
+    if (runs == 0) continue;
+    const size_t lo = n * runs_done / num_shards;
+    const size_t hi = n * (runs_done + runs) / num_shards;
+    runs_done += runs;
+    std::sort(order.begin() + lo, order.begin() + hi,
+              [&](ObjectId a, ObjectId b) {
+                const Point& pa = dataset.object(a).loc;
+                const Point& pb = dataset.object(b).loc;
+                if (pa.y != pb.y) return pa.y < pb.y;
+                if (pa.x != pb.x) return pa.x < pb.x;
+                return a < b;
+              });
+    const size_t slab_n = hi - lo;
+    for (size_t run = 0; run < runs; ++run) {
+      const size_t rlo = lo + slab_n * run / runs;
+      const size_t rhi = lo + slab_n * (run + 1) / runs;
+      auto& members = shard_members[shard_index++];
+      members.assign(order.begin() + rlo, order.begin() + rhi);
+      std::sort(members.begin(), members.end());
+    }
+  }
+  RST_CHECK_EQ(shard_index, num_shards);
+
+  index.shards_.resize(num_shards);
+  auto build_shard = [&](size_t s) {
+    std::vector<IurTree::Item> items;
+    items.reserve(shard_members[s].size());
+    for (const ObjectId id : shard_members[s]) {
+      const StObject& obj = dataset.object(id);
+      items.push_back(IurTree::Item{id, obj.loc, &obj.doc});
+    }
+    // cluster_of maps *global* object ids, so it passes straight through.
+    const IurTree tree = IurTree::Build(std::move(items), options.tree,
+                                        cluster_of);
+    index.shards_[s] = frozen::FrozenTree::Freeze(tree);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_shards > 1) {
+    pool->ParallelFor(num_shards, 1, [&](size_t s, size_t) { build_shard(s); });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) build_shard(s);
+  }
+  index.RecomputeDerived();
+  return index;
+}
+
+void ShardedIndex::RecomputeDerived() {
+  const size_t num_shards = shards_.size();
+  mbrs_.assign(num_shards, Rect{});
+  summaries_.assign(num_shards, TextSummary{});
+  size_ = 0;
+  ObjectId max_id = 0;
+  bool any = false;
+  for (const frozen::FrozenTree& tree : shards_) {
+    size_ += tree.size();
+    for (uint32_t e = 0, ne = tree.num_entries(); e < ne; ++e) {
+      if (tree.IsObject(e)) {
+        max_id = std::max(max_id, tree.ObjectIdOf(e));
+        any = true;
+      }
+    }
+  }
+  shard_of_.assign(any ? max_id + 1 : 0, 0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const frozen::FrozenTree& tree = shards_[s];
+    if (tree.size() == 0) continue;
+    for (uint32_t e = 0, ne = tree.num_entries(); e < ne; ++e) {
+      if (tree.IsObject(e)) shard_of_[tree.ObjectIdOf(e)] = s;
+    }
+    // The shard MBR and text summary fold over the ROOT entries only: entry
+    // rects/summaries are exact subtree aggregates, so the fold equals the
+    // fold over every document at O(fanout) cost instead of O(objects).
+    Rect mbr;
+    TextSummary summary;
+    const uint32_t root = tree.root();
+    for (uint32_t i = 0; i < tree.EntryCount(root); ++i) {
+      const uint32_t e = tree.EntryBegin(root) + i;
+      mbr.Extend(tree.EntryRect(e));
+      summary = TextSummary::Merge(summary, OwnSummary(tree.Summary(e)));
+    }
+    mbrs_[s] = mbr;
+    summaries_[s] = summary;
+  }
+}
+
+Status ShardedIndex::SaveDir(const std::string& dir) const {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir failed for " + dir);
+  }
+  std::ostringstream manifest;
+  manifest << kManifestMagic << "\n"
+           << "version " << kManifestVersion << "\n"
+           << "shards " << shards_.size() << "\n"
+           << "objects " << size_ << "\n";
+  Status status = WriteStringToFileAtomic(dir + "/MANIFEST", manifest.str());
+  if (!status.ok()) return status;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    status = shards_[s].Save(ShardPath(dir, s));
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Result<ShardedIndex> ShardedIndex::LoadDir(const std::string& dir) {
+  Result<std::string> manifest = ReadFileToString(dir + "/MANIFEST");
+  if (!manifest.ok()) return manifest.status();
+  std::istringstream in(manifest.value());
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kManifestMagic) {
+    return Status::InvalidArgument("bad shard manifest magic in " + dir);
+  }
+  std::string key;
+  uint64_t version = 0, num_shards = 0, objects = 0;
+  if (!(in >> key >> version) || key != "version" ||
+      version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported shard manifest version");
+  }
+  if (!(in >> key >> num_shards) || key != "shards") {
+    return Status::InvalidArgument("shard manifest missing shard count");
+  }
+  if (!(in >> key >> objects) || key != "objects") {
+    return Status::InvalidArgument("shard manifest missing object count");
+  }
+  ShardedIndex index;
+  index.shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    Result<frozen::FrozenTree> tree = frozen::FrozenTree::Load(ShardPath(dir, s));
+    if (!tree.ok()) return tree.status();
+    index.shards_.push_back(std::move(tree).value());
+  }
+  index.RecomputeDerived();
+  if (index.size_ != objects) {
+    return Status::InvalidArgument(
+        "shard manifest object count does not match loaded shards");
+  }
+  return index;
+}
+
+Status ShardedIndex::CheckInvariants() const {
+  uint64_t total = 0;
+  std::vector<uint8_t> seen(shard_of_.size(), 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Status status = shards_[s].CheckInvariants();
+    if (!status.ok()) return status;
+    total += shards_[s].size();
+    const frozen::FrozenTree& tree = shards_[s];
+    for (uint32_t e = 0, ne = tree.num_entries(); e < ne; ++e) {
+      if (!tree.IsObject(e)) continue;
+      const ObjectId id = tree.ObjectIdOf(e);
+      if (id >= seen.size() || seen[id]++) {
+        return Status::Internal("object " + std::to_string(id) +
+                                " indexed by more than one shard");
+      }
+      if (shard_of_[id] != s) {
+        return Status::Internal("shard_of mismatch for object " +
+                                std::to_string(id));
+      }
+    }
+  }
+  if (total != size_) {
+    return Status::Internal("shard sizes do not sum to the indexed total");
+  }
+  return Status::Ok();
+}
+
+}  // namespace shard
+}  // namespace rst

@@ -1,0 +1,91 @@
+#ifndef RST_SHARD_SHARDED_INDEX_H_
+#define RST_SHARD_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rst/common/geometry.h"
+#include "rst/common/status.h"
+#include "rst/data/dataset.h"
+#include "rst/frozen/frozen.h"
+#include "rst/iurtree/iurtree.h"
+#include "rst/text/similarity.h"
+
+namespace rst {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
+namespace shard {
+
+struct ShardOptions {
+  /// Number of spatial shards (clamped to [1, |dataset|]; an empty dataset
+  /// yields zero shards).
+  size_t num_shards = 1;
+  /// Per-shard tree build options (fanout, payload storage, ...).
+  IurTreeOptions tree;
+};
+
+/// A spatially partitioned forest of frozen IUR-/CIUR-trees (DESIGN.md §15):
+/// the dataset is tiled into `num_shards` squarish STR tiles (the same
+/// sort-tile-recursive discipline the bulk load uses inside one tree, lifted
+/// to the shard level), one FrozenTree is bulk-built per tile, and each shard
+/// carries the two facts the scatter-gather search prunes with — the shard
+/// MBR and the union/intersection TextSummary folded from the shard tree's
+/// root entries (an exact summary of the shard's documents, at root-entry
+/// granularity cost instead of an O(objects) fold).
+///
+/// The partition is a pure function of object ids and coordinates, so the
+/// forest is deterministic at any build thread count, and every object lands
+/// in exactly one shard (CheckInvariants verifies it).
+class ShardedIndex {
+ public:
+  ShardedIndex() = default;
+  ShardedIndex(ShardedIndex&&) noexcept = default;
+  ShardedIndex& operator=(ShardedIndex&&) noexcept = default;
+
+  /// Partitions `dataset` and builds one frozen tree per shard. `cluster_of`
+  /// (optional) maps object ids to cluster ids exactly as in IurTree::Build —
+  /// the shards then form a CIUR forest. `pool` (optional) builds shards in
+  /// parallel; the result is identical at any thread count.
+  static ShardedIndex Build(const Dataset& dataset, const ShardOptions& options,
+                            const std::vector<uint32_t>* cluster_of = nullptr,
+                            exec::ThreadPool* pool = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t size() const { return size_; }  ///< total indexed objects
+  const frozen::FrozenTree& shard(size_t s) const { return shards_[s]; }
+  const Rect& shard_mbr(size_t s) const { return mbrs_[s]; }
+  const TextSummary& shard_summary(size_t s) const { return summaries_[s]; }
+  /// Shard index holding object `id`.
+  uint32_t shard_of(ObjectId id) const { return shard_of_[id]; }
+
+  /// Persists the forest as a snapshot directory: a line-based MANIFEST plus
+  /// one shard_<i>.frz per shard (FrozenTree::Save). Creates `dir` if needed.
+  Status SaveDir(const std::string& dir) const;
+  /// Loads a snapshot directory. Shard MBRs, summaries, and the object→shard
+  /// map are recomputed deterministically from the loaded trees.
+  static Result<ShardedIndex> LoadDir(const std::string& dir);
+
+  /// Deep validation: per-shard frozen invariants, every object in exactly
+  /// one shard, shard object counts summing to size().
+  Status CheckInvariants() const;
+
+ private:
+  /// Recomputes mbrs_/summaries_/shard_of_/size_ from shards_ (used by both
+  /// Build and LoadDir so the two paths cannot drift).
+  void RecomputeDerived();
+
+  std::vector<frozen::FrozenTree> shards_;
+  std::vector<Rect> mbrs_;
+  std::vector<TextSummary> summaries_;
+  std::vector<uint32_t> shard_of_;  ///< object id -> shard index
+  uint64_t size_ = 0;
+};
+
+}  // namespace shard
+}  // namespace rst
+
+#endif  // RST_SHARD_SHARDED_INDEX_H_

@@ -6,8 +6,8 @@
 // summed RstknnStats.
 //
 //   rst_replay --journal FILE [--data FILE] [--view pointer|frozen|journal]
-//              [--algo probe|cl|journal] [--threads N] [--report FILE]
-//              [--heatmap-out FILE] [--max-diffs N]
+//              [--algo probe|cl|journal] [--shards K|journal] [--threads N]
+//              [--report FILE] [--heatmap-out FILE] [--max-diffs N]
 //
 //   --journal FILE   the JSONL capture to replay (required)
 //   --data FILE      dataset TSV (default: the journal header's data path)
@@ -16,6 +16,12 @@
 //                    and therefore digests — are independent of algo/view by
 //                    the equality contract; stats are only compared when the
 //                    replay algorithm matches the capture
+//   --shards         replay against a K-shard ShardedIndex (default: journal
+//                    = the capture's shard count; 0 = single index). Digests
+//                    must still match — the answer set is independent of the
+//                    partitioning; stats are only compared when the replay
+//                    shard count matches the capture's. --view is ignored
+//                    when sharded (shards are frozen trees)
 //   --threads N      replay through exec::BatchRunner with N workers
 //                    (default 1 = serial RstknnSearcher loop); digests are
 //                    identical at any thread count
@@ -46,6 +52,7 @@
 #include "rst/common/stopwatch.h"
 #include "rst/data/csv.h"
 #include "rst/exec/batch_runner.h"
+#include "rst/exec/sharded_runner.h"
 #include "rst/exec/thread_pool.h"
 #include "rst/frozen/frozen.h"
 #include "rst/obs/explain.h"
@@ -53,6 +60,8 @@
 #include "rst/obs/journal.h"
 #include "rst/obs/json.h"
 #include "rst/rstknn/rstknn.h"
+#include "rst/shard/sharded_index.h"
+#include "rst/shard/sharded_search.h"
 
 namespace rst {
 namespace {
@@ -62,6 +71,7 @@ struct ReplayFlags {
   std::string data;
   std::string view = "journal";
   std::string algo = "journal";
+  std::string shards = "journal";
   size_t threads = 1;
   std::string report;
   std::string heatmap_out;
@@ -72,7 +82,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: rst_replay --journal FILE [--data FILE]\n"
                "                  [--view pointer|frozen|journal]\n"
-               "                  [--algo probe|cl|journal] [--threads N]\n"
+               "                  [--algo probe|cl|journal]\n"
+               "                  [--shards K|journal] [--threads N]\n"
                "                  [--report FILE] [--heatmap-out FILE]\n"
                "                  [--max-diffs N]\n"
                "(see the header of tools/rst_replay.cc)\n");
@@ -98,6 +109,8 @@ bool ParseFlags(int argc, char** argv, ReplayFlags* flags) {
       flags->view = value;
     } else if (name == "--algo") {
       flags->algo = value;
+    } else if (name == "--shards") {
+      flags->shards = value;
     } else if (name == "--threads") {
       flags->threads = static_cast<size_t>(
           std::max(1L, std::strtol(value.c_str(), nullptr, 10)));
@@ -221,18 +234,39 @@ int Main(int argc, char** argv) {
           : (flags.algo == "cl" || flags.algo == "contribution-list"
                  ? "contribution_list"
                  : "probe");
-  const bool use_frozen = view == "frozen";
+  const uint64_t shards =
+      flags.shards == "journal"
+          ? journal.header.shards
+          : static_cast<uint64_t>(
+                std::max(0L, std::strtol(flags.shards.c_str(), nullptr, 10)));
+  const bool use_sharded = shards > 0;
+  if (use_sharded && flags.view != "journal") {
+    std::fprintf(stderr,
+                 "note: --view is ignored with a sharded replay (shards are "
+                 "frozen trees)\n");
+  }
+  const bool use_frozen = view == "frozen" && !use_sharded;
   const RstknnAlgorithm algo = algo_name == "contribution_list"
                                    ? RstknnAlgorithm::kContributionList
                                    : RstknnAlgorithm::kProbe;
-  // Stats depend on the algorithm and tree shape (not the view or thread
-  // count); digests depend on neither.
-  const bool stats_comparable =
-      algo_name == journal.header.algo && journal.header.tree == "iur";
+  // Stats depend on the algorithm and the index shape — tree kind and shard
+  // partitioning, but not the view or thread count; digests depend on none
+  // of these.
+  const bool stats_comparable = algo_name == journal.header.algo &&
+                                journal.header.tree == "iur" &&
+                                shards == journal.header.shards;
 
-  const IurTree tree = IurTree::BuildFromDataset(dataset, {});
+  std::optional<IurTree> tree;
   std::optional<frozen::FrozenTree> frozen;
-  if (use_frozen) frozen.emplace(frozen::FrozenTree::Freeze(tree));
+  std::optional<shard::ShardedIndex> sharded;
+  if (use_sharded) {
+    shard::ShardOptions shard_options;
+    shard_options.num_shards = static_cast<size_t>(shards);
+    sharded.emplace(shard::ShardedIndex::Build(dataset, shard_options));
+  } else {
+    tree.emplace(IurTree::BuildFromDataset(dataset, {}));
+    if (use_frozen) frozen.emplace(frozen::FrozenTree::Freeze(*tree));
+  }
 
   TextSimilarity sim(MeasureFromHeader(journal.header),
                      &dataset.corpus_max());
@@ -275,15 +309,31 @@ int Main(int argc, char** argv) {
   std::vector<RstknnResult> results;
   RstknnStats total;
   Stopwatch wall;
-  if (flags.threads <= 1) {
+  if (use_sharded && flags.threads <= 1) {
+    const shard::ShardedSearcher searcher(&*sharded, &dataset, &scorer);
+    ProbeScratch scratch;
+    options.scratch = &scratch;
+    options.publish_metrics = false;
+    results.reserve(n);
+    for (const RstknnQuery& q : queries) {
+      shard::ShardedResult res = searcher.Search(q, options);
+      results.push_back(RstknnResult{std::move(res.answers), res.stats});
+    }
+    heatmap.AddQueries(n);
+  } else if (use_sharded) {
+    exec::ThreadPool pool(flags.threads);
+    exec::ShardedBatchRunner runner(&*sharded, &dataset, &scorer, &pool);
+    runner.set_heatmap(&heatmap);
+    results = runner.RunRstknn(queries, options);
+  } else if (flags.threads <= 1) {
     const RstknnSearcher searcher =
         use_frozen ? RstknnSearcher(&*frozen, &dataset, &scorer)
-                   : RstknnSearcher(&tree, &dataset, &scorer);
+                   : RstknnSearcher(&*tree, &dataset, &scorer);
     std::unique_ptr<ExplainIndex> explain_index;
     if (!use_frozen) {
       // One shared numbering for the whole replay instead of an O(tree)
       // rebuild per query.
-      explain_index = std::make_unique<ExplainIndex>(tree);
+      explain_index = std::make_unique<ExplainIndex>(*tree);
       options.explain_index = explain_index.get();
     }
     ProbeScratch scratch;
@@ -298,7 +348,7 @@ int Main(int argc, char** argv) {
     exec::ThreadPool pool(flags.threads);
     exec::BatchRunner runner =
         use_frozen ? exec::BatchRunner(&*frozen, &dataset, &scorer, &pool)
-                   : exec::BatchRunner(&tree, &dataset, &scorer, &pool);
+                   : exec::BatchRunner(&*tree, &dataset, &scorer, &pool);
     runner.set_heatmap(&heatmap);
     results = runner.RunRstknn(queries, options);
   }
@@ -375,14 +425,17 @@ int Main(int argc, char** argv) {
   }
 
   // --- aggregate analytics ---
-  std::printf("replayed %zu queries (%s, %s view, %zu threads) in %.2f ms\n",
-              n, algo_name.c_str(), view.c_str(), flags.threads, wall_ms);
+  const std::string view_desc =
+      use_sharded ? std::to_string(shards) + " shards" : view + " view";
+  std::printf("replayed %zu queries (%s, %s, %zu threads) in %.2f ms\n",
+              n, algo_name.c_str(), view_desc.c_str(), flags.threads, wall_ms);
   std::printf("digest mismatches: %zu/%zu\n", digest_mismatches, n);
   if (stats_comparable) {
     std::printf("stats mismatches:  %zu/%zu\n", stats_mismatches, n);
   } else {
-    std::printf("stats mismatches:  n/a (capture algo=%s tree=%s)\n",
-                journal.header.algo.c_str(), journal.header.tree.c_str());
+    std::printf("stats mismatches:  n/a (capture algo=%s tree=%s shards=%llu)\n",
+                journal.header.algo.c_str(), journal.header.tree.c_str(),
+                static_cast<unsigned long long>(journal.header.shards));
   }
   std::printf("heatmap reconciliation: %s\n",
               reconciled.ok() ? "exact" : "FAILED");
@@ -487,6 +540,8 @@ int Main(int argc, char** argv) {
     w.String(algo_name);
     w.Key("view");
     w.String(view);
+    w.Key("shards");
+    w.Uint(shards);
     w.Key("threads");
     w.Uint(flags.threads);
     w.Key("stats_comparable");

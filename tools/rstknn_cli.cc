@@ -45,6 +45,20 @@
 //                       tight MBRs, level leaves, cluster partitions; exits
 //                       non-zero with the precise violation on corruption
 //
+// Sharded-index flags (rstknn only; DESIGN.md §15):
+//   --shards K          partition the dataset into K spatial shards (STR
+//                       tiling), bulk-build one frozen tree per shard and
+//                       answer by scatter-gather — results byte-identical to
+//                       a single index at any K; rstknn.shard.* counters
+//                       report the whole-shard triage. --save-index /
+//                       --load-index then name a snapshot DIRECTORY
+//                       (MANIFEST + shard_<i>.frz); --check-invariants
+//                       validates every shard plus the partition itself.
+//                       Incompatible with --explain (exit 2) and the
+//                       real-I/O buffer pool (--metrics-out still snapshots
+//                       the registry); batch mode ignores --slow-log-ms,
+//                       --profile and --trace-out with a stderr note.
+//
 // Profiling flags (rstknn; DESIGN.md §12):
 //   --profile           attribute each query's wall time into the fixed phase
 //                       set (descent / bounds / merge / io / finalize) and
@@ -104,6 +118,7 @@
 #include "rst/data/csv.h"
 #include "rst/data/generators.h"
 #include "rst/exec/batch_runner.h"
+#include "rst/exec/sharded_runner.h"
 #include "rst/frozen/frozen.h"
 #include "rst/maxbrst/maxbrst.h"
 #include "rst/obs/explain.h"
@@ -118,6 +133,8 @@
 #include "rst/obs/trace.h"
 #include "rst/obs/trace_event.h"
 #include "rst/rstknn/rstknn.h"
+#include "rst/shard/sharded_index.h"
+#include "rst/shard/sharded_search.h"
 
 namespace rst {
 namespace {
@@ -323,20 +340,22 @@ RstknnAlgorithm ParseAlgorithm(const Flags& flags) {
 /// CLI's own flag vocabulary.
 obs::JournalHeader MakeJournalHeader(const Flags& flags,
                                      const std::string& label, bool use_frozen,
-                                     uint64_t threads, uint64_t sample_every) {
+                                     uint64_t threads, uint64_t sample_every,
+                                     uint64_t shards = 0) {
   obs::JournalHeader header;
   header.label = label;
   header.data = flags.Get("data", "objects.csv");
   header.algo = ParseAlgorithm(flags) == RstknnAlgorithm::kContributionList
                     ? "contribution_list"
                     : "probe";
-  header.view = use_frozen ? "frozen" : "pointer";
+  header.view = use_frozen || shards > 0 ? "frozen" : "pointer";
   header.tree = "iur";  // the CLI builds an unclustered IUR-tree
   header.measure = flags.Get("measure", "ej");
   header.weighting = flags.Get("weighting", "tfidf");
   header.alpha = flags.GetDouble("alpha", 0.5);
   header.threads = threads;
   header.sample_every = sample_every;
+  header.shards = shards;
   return header;
 }
 
@@ -529,7 +548,8 @@ int CmdTopK(const Flags& flags) {
 /// annotates the artifact with the batch, not per-query spans.
 int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                    const IurTree* tree, const frozen::FrozenTree* frozen,
-                   const StScorer& scorer, obs::RuntimeSampler* sampler) {
+                   const shard::ShardedIndex* sharded, const StScorer& scorer,
+                   obs::RuntimeSampler* sampler) {
   std::vector<ObjectId> ids;
   for (TermId t : ParseTerms(flags.Get("ids", ""))) {
     ids.push_back(static_cast<ObjectId>(t));
@@ -553,10 +573,21 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
   const ObsFlags obs_flags(flags);
   RstknnOptions options;
   options.algorithm = ParseAlgorithm(flags);
-  BufferPool pool(frozen != nullptr ? &frozen->page_store()
-                                    : &tree->page_store(),
-                  obs_flags.pool_pages);
-  if (!obs_flags.metrics_out.empty()) options.pool = &pool;
+  std::optional<BufferPool> pool;
+  if (sharded == nullptr) {
+    pool.emplace(frozen != nullptr ? &frozen->page_store()
+                                   : &tree->page_store(),
+                 obs_flags.pool_pages);
+    if (!obs_flags.metrics_out.empty()) options.pool = &*pool;
+  } else if (obs_flags.slow_logging() || obs_flags.profile ||
+             !obs_flags.trace_out.empty()) {
+    // Per-tree instruments don't compose with the scatter-gather runner (see
+    // ShardedBatchRunner); the run still proceeds so scripted pipelines that
+    // always pass them keep working against sharded indexes.
+    std::fprintf(stderr,
+                 "note: --slow-log-ms/--profile/--trace-out are ignored in "
+                 "sharded batch mode\n");
+  }
 
   const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   exec::ThreadPool thread_pool(threads);
@@ -564,30 +595,42 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
       frozen != nullptr
           ? exec::BatchRunner(frozen, &dataset, &scorer, &thread_pool)
           : exec::BatchRunner(tree, &dataset, &scorer, &thread_pool);
+  exec::ShardedBatchRunner sharded_runner(sharded, &dataset, &scorer,
+                                          &thread_pool);
   obs::SlowQueryLog slow_log(obs_flags.slow_log_ms);
-  if (obs_flags.slow_logging()) runner.set_slow_log(&slow_log);
   obs::TraceEventWriter trace_events(/*capacity=*/1 << 16,
                                      obs_flags.trace_sample);
-  if (obs_flags.profile) runner.set_profiling(true);
-  if (!obs_flags.trace_out.empty()) runner.set_trace_events(&trace_events);
+  if (sharded == nullptr) {
+    if (obs_flags.slow_logging()) runner.set_slow_log(&slow_log);
+    if (obs_flags.profile) runner.set_profiling(true);
+    if (!obs_flags.trace_out.empty()) runner.set_trace_events(&trace_events);
+  }
   obs::WorkloadRecorder journal;
   if (!obs_flags.journal_out.empty()) {
     const Status s = journal.Open(
         obs_flags.journal_out,
         MakeJournalHeader(flags, "rstknn.batch", frozen != nullptr,
-                          thread_pool.num_threads(),
-                          obs_flags.journal_sample));
+                          thread_pool.num_threads(), obs_flags.journal_sample,
+                          sharded != nullptr ? sharded->num_shards() : 0));
     if (!s.ok()) {
       std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
       return 1;
     }
     runner.set_journal(&journal);
+    sharded_runner.set_journal(&journal);
   }
   obs::HeatmapRecorder heatmap;
-  if (!obs_flags.heatmap_out.empty()) runner.set_heatmap(&heatmap);
+  if (!obs_flags.heatmap_out.empty()) {
+    runner.set_heatmap(&heatmap);
+    sharded_runner.set_heatmap(&heatmap);
+  }
   exec::BatchStats batch_stats;
+  shard::ShardedStats shard_stats;
   const std::vector<RstknnResult> results =
-      runner.RunRstknn(queries, options, &batch_stats);
+      sharded != nullptr
+          ? sharded_runner.RunRstknn(queries, options, &batch_stats,
+                                     &shard_stats)
+          : runner.RunRstknn(queries, options, &batch_stats);
 
   for (size_t i = 0; i < results.size(); ++i) {
     for (ObjectId id : results[i].answers) {
@@ -604,13 +647,22 @@ int CmdRstknnBatch(const Flags& flags, const Dataset& dataset,
                busy_ms,
                static_cast<unsigned long long>(
                    batch_stats.total.io.TotalIos()));
+  if (sharded != nullptr) {
+    std::fprintf(stderr,
+                 "shard triage: %llu pruned, %llu reported, %llu searched "
+                 "(of %zu shards x %zu queries)\n",
+                 static_cast<unsigned long long>(shard_stats.shards_pruned),
+                 static_cast<unsigned long long>(shard_stats.shards_reported),
+                 static_cast<unsigned long long>(shard_stats.shards_searched),
+                 sharded->num_shards(), queries.size());
+  }
   if (options.pool != nullptr) {
     std::fprintf(stderr, "buffer pool: %llu hits, %llu misses, %llu evictions "
                  "(%.1f%% hit rate)\n",
-                 static_cast<unsigned long long>(pool.hits()),
-                 static_cast<unsigned long long>(pool.misses()),
-                 static_cast<unsigned long long>(pool.evictions()),
-                 100.0 * pool.hit_rate());
+                 static_cast<unsigned long long>(pool->hits()),
+                 static_cast<unsigned long long>(pool->misses()),
+                 static_cast<unsigned long long>(pool->evictions()),
+                 100.0 * pool->hit_rate());
   }
   if (obs_flags.slow_logging()) {
     std::fprintf(stderr, "slow-query log: %llu captured over %.2f ms "
@@ -651,6 +703,15 @@ int CmdRstknn(const Flags& flags) {
   // Runtime telemetry starts before the index build so the runtime.* gauges
   // cover the build's memory growth, not just the queries.
   const ObsFlags obs_flags(flags);
+  const size_t num_shards =
+      static_cast<size_t>(std::max(0L, flags.GetInt("shards", 0)));
+  const bool use_sharded = num_shards > 0;
+  if (use_sharded && obs_flags.explain) {
+    std::fprintf(stderr,
+                 "--explain is unsupported with --shards (the per-shard "
+                 "searches would reset the recorder); use --heatmap-out\n");
+    return 2;
+  }
   obs::RuntimeSampler sampler;
   if (obs_flags.telemetry_ms >= 0) {
     sampler.Start(static_cast<uint64_t>(obs_flags.telemetry_ms));
@@ -658,12 +719,35 @@ int CmdRstknn(const Flags& flags) {
 
   // Index setup: build the pointer tree (and optionally freeze/save it), or
   // load a previously saved frozen snapshot and skip the build entirely.
+  // With --shards the index is a directory of frozen shard trees instead.
   const bool load_index = flags.Has("load-index");
   const bool save_index = flags.Has("save-index");
-  const bool use_frozen = flags.Has("frozen") || load_index;
+  const bool use_frozen = (flags.Has("frozen") || load_index) && !use_sharded;
   std::optional<IurTree> tree;
   std::optional<frozen::FrozenTree> frozen;
-  if (load_index) {
+  std::optional<shard::ShardedIndex> sharded;
+  if (use_sharded) {
+    if (load_index) {
+      // The on-disk MANIFEST carries the shard count; --shards just selects
+      // the sharded loader.
+      Result<shard::ShardedIndex> loaded =
+          shard::ShardedIndex::LoadDir(flags.Get("load-index", ""));
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "--load-index: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      sharded.emplace(std::move(loaded.value()));
+    } else {
+      shard::ShardOptions shard_options;
+      shard_options.num_shards = num_shards;
+      exec::ThreadPool build_pool(
+          static_cast<size_t>(flags.GetInt("build-threads", 1)));
+      sharded.emplace(shard::ShardedIndex::Build(dataset, shard_options,
+                                                 /*cluster_of=*/nullptr,
+                                                 &build_pool));
+    }
+  } else if (load_index) {
     Result<frozen::FrozenTree> loaded =
         frozen::FrozenTree::Load(flags.Get("load-index", ""));
     if (!loaded.ok()) {
@@ -687,7 +771,10 @@ int CmdRstknn(const Flags& flags) {
   // precise violation so scripted runs can gate on it.
   if (flags.Has("check-invariants")) {
     Status invariants = Status::Ok();
-    if (tree.has_value()) {
+    if (sharded.has_value()) {
+      invariants = sharded->CheckInvariants();
+    }
+    if (invariants.ok() && tree.has_value()) {
       invariants = tree->CheckInvariants(
           [&dataset](uint32_t oid) -> const TermVector* {
             return oid < dataset.size() ? &dataset.object(oid).doc : nullptr;
@@ -705,28 +792,39 @@ int CmdRstknn(const Flags& flags) {
   }
   if (save_index) {
     const std::string path = flags.Get("save-index", "");
-    const Status s = frozen->Save(path);
-    if (!s.ok()) {
-      std::fprintf(stderr, "--save-index: %s\n", s.ToString().c_str());
-      return 1;
+    if (use_sharded) {
+      const Status s = sharded->SaveDir(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "--save-index: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "sharded index (%zu shards, %llu objects) written to %s/\n",
+                   sharded->num_shards(),
+                   static_cast<unsigned long long>(sharded->size()),
+                   path.c_str());
+    } else {
+      const Status s = frozen->Save(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "--save-index: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "frozen index (%u nodes, %u entries, %llu payload bytes) "
+                   "written to %s\n",
+                   frozen->num_nodes(), frozen->num_entries(),
+                   static_cast<unsigned long long>(frozen->IndexBytes()),
+                   path.c_str());
     }
-    std::fprintf(stderr,
-                 "frozen index (%u nodes, %u entries, %llu payload bytes) "
-                 "written to %s\n",
-                 frozen->num_nodes(), frozen->num_entries(),
-                 static_cast<unsigned long long>(frozen->IndexBytes()),
-                 path.c_str());
     if (!flags.Has("id") && !flags.Has("ids") && !flags.Has("keywords")) {
       return 0;  // save-only invocation
     }
   }
   if (flags.Has("ids")) {
     return CmdRstknnBatch(flags, dataset, tree ? &*tree : nullptr,
-                          use_frozen ? &*frozen : nullptr, scorer, &sampler);
+                          use_frozen ? &*frozen : nullptr,
+                          sharded ? &*sharded : nullptr, scorer, &sampler);
   }
-  const RstknnSearcher searcher =
-      use_frozen ? RstknnSearcher(&*frozen, &dataset, &scorer)
-                 : RstknnSearcher(&*tree, &dataset, &scorer);
 
   RstknnQuery query;
   TermVector qdoc;
@@ -751,18 +849,22 @@ int CmdRstknn(const Flags& flags) {
   options.algorithm = ParseAlgorithm(flags);
   // With a metrics artifact requested, switch to real I/O through a buffer
   // pool so the reported hit/miss/fill metrics are genuine reads of the
-  // serialized index rather than simulated charges.
-  BufferPool pool(use_frozen ? &frozen->page_store() : &tree->page_store(),
-                  obs_flags.pool_pages);
+  // serialized index rather than simulated charges. Sharded mode has no
+  // single page store, so it stays on simulated charges.
+  std::optional<BufferPool> pool;
+  if (!use_sharded) {
+    pool.emplace(use_frozen ? &frozen->page_store() : &tree->page_store(),
+                 obs_flags.pool_pages);
+  }
   if (obs_flags.tracing() || obs_flags.slow_logging()) {
     options.trace = &trace;
   }
   obs::PhaseProfiler profiler;
   if (obs_flags.profile) options.profiler = &profiler;
-  if (!obs_flags.metrics_out.empty()) {
-    pool.set_trace(options.trace);
-    pool.set_phase_profiler(options.profiler);
-    options.pool = &pool;
+  if (!obs_flags.metrics_out.empty() && pool.has_value()) {
+    pool->set_trace(options.trace);
+    pool->set_phase_profiler(options.profiler);
+    options.pool = &*pool;
   }
   obs::ExplainRecorder recorder(obs_flags.explain_log);
   if (obs_flags.explain) options.explain = &recorder;
@@ -773,7 +875,21 @@ int CmdRstknn(const Flags& flags) {
                                      obs_flags.trace_sample);
   const double query_start_us = trace_events.NowUs();
   Stopwatch timer;
-  const RstknnResult result = searcher.Search(query, options);
+  RstknnResult result;
+  shard::ShardedStats shard_stats;
+  if (use_sharded) {
+    const shard::ShardedSearcher sharded_searcher(&*sharded, &dataset,
+                                                  &scorer);
+    shard::ShardedResult res = sharded_searcher.Search(query, options);
+    result.answers = std::move(res.answers);
+    result.stats = res.stats;
+    shard_stats = res.shards;
+  } else {
+    const RstknnSearcher searcher =
+        use_frozen ? RstknnSearcher(&*frozen, &dataset, &scorer)
+                   : RstknnSearcher(&*tree, &dataset, &scorer);
+    result = searcher.Search(query, options);
+  }
   const double ms = timer.ElapsedMillis();
   if (obs_flags.profile) {
     std::fprintf(stderr, "per-phase attribution (of %.2f ms wall):\n%s",
@@ -802,7 +918,8 @@ int CmdRstknn(const Flags& flags) {
     const Status s = journal.Open(
         obs_flags.journal_out,
         MakeJournalHeader(flags, "rstknn", use_frozen, /*threads=*/1,
-                          obs_flags.journal_sample));
+                          obs_flags.journal_sample,
+                          use_sharded ? sharded->num_shards() : 0));
     if (!s.ok()) {
       std::fprintf(stderr, "--journal-out: %s\n", s.ToString().c_str());
       return 1;
@@ -844,13 +961,22 @@ int CmdRstknn(const Flags& flags) {
                static_cast<unsigned long long>(result.stats.entries_created),
                static_cast<unsigned long long>(result.stats.pruned_entries),
                static_cast<unsigned long long>(result.stats.io.TotalIos()));
+  if (use_sharded) {
+    std::fprintf(stderr,
+                 "shard triage: %llu pruned, %llu reported, %llu searched "
+                 "(of %zu shards)\n",
+                 static_cast<unsigned long long>(shard_stats.shards_pruned),
+                 static_cast<unsigned long long>(shard_stats.shards_reported),
+                 static_cast<unsigned long long>(shard_stats.shards_searched),
+                 sharded->num_shards());
+  }
   if (options.pool != nullptr) {
     std::fprintf(stderr, "buffer pool: %llu hits, %llu misses, %llu evictions "
                  "(%.1f%% hit rate)\n",
-                 static_cast<unsigned long long>(pool.hits()),
-                 static_cast<unsigned long long>(pool.misses()),
-                 static_cast<unsigned long long>(pool.evictions()),
-                 100.0 * pool.hit_rate());
+                 static_cast<unsigned long long>(pool->hits()),
+                 static_cast<unsigned long long>(pool->misses()),
+                 static_cast<unsigned long long>(pool->evictions()),
+                 100.0 * pool->hit_rate());
   }
   sampler.Stop();  // final runtime sample lands in the snapshot below
   return EmitObsArtifacts(obs_flags, "rstknn", &trace,
