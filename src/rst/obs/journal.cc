@@ -321,6 +321,15 @@ Status WorkloadRecorder::Open(const std::string& path,
   return Status::Ok();
 }
 
+bool WorkloadRecorder::is_open() const {
+  // Was an unlocked `file_ != nullptr` read: a monitor thread polling
+  // is_open() while a worker raced Open/Append/Close was a data race on
+  // `file_` (caught while adding thread-safety annotations; see
+  // WorkloadRecorderTest.ConcurrentAppendAndIsOpen).
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
 bool WorkloadRecorder::ShouldSample(uint64_t index) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return false;

@@ -108,7 +108,9 @@ class WorkloadRecorder {
   /// Creates/truncates `path` and writes the header line.
   Status Open(const std::string& path, const JournalHeader& header);
 
-  bool is_open() const { return file_ != nullptr; }
+  /// True between a successful Open() and Close(). Locks `mu_`: callers poll
+  /// this from monitor threads while workers Append concurrently.
+  bool is_open() const;
 
   /// True when query `index` should be recorded under the header's
   /// sample_every (1 = every query).

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rst/common/file_util.h"
@@ -144,6 +146,47 @@ TEST(WorkloadRecorderTest, SamplesDeterministicallyByQueryIndex) {
   ASSERT_EQ(loaded.value().records.size(), 4u);  // 0, 3, 6, 9
   EXPECT_EQ(loaded.value().header.sample_every, 3u);
   EXPECT_EQ(loaded.value().records[3].index, 9u);
+  std::remove(path.c_str());
+}
+
+// Regression: is_open() used to read `file_` without taking the recorder
+// mutex, racing concurrent Append/Close from worker threads (UB flagged by
+// TSan; found while adding thread-safety annotations). The monitor thread
+// below reproduces the load_driver pattern of polling is_open()/recorded()
+// during a capture.
+TEST(WorkloadRecorderTest, ConcurrentAppendAndIsOpen) {
+  const std::string path = TempPath("rst_replay_concurrent.jsonl");
+  obs::WorkloadRecorder recorder;
+  ASSERT_TRUE(recorder.Open(path, TestHeader()).ok());
+
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 64;
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_TRUE(recorder.is_open());
+      (void)recorder.recorded();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        recorder.Append(TestRecord(static_cast<uint64_t>(w) * kPerWriter + i));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(recorder.recorded(), kWriters * kPerWriter);
+  ASSERT_TRUE(recorder.Close().ok());
+  EXPECT_FALSE(recorder.is_open());
+
+  const Result<obs::JournalFile> loaded = obs::ReadJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().records.size(), kWriters * kPerWriter);
   std::remove(path.c_str());
 }
 
