@@ -168,6 +168,8 @@ ModeResult RunOpen(const rst::bench::CoreEnv& env, const rst::StScorer& scorer,
     options.profiler = &profiler;
     options.publish_metrics = false;  // the phase histograms still publish
     for (;;) {
+      // rst-atomics: work-distribution cursor; each index is processed by
+      // exactly one claimant and results are published via thread join.
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) break;
       const Clock::time_point arrival =

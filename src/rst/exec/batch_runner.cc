@@ -58,7 +58,11 @@ struct BatchMetrics {
 };
 
 /// Per-worker accumulator, cache-line padded so adjacent workers never share
-/// a line on the hot path.
+/// a line on the hot path. Deliberately unsynchronized (no RST_GUARDED_BY):
+/// slot w is written only by worker w during the loop, and the caller reads
+/// the slots only after ParallelFor returns — publication rides the pool's
+/// internal mutex handshake (ThreadPool's done_cv_ join), which is exactly
+/// the contract the thread-safety analysis checks inside ThreadPool itself.
 struct alignas(64) WorkerSlot {
   RstknnStats stats;
   double busy_ms = 0.0;

@@ -16,15 +16,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::RunChunks(Job* job, size_t worker) {
   for (;;) {
+    // rst-atomics: the chunk cursor is pure work distribution — each claimed
+    // index is only touched by the claiming worker, and the caller's final
+    // results read is ordered by the mu_-protected active_workers handshake,
+    // so no acquire/release pairing is needed here.
     const size_t begin = job->next.fetch_add(job->chunk,
                                              std::memory_order_relaxed);
     if (begin >= job->count) return;
@@ -33,11 +37,12 @@ void ThreadPool::RunChunks(Job* job, size_t worker) {
       for (size_t i = begin; i < end; ++i) (*job->fn)(i, worker);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (!job->error) job->error = std::current_exception();
       }
       // Park the cursor past the end so no further chunks are claimed;
       // chunks already in flight finish on their own.
+      // rst-atomics: relaxed for the same reason as the fetch_add above.
       job->next.store(job->count, std::memory_order_relaxed);
       return;
     }
@@ -49,18 +54,18 @@ void ThreadPool::WorkerLoop(size_t worker) {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(&mu_);
+      while (!stop_ && (job_ == nullptr || generation_ == seen_generation)) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
       job = job_;
       seen_generation = generation_;
     }
     RunChunks(job, worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--job->active_workers == 0) done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--job->active_workers == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -75,27 +80,27 @@ void ThreadPool::ParallelFor(
     for (size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
   Job job;
   job.count = count;
   job.chunk = chunk;
   job.fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job.active_workers = threads_.size();
     job_ = &job;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunChunks(&job, /*worker=*/0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return job.active_workers == 0; });
-  job_ = nullptr;
-  if (job.error) {
-    std::exception_ptr error = job.error;
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(&mu_);
+    while (job.active_workers != 0) done_cv_.Wait(mu_);
+    job_ = nullptr;
+    error = job.error;
   }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace exec

@@ -2,13 +2,14 @@
 #define RST_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "rst/common/mutex.h"
+#include "rst/common/thread_annotations.h"
 
 namespace rst {
 namespace exec {
@@ -48,9 +49,14 @@ class ThreadPool {
   /// completion order) is rethrown on the calling thread. ParallelFor calls
   /// are serialized: the pool runs one loop at a time.
   void ParallelFor(size_t count, size_t chunk,
-                   const std::function<void(size_t index, size_t worker)>& fn);
+                   const std::function<void(size_t index, size_t worker)>& fn)
+      RST_EXCLUDES(run_mu_, mu_);
 
  private:
+  /// Job is a nested aggregate, so its mu_-protected fields cannot name the
+  /// owning pool's mutex in an annotation; the analysis checks them at the
+  /// access sites inside ThreadPool methods instead, where `job_` is
+  /// RST_PT_GUARDED_BY(mu_).
   struct Job {
     size_t count = 0;
     size_t chunk = 1;
@@ -60,19 +66,20 @@ class ThreadPool {
     std::exception_ptr error;     ///< first exception (under mu_)
   };
 
-  void WorkerLoop(size_t worker);
+  void WorkerLoop(size_t worker) RST_EXCLUDES(mu_);
   /// Claims and runs chunks until the cursor is exhausted. Returns normally
   /// even when an invocation throws (the error lands in job->error).
-  void RunChunks(Job* job, size_t worker);
+  void RunChunks(Job* job, size_t worker) RST_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< wakes workers for a new job
-  std::condition_variable done_cv_;  ///< wakes the caller when workers drain
-  Job* job_ = nullptr;               ///< current job (under mu_)
-  uint64_t generation_ = 0;          ///< bumps per job so workers join once
-  bool stop_ = false;
-  std::mutex run_mu_;  ///< serializes ParallelFor callers
+  Mutex mu_;
+  CondVar work_cv_;  ///< wakes workers for a new job
+  CondVar done_cv_;  ///< wakes the caller when workers drain
+  Job* job_ RST_GUARDED_BY(mu_) RST_PT_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ RST_GUARDED_BY(mu_) = 0;  ///< bumps per job so
+                                                 ///< workers join once
+  bool stop_ RST_GUARDED_BY(mu_) = false;
+  Mutex run_mu_ RST_ACQUIRED_BEFORE(mu_);  ///< serializes ParallelFor callers
 };
 
 }  // namespace exec

@@ -33,7 +33,9 @@ uint64_t AnswerDigest(const std::vector<uint32_t>& ids) {
 namespace {
 
 bool ForceScalarActive() {
-  const char* v = std::getenv("RST_FORCE_SCALAR");
+  // getenv is never raced with setenv in this codebase (environment is
+  // read-only after startup).
+  const char* v = std::getenv("RST_FORCE_SCALAR");  // NOLINT(concurrency-mt-unsafe)
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
 
@@ -285,6 +287,9 @@ Status ParseRecord(const JsonValue& obj, JournalQueryRecord* record) {
 }  // namespace
 
 WorkloadRecorder::~WorkloadRecorder() {
+  // No thread may legally race a destructor, but the lock keeps the analysis
+  // contract uniform and costs nothing on this cold path.
+  MutexLock lock(&mu_);
   if (file_ != nullptr) {
     // Destructor flush for abandon paths; errors here have nowhere to go —
     // callers that care invoke Close() and check.
@@ -295,7 +300,7 @@ WorkloadRecorder::~WorkloadRecorder() {
 
 Status WorkloadRecorder::Open(const std::string& path,
                               const JournalHeader& header) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) {
     return Status::InvalidArgument("journal: already open");
   }
@@ -326,12 +331,12 @@ bool WorkloadRecorder::is_open() const {
   // is_open() while a worker raced Open/Append/Close was a data race on
   // `file_` (caught while adding thread-safety annotations; see
   // WorkloadRecorderTest.ConcurrentAppendAndIsOpen).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return file_ != nullptr;
 }
 
 bool WorkloadRecorder::ShouldSample(uint64_t index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return false;
   return index % header_.sample_every == 0;
 }
@@ -346,7 +351,7 @@ void WorkloadRecorder::Append(const JournalQueryRecord& record) {
   AppendRecordJson(&writer, record);
   std::string line = writer.TakeString();
   line.push_back('\n');
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return;
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
@@ -361,12 +366,12 @@ void WorkloadRecorder::Append(const JournalQueryRecord& record) {
 }
 
 uint64_t WorkloadRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return recorded_;
 }
 
 Status WorkloadRecorder::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr) return error_;
   const int rc = std::fclose(file_);
   file_ = nullptr;

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "rst/common/mutex.h"
 #include "rst/common/status.h"
+#include "rst/common/thread_annotations.h"
 
 namespace rst::obs {
 
@@ -106,31 +107,32 @@ class WorkloadRecorder {
   WorkloadRecorder& operator=(const WorkloadRecorder&) = delete;
 
   /// Creates/truncates `path` and writes the header line.
-  Status Open(const std::string& path, const JournalHeader& header);
+  Status Open(const std::string& path, const JournalHeader& header)
+      RST_EXCLUDES(mu_);
 
   /// True between a successful Open() and Close(). Locks `mu_`: callers poll
   /// this from monitor threads while workers Append concurrently.
-  bool is_open() const;
+  bool is_open() const RST_EXCLUDES(mu_);
 
   /// True when query `index` should be recorded under the header's
   /// sample_every (1 = every query).
-  bool ShouldSample(uint64_t index) const;
+  bool ShouldSample(uint64_t index) const RST_EXCLUDES(mu_);
 
   /// Serializes and appends one record; errors latch (first one wins) and
   /// surface from Close() so hot loops need no per-append Status plumbing.
-  void Append(const JournalQueryRecord& record);
+  void Append(const JournalQueryRecord& record) RST_EXCLUDES(mu_);
 
-  uint64_t recorded() const;
+  uint64_t recorded() const RST_EXCLUDES(mu_);
 
   /// Final flush + close; returns the first latched append/IO error.
-  Status Close();
+  Status Close() RST_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
-  JournalHeader header_;
-  uint64_t recorded_ = 0;
-  Status error_ = Status::Ok();
+  mutable Mutex mu_;
+  std::FILE* file_ RST_GUARDED_BY(mu_) = nullptr;
+  JournalHeader header_ RST_GUARDED_BY(mu_);
+  uint64_t recorded_ RST_GUARDED_BY(mu_) = 0;
+  Status error_ RST_GUARDED_BY(mu_) = Status::Ok();
 };
 
 /// Parsed journal: header plus records sorted by `index` ascending.

@@ -19,6 +19,8 @@ namespace {
 /// concurrent writers almost never contend on a cache line.
 size_t ShardIndex() {
   static std::atomic<uint32_t> next{0};
+  // rst-atomics: the round-robin ticket only spreads threads over stripes;
+  // any interleaving of the increments yields a valid assignment.
   thread_local const uint32_t index =
       next.fetch_add(1, std::memory_order_relaxed) % MetricRegistry::kNumShards;
   return index;
@@ -26,7 +28,11 @@ size_t ShardIndex() {
 
 /// Relaxed CAS add for doubles (atomic<double>::fetch_add is C++20 but not
 /// universally lowered; the CAS loop is portable and uncontended here).
+/// rst-atomics: metric cells are independent statistics — no reader infers
+/// other data from them, so the CAS loops in AtomicAdd/Min/Max need no
+/// ordering beyond atomicity itself.
 void AtomicAdd(std::atomic<double>* target, double delta) {
+  // rst-atomics: see note above AtomicAdd.
   double current = target->load(std::memory_order_relaxed);
   while (!target->compare_exchange_weak(current, current + delta,
                                         std::memory_order_relaxed)) {
@@ -34,6 +40,7 @@ void AtomicAdd(std::atomic<double>* target, double delta) {
 }
 
 void AtomicMin(std::atomic<double>* target, double value) {
+  // rst-atomics: see note above AtomicAdd.
   double current = target->load(std::memory_order_relaxed);
   while (value < current && !target->compare_exchange_weak(
                                 current, value, std::memory_order_relaxed)) {
@@ -41,6 +48,7 @@ void AtomicMin(std::atomic<double>* target, double value) {
 }
 
 void AtomicMax(std::atomic<double>* target, double value) {
+  // rst-atomics: see note above AtomicAdd.
   double current = target->load(std::memory_order_relaxed);
   while (value > current && !target->compare_exchange_weak(
                                 current, value, std::memory_order_relaxed)) {
@@ -154,6 +162,8 @@ struct Counter::Impl {
   uint64_t Sum() const {
     uint64_t total = 0;
     for (const CounterCell& cell : cells) {
+      // rst-atomics: stripe sums are statistics; a snapshot concurrent with
+      // writers is allowed to be mid-update, so relaxed loads suffice.
       total += cell.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -161,6 +171,8 @@ struct Counter::Impl {
 
   void Zero() {
     for (CounterCell& cell : cells) {
+      // rst-atomics: Reset() documents that a racing increment may land on
+      // either side of the zeroing; no ordering needed beyond atomicity.
       cell.value.store(0, std::memory_order_relaxed);
     }
   }
@@ -168,6 +180,7 @@ struct Counter::Impl {
 
 void Counter::Add(uint64_t n) const {
   if (impl_ == nullptr) return;
+  // rst-atomics: hot-path stripe increment; statistics only (see Sum).
   impl_->cells[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
 }
 
@@ -179,10 +192,12 @@ struct Gauge::Impl {
 
 void Gauge::Set(double value) const {
   if (impl_ == nullptr) return;
+  // rst-atomics: last-writer-wins cell; readers only need a non-torn value.
   impl_->value.store(value, std::memory_order_relaxed);
 }
 
 double Gauge::Value() const {
+  // rst-atomics: last-writer-wins cell; relaxed read of a single double.
   return impl_ == nullptr ? 0.0 : impl_->value.load(std::memory_order_relaxed);
 }
 
@@ -196,6 +211,9 @@ struct HistogramRef::Impl {
     for (Shard& shard : shards) {
       shard.counts =
           std::make_unique<std::atomic<uint64_t>[]>(spec.bounds.size() + 1);
+      // rst-atomics: construction-time init before the impl is published via
+      // the registry map (whose mutex orders publication); the defaulted
+      // seq_cst assignment costs nothing here and is not a hot path.
       for (size_t i = 0; i <= spec.bounds.size(); ++i) shard.counts[i] = 0;
     }
   }
@@ -205,6 +223,8 @@ struct HistogramRef::Impl {
         std::lower_bound(spec.bounds.begin(), spec.bounds.end(), value) -
         spec.bounds.begin();
     Shard& shard = shards[ShardIndex()];
+    // rst-atomics: bucket counts are statistics; Snapshot() tolerates a
+    // mid-Record skew between counts and sum (documented on Reset()).
     shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
     AtomicAdd(&shard.sum, value);
     AtomicMin(&min, value);
@@ -216,6 +236,8 @@ struct HistogramRef::Impl {
     snap.bounds = spec.bounds;
     snap.counts.assign(spec.bounds.size() + 1, 0);
     for (const Shard& shard : shards) {
+      // rst-atomics: snapshot reads race writers by design; per-cell
+      // atomicity (no torn values) is the only requirement.
       for (size_t i = 0; i <= spec.bounds.size(); ++i) {
         snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
       }
@@ -223,6 +245,7 @@ struct HistogramRef::Impl {
     }
     for (uint64_t c : snap.counts) snap.count += c;
     if (snap.count > 0) {
+      // rst-atomics: same snapshot-vs-writer race tolerance as the counts.
       snap.min = min.load(std::memory_order_relaxed);
       snap.max = max.load(std::memory_order_relaxed);
     }
@@ -230,6 +253,8 @@ struct HistogramRef::Impl {
   }
 
   void Zero() {
+    // rst-atomics: Reset() documents that racing Records may straddle the
+    // zeroing; each store only needs to be non-torn.
     for (Shard& shard : shards) {
       for (size_t i = 0; i <= spec.bounds.size(); ++i) {
         shard.counts[i].store(0, std::memory_order_relaxed);
@@ -266,14 +291,14 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter::Impl>();
   return Counter(slot.get());
 }
 
 Gauge MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge::Impl>();
   return Gauge(slot.get());
@@ -281,17 +306,18 @@ Gauge MetricRegistry::GetGauge(const std::string& name) {
 
 HistogramRef MetricRegistry::GetHistogram(const std::string& name,
                                           const HistogramSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<HistogramRef::Impl>(spec);
   return HistogramRef(slot.get());
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snap;
   for (const auto& [name, impl] : counters_) snap.counters[name] = impl->Sum();
   for (const auto& [name, impl] : gauges_) {
+    // rst-atomics: last-writer-wins gauge cell; non-torn read is enough.
     snap.gauges[name] = impl->value.load(std::memory_order_relaxed);
   }
   for (const auto& [name, impl] : histograms_) {
@@ -301,9 +327,10 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, impl] : counters_) impl->Zero();
   for (auto& [name, impl] : gauges_) {
+    // rst-atomics: see Reset() contract — racing Sets may land either side.
     impl->value.store(0.0, std::memory_order_relaxed);
   }
   for (auto& [name, impl] : histograms_) impl->Zero();

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "rst/common/mutex.h"
 #include "rst/common/status.h"
+#include "rst/common/thread_annotations.h"
 
 namespace rst::obs {
 
@@ -158,13 +159,13 @@ class MetricRegistry {
 
   /// Idempotent per name; handles stay valid for the registry's lifetime
   /// (Reset() zeroes values but keeps registrations).
-  Counter GetCounter(const std::string& name);
-  Gauge GetGauge(const std::string& name);
+  Counter GetCounter(const std::string& name) RST_EXCLUDES(mu_);
+  Gauge GetGauge(const std::string& name) RST_EXCLUDES(mu_);
   /// The bucket layout is fixed by the first registration of `name`.
   HistogramRef GetHistogram(const std::string& name,
-                            const HistogramSpec& spec);
+                            const HistogramSpec& spec) RST_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const RST_EXCLUDES(mu_);
 
   /// Zeroes every metric (registrations survive — handles held anywhere
   /// remain valid and keep working).
@@ -179,13 +180,18 @@ class MetricRegistry {
   /// (surviving into the next window), and a histogram Record racing the
   /// reset may briefly leave count/sum/min/max mutually skewed by that one
   /// sample. Quiesce writers first when an exact zero reading matters.
-  void Reset();
+  void Reset() RST_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter::Impl>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge::Impl>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramRef::Impl>> histograms_;
+  mutable Mutex mu_;
+  /// mu_ guards the registration maps only; the Impl cells reached through
+  /// live handles are updated lock-free (striped relaxed atomics).
+  std::map<std::string, std::unique_ptr<Counter::Impl>> counters_
+      RST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge::Impl>> gauges_
+      RST_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramRef::Impl>> histograms_
+      RST_GUARDED_BY(mu_);
 };
 
 }  // namespace rst::obs

@@ -39,7 +39,10 @@ uint64_t CountThreads() {
   DIR* dir = opendir("/proc/self/task");
   if (dir == nullptr) return 0;
   uint64_t count = 0;
-  while (const dirent* entry = readdir(dir)) {
+  // readdir is flagged by concurrency-mt-unsafe for its shared static buffer,
+  // but glibc's readdir is only unsafe when two threads share one DIR* —
+  // this DIR* is function-local, and readdir_r is deprecated by glibc.
+  while (const dirent* entry = readdir(dir)) {  // NOLINT(concurrency-mt-unsafe)
     if (entry->d_name[0] != '.') ++count;
   }
   closedir(dir);
@@ -113,32 +116,36 @@ void RuntimeSampler::SampleOnce() {
   metrics.samples.Increment();
 }
 
+bool RuntimeSampler::WaitForStop(uint64_t period_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(period_ms);
+  MutexLock lock(&mu_);
+  while (!stop_) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  return stop_;
+}
+
 void RuntimeSampler::Start(uint64_t period_ms) {
   if (thread_.joinable()) return;
   if (period_ms == 0) period_ms = 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = false;
   }
   thread_ = std::thread([this, period_ms] {
     SampleOnce();
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
-                         [this] { return stop_; })) {
-      lock.unlock();
-      SampleOnce();
-      lock.lock();
-    }
+    while (!WaitForStop(period_ms)) SampleOnce();
   });
 }
 
 void RuntimeSampler::Stop() {
   if (!thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
   SampleOnce();
 }

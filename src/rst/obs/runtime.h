@@ -12,10 +12,11 @@
 // The sampler is optional machinery for load tests and the CLI's
 // --telemetry-ms flag; nothing on the query path touches it.
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
+
+#include "rst/common/mutex.h"
+#include "rst/common/thread_annotations.h"
 
 namespace rst::obs {
 
@@ -43,11 +44,11 @@ class RuntimeSampler {
 
   /// Samples once immediately, then every `period_ms` (min 1) on a
   /// background thread until Stop(). No-op if already running.
-  void Start(uint64_t period_ms);
+  void Start(uint64_t period_ms) RST_EXCLUDES(mu_);
 
   /// Joins the background thread; safe to call repeatedly. A final sample is
   /// taken on the way out so the gauges cover the full run.
-  void Stop();
+  void Stop() RST_EXCLUDES(mu_);
 
   bool running() const { return thread_.joinable(); }
 
@@ -56,9 +57,16 @@ class RuntimeSampler {
   static void SampleOnce();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  /// Blocks for up to `period_ms` or until Stop() is signalled, whichever
+  /// comes first; returns the stop flag (the background thread's loop
+  /// condition).
+  bool WaitForStop(uint64_t period_ms) RST_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ RST_GUARDED_BY(mu_) = false;
+  /// Touched only by the thread calling Start()/Stop() (the sampler's owner);
+  /// never by the background thread itself.
   std::thread thread_;
 };
 

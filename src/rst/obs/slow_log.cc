@@ -18,6 +18,9 @@ bool SlowQueryLog::Insert(SlowQueryRecord record) {
   static const Counter slow_queries =
       MetricRegistry::Global().GetCounter(names::kExecSlowQueries);
   slow_queries.Increment();
+  // rst-atomics: captured_ is a statistics counter and the seq_ ticket only
+  // needs global uniqueness for slot assignment and sort order — neither
+  // publishes data, so both increments stay relaxed.
   captured_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t ticket = seq_.fetch_add(1, std::memory_order_relaxed);
   record.seq = ticket;
@@ -26,12 +29,18 @@ bool SlowQueryLog::Insert(SlowQueryRecord record) {
   // capacity while that writer was still filling the slot — extremely slow
   // consumer relative to capacity. Drop rather than block or tear: the state
   // is left kWriting and the in-flight writer's release-store completes it.
+  // rst-atomics: acquire on the claim pairs with the release publish below,
+  // so a writer that observes kReady/kEmpty also observes the previous
+  // occupant's completed payload before overwriting it.
   const uint32_t prev = slot.state.exchange(kWriting, std::memory_order_acquire);
   if (prev == kWriting) {
+    // rst-atomics: statistics counter, relaxed like captured_.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   slot.record = std::move(record);
+  // rst-atomics: release publishes the filled record; readers (Snapshot) and
+  // later claimants synchronize via their acquire loads of state.
   slot.state.store(kReady, std::memory_order_release);
   return true;
 }
@@ -40,6 +49,8 @@ std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
   std::vector<SlowQueryRecord> records;
   records.reserve(slots_.size());
   for (const Slot& slot : slots_) {
+    // rst-atomics: acquire pairs with Insert's release so the record read
+    // below sees the full payload (Snapshot is additionally quiesced-only).
     if (slot.state.load(std::memory_order_acquire) == kReady) {
       records.push_back(slot.record);
     }

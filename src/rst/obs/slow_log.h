@@ -65,6 +65,8 @@ class SlowQueryLog {
   bool Insert(SlowQueryRecord record);
 
   /// Records captured / dropped-on-collision since construction.
+  /// rst-atomics: statistics counters read for reporting; relaxed loads —
+  /// callers tolerate instantaneous skew against in-flight Inserts.
   uint64_t captured() const {
     return captured_.load(std::memory_order_relaxed);
   }
@@ -80,6 +82,10 @@ class SlowQueryLog {
 
  private:
   enum SlotState : uint32_t { kEmpty = 0, kWriting = 1, kReady = 2 };
+  /// Deliberately not mutex-based (and so carries no RST_GUARDED_BY): the
+  /// slot-state protocol in Insert orders all access to `record` — claim via
+  /// acquire exchange, publish via release store — and Snapshot is
+  /// quiesced-only by contract (class comment).
   struct Slot {
     std::atomic<uint32_t> state{kEmpty};
     SlowQueryRecord record;

@@ -21,12 +21,12 @@ double TraceEventWriter::NowUs() const {
 }
 
 bool TraceEventWriter::ShouldSample() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sample_counter_++ % sample_every_ == 0;
 }
 
 bool TraceEventWriter::Append(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return false;
@@ -86,22 +86,22 @@ void TraceEventWriter::AppendSpanLocked(const Span& span, uint32_t tid,
 
 void TraceEventWriter::AddSpanTree(const Span& root, uint32_t tid,
                                    double ts_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   AppendSpanLocked(root, tid, ts_us);
 }
 
 size_t TraceEventWriter::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 uint64_t TraceEventWriter::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dropped_;
 }
 
 void TraceEventWriter::AppendJson(JsonWriter* writer) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   writer->BeginObject();
   writer->Key("displayTimeUnit");
   writer->String("ms");

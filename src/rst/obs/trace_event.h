@@ -27,12 +27,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "rst/common/mutex.h"
 #include "rst/common/status.h"
+#include "rst/common/thread_annotations.h"
 
 namespace rst::obs {
 
@@ -54,7 +55,7 @@ class TraceEventWriter {
   double NowUs() const;
 
   /// 1-in-N sampling gate; thread-safe. The first call returns true.
-  bool ShouldSample();
+  bool ShouldSample() RST_EXCLUDES(mu_);
   uint64_t sample_every() const { return sample_every_; }
 
   /// One complete ("ph":"X") event. `cat` and arg keys must outlive the
@@ -71,22 +72,23 @@ class TraceEventWriter {
   };
   void AddComplete(std::string_view name, const char* cat, uint32_t tid,
                    double ts_us, double dur_us, NumArg arg0 = NumArg(),
-                   NumArg arg1 = NumArg());
+                   NumArg arg1 = NumArg()) RST_EXCLUDES(mu_);
 
   /// Serializes an aggregated span tree as nested complete events starting
   /// at `ts_us` on track `tid` (see the layout note above).
-  void AddSpanTree(const Span& root, uint32_t tid, double ts_us);
+  void AddSpanTree(const Span& root, uint32_t tid, double ts_us)
+      RST_EXCLUDES(mu_);
 
   /// Names a track ("ph":"M" thread_name metadata event).
-  void AddThreadName(uint32_t tid, std::string_view name);
+  void AddThreadName(uint32_t tid, std::string_view name) RST_EXCLUDES(mu_);
 
-  size_t size() const;
-  uint64_t dropped() const;
+  size_t size() const RST_EXCLUDES(mu_);
+  uint64_t dropped() const RST_EXCLUDES(mu_);
 
   /// The complete document; parseable by obs::JsonValue::Parse (pinned by
   /// tests) and by Perfetto.
-  std::string ToJson() const;
-  void AppendJson(JsonWriter* writer) const;
+  std::string ToJson() const RST_EXCLUDES(mu_);
+  void AppendJson(JsonWriter* writer) const RST_EXCLUDES(mu_);
 
   /// Crash-atomic write of ToJson() to `path` (temp file + rename).
   Status WriteFile(const std::string& path) const;
@@ -103,16 +105,19 @@ class TraceEventWriter {
   };
 
   /// Returns false (and counts the drop) when at capacity.
-  bool Append(Event event);
-  void AppendSpanLocked(const Span& span, uint32_t tid, double ts_us);
+  bool Append(Event event) RST_EXCLUDES(mu_);
+  void AppendSpanLocked(const Span& span, uint32_t tid, double ts_us)
+      RST_REQUIRES(mu_);
 
   const size_t capacity_;
   const uint64_t sample_every_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  uint64_t dropped_ = 0;
-  uint64_t sample_counter_ = 0;
+  mutable Mutex mu_;
+  std::vector<Event> events_ RST_GUARDED_BY(mu_);
+  /// Plain (not atomic) on purpose: only touched under mu_ on the export
+  /// path, so the mutex is the whole story.
+  uint64_t dropped_ RST_GUARDED_BY(mu_) = 0;
+  uint64_t sample_counter_ RST_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rst::obs

@@ -167,7 +167,9 @@ namespace {
 /// environment once per process keeps dispatch a pure function of (binary,
 /// host, env) — never of timing.
 const Kernels& ResolveStartupKernels() {
-  const char* force = std::getenv("RST_FORCE_SCALAR");
+  // getenv is not written to after startup anywhere in this codebase, and
+  // this runs once under the magic-static guard of ActiveSlot().
+  const char* force = std::getenv("RST_FORCE_SCALAR");  // NOLINT(concurrency-mt-unsafe)
   if (force != nullptr && force[0] != '\0' &&
       !(force[0] == '0' && force[1] == '\0')) {
     return kScalarKernels;
@@ -183,6 +185,9 @@ std::atomic<const Kernels*>& ActiveSlot() {
 }  // namespace
 
 const Kernels& Active() {
+  // rst-atomics: the slot only ever points at one of the immutable,
+  // statically-initialized kernel tables, so a stale pointer is still a
+  // valid table; no payload is published through the pointer.
   return *ActiveSlot().load(std::memory_order_relaxed);
 }
 
@@ -190,10 +195,13 @@ Level ActiveLevel() { return Active().level; }
 
 ScopedLevelOverride::ScopedLevelOverride(Level level)
     : previous_(&Active()) {
+  // rst-atomics: test-only override; both targets are immutable tables (see
+  // Active()), so relaxed stores cannot expose partial state.
   ActiveSlot().store(&KernelsFor(level), std::memory_order_relaxed);
 }
 
 ScopedLevelOverride::~ScopedLevelOverride() {
+  // rst-atomics: see constructor.
   ActiveSlot().store(previous_, std::memory_order_relaxed);
 }
 

@@ -1,7 +1,5 @@
 #include "rst/storage/buffer_pool.h"
 
-#include <mutex>
-
 #include "rst/common/stopwatch.h"
 #include "rst/obs/metric_names.h"
 #include "rst/obs/phase_timer.h"
@@ -21,11 +19,14 @@ BufferPool::BufferPool(const PageStore* store, size_t capacity_pages)
 }
 
 size_t BufferPool::resident_payloads() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return entries_.size();
 }
 
 void BufferPool::EvictUntilFitsLocked(size_t incoming_pages) {
+  // rst-atomics: every atomic in this function is accessed with mu_ held
+  // exclusively (RST_REQUIRES above), so the mutex provides all ordering;
+  // the operations stay relaxed to avoid paying for fences twice.
   while (used_pages_.load(std::memory_order_relaxed) + incoming_pages >
          capacity_pages_) {
     // The unpinned entry with the smallest recency stamp IS the
@@ -34,6 +35,7 @@ void BufferPool::EvictUntilFitsLocked(size_t incoming_pages) {
     uint64_t victim_stamp = 0;
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       const Entry& entry = *it->second;
+      // rst-atomics: see function comment — mu_ held exclusively.
       if (entry.pin_count.load(std::memory_order_relaxed) != 0) continue;
       const uint64_t stamp = entry.last_access.load(std::memory_order_relaxed);
       if (victim == entries_.end() || stamp < victim_stamp) {
@@ -42,6 +44,7 @@ void BufferPool::EvictUntilFitsLocked(size_t incoming_pages) {
       }
     }
     if (victim == entries_.end()) break;  // everything pinned; admit over cap
+    // rst-atomics: see function comment — mu_ held exclusively.
     used_pages_.fetch_sub(victim->second->num_pages,
                           std::memory_order_relaxed);
     entries_.erase(victim);
@@ -53,10 +56,13 @@ void BufferPool::EvictUntilFitsLocked(size_t incoming_pages) {
 Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
     const PageHandle& handle, IoStats* stats) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = entries_.find(handle.first_page);
     if (it != entries_.end()) {
       Entry& entry = *it->second;
+      // rst-atomics: the recency stamp and hit counter publish no payload
+      // data — the payload itself is protected by the shared lock — so the
+      // hit path's only mutations can stay relaxed.
       entry.last_access.store(NextStamp(), std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
       hits_counter_.Increment();
@@ -65,6 +71,9 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
       return entry.payload;  // shared_ptr copy under the shared lock
     }
   }
+  // rst-atomics: statistics counter; ordering against other counters is
+  // irrelevant (hits + misses == accesses holds because each access bumps
+  // exactly one of them).
   misses_.fetch_add(1, std::memory_order_relaxed);
   misses_counter_.Increment();
   hit_rate_gauge_.Set(hit_rate());
@@ -84,10 +93,11 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
   if (!s.ok()) return s;
   std::shared_ptr<const std::string> shared = std::move(payload);
   if (capacity_pages_ == 0) return shared;  // caching disabled
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = entries_.find(handle.first_page);
   if (it != entries_.end()) {
     // Lost the fill race: keep the resident copy (it may be pinned).
+    // rst-atomics: stamp refresh under the exclusive lock; relaxed as above.
     it->second->last_access.store(NextStamp(), std::memory_order_relaxed);
     return it->second->payload;
   }
@@ -95,6 +105,8 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
   auto entry = std::make_unique<Entry>();
   entry->payload = shared;
   entry->num_pages = handle.num_pages;
+  // rst-atomics: entry is not yet reachable from entries_ and used_pages_ is
+  // pure accounting; the exclusive mu_ below orders publication.
   entry->last_access.store(NextStamp(), std::memory_order_relaxed);
   used_pages_.fetch_add(handle.num_pages, std::memory_order_relaxed);
   entries_.emplace(handle.first_page, std::move(entry));
@@ -104,9 +116,12 @@ Result<std::shared_ptr<const std::string>> BufferPool::Fetch(
 Status BufferPool::Pin(const PageHandle& handle, IoStats* stats) {
   for (;;) {
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(&mu_);
       auto it = entries_.find(handle.first_page);
       if (it != entries_.end()) {
+        // rst-atomics: pin_count is consulted for eviction only under the
+        // exclusive lock, which synchronizes with this shared-lock holder
+        // via the mutex itself; the counter op can stay relaxed.
         it->second->pin_count.fetch_add(1, std::memory_order_relaxed);
         return Status::Ok();
       }
@@ -121,12 +136,14 @@ Status BufferPool::Pin(const PageHandle& handle, IoStats* stats) {
 }
 
 Status BufferPool::Unpin(const PageHandle& handle) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = entries_.find(handle.first_page);
   if (it == entries_.end()) {
     return Status::FailedPrecondition("unpin of non-pinned payload");
   }
   // CAS so concurrent unpins cannot drive the count below zero.
+  // rst-atomics: same reasoning as Pin — eviction reads pin_count under the
+  // exclusive lock, so the CAS needs no acquire/release of its own.
   uint32_t pins = it->second->pin_count.load(std::memory_order_relaxed);
   do {
     if (pins == 0) {
@@ -138,8 +155,9 @@ Status BufferPool::Unpin(const PageHandle& handle) {
 }
 
 void BufferPool::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   entries_.clear();
+  // rst-atomics: reset under the exclusive lock; accounting only.
   used_pages_.store(0, std::memory_order_relaxed);
 }
 

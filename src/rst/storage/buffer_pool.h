@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "rst/common/mutex.h"
 #include "rst/common/status.h"
+#include "rst/common/thread_annotations.h"
 #include "rst/obs/metrics.h"
 #include "rst/storage/io_stats.h"
 #include "rst/storage/page_store.h"
@@ -52,17 +53,23 @@ class BufferPool {
   /// Fetches the payload behind `handle`. Misses read from the PageStore and
   /// charge `stats`; hits charge nothing (tracked in stats->cache_hits).
   Result<std::shared_ptr<const std::string>> Fetch(const PageHandle& handle,
-                                                   IoStats* stats);
+                                                   IoStats* stats)
+      RST_EXCLUDES(mu_);
 
   /// Pins/unpins a cached payload. Pinning a non-resident payload fetches it.
-  Status Pin(const PageHandle& handle, IoStats* stats);
-  Status Unpin(const PageHandle& handle);
+  Status Pin(const PageHandle& handle, IoStats* stats) RST_EXCLUDES(mu_);
+  Status Unpin(const PageHandle& handle) RST_EXCLUDES(mu_);
 
   size_t capacity_pages() const { return capacity_pages_; }
   size_t used_pages() const {
+    // rst-atomics: monotonic-ish accounting counter read for reporting; no
+    // other data is published through it, so relaxed is sufficient.
     return used_pages_.load(std::memory_order_relaxed);
   }
-  size_t resident_payloads() const;
+  size_t resident_payloads() const RST_EXCLUDES(mu_);
+  // rst-atomics: hits/misses/evictions are independent statistics counters;
+  // readers tolerate instantaneous skew between them, so all three loads are
+  // relaxed.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const {
@@ -92,7 +99,7 @@ class BufferPool {
   }
   obs::PhaseProfiler* phase_profiler() const { return profiler_; }
 
-  void Clear();
+  void Clear() RST_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -105,10 +112,12 @@ class BufferPool {
   };
 
   uint64_t NextStamp() {
+    // rst-atomics: the clock only needs to produce distinct, roughly
+    // monotonic stamps for LRU victim ranking; cross-thread ordering of the
+    // increments is irrelevant, so relaxed.
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  /// Requires mu_ held exclusively.
-  void EvictUntilFitsLocked(size_t incoming_pages);
+  void EvictUntilFitsLocked(size_t incoming_pages) RST_REQUIRES(mu_);
 
   const PageStore* store_;
   const size_t capacity_pages_;
@@ -117,11 +126,13 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> clock_{0};
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   /// Entries are heap-allocated so their atomics keep a stable address
   /// across map rehashes. Guarded by mu_ (shared for lookup, exclusive for
-  /// insert/erase).
-  std::unordered_map<PageId, std::unique_ptr<Entry>> entries_;
+  /// insert/erase); the per-entry atomics are the one mutation the hit path
+  /// performs under the shared lock.
+  std::unordered_map<PageId, std::unique_ptr<Entry>> entries_
+      RST_GUARDED_BY(mu_);
   obs::QueryTrace* trace_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
   /// Registry handles (storage.buffer_pool.*), shared by all pools.

@@ -1,0 +1,34 @@
+// Negative-compile fixture for the thread-safety annotation layer
+// (DESIGN.md §16). Under clang with -Wthread-safety -Werror the mis-locked
+// read in BadUnlockedRead() MUST fail to compile — the ctest entry
+// thread_annotations_negative_compile asserts the compiler invocation fails
+// (WILL_FAIL). The same file doubles as the zero-cost no-op proof: compiled
+// WITHOUT thread-safety analysis (gcc, or clang without the flag) it must
+// build cleanly under -Wall -Wextra -Werror, showing the macros expand to
+// nothing that changes or warns.
+
+#include "rst/common/mutex.h"
+
+namespace {
+
+struct GuardedCounter {
+  rst::Mutex mu;
+  int value RST_GUARDED_BY(mu) = 0;
+
+  int GoodLockedRead() RST_EXCLUDES(mu) {
+    rst::MutexLock lock(&mu);
+    return value;
+  }
+
+  // The deliberate violation: reads a guarded field with no lock held.
+  int BadUnlockedRead() RST_EXCLUDES(mu) {
+    return value;  // -Wthread-safety: reading variable 'value' requires 'mu'
+  }
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  return counter.GoodLockedRead() + counter.BadUnlockedRead();
+}

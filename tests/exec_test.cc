@@ -25,6 +25,8 @@ TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
       std::vector<std::atomic<int>> seen(257);
       pool.ParallelFor(seen.size(), chunk, [&](size_t i, size_t worker) {
         ASSERT_LT(worker, pool.num_threads());
+        // rst-atomics: test counter; the final read happens after ParallelFor
+        // returns (join barrier), so relaxed increments are safely visible.
         seen[i].fetch_add(1, std::memory_order_relaxed);
       });
       for (size_t i = 0; i < seen.size(); ++i) {
@@ -49,6 +51,8 @@ TEST(ThreadPoolTest, PropagatesWorkerExceptions) {
     EXPECT_THROW(
         pool.ParallelFor(64, 1,
                          [&](size_t i, size_t) {
+                           // rst-atomics: test counter; the final read happens after ParallelFor
+                           // returns (join barrier), so relaxed increments are safely visible.
                            ran.fetch_add(1, std::memory_order_relaxed);
                            if (i == 5) throw std::runtime_error("boom");
                          }),
@@ -59,6 +63,8 @@ TEST(ThreadPoolTest, PropagatesWorkerExceptions) {
     // The pool survives an exception and stays usable.
     std::atomic<int> after{0};
     pool.ParallelFor(16, 4, [&](size_t, size_t) {
+      // rst-atomics: test counter; the final read happens after ParallelFor
+      // returns (join barrier), so relaxed increments are safely visible.
       after.fetch_add(1, std::memory_order_relaxed);
     });
     EXPECT_EQ(after.load(), 16);
@@ -73,6 +79,8 @@ TEST(ThreadPoolTest, StressManySmallLoops) {
   std::vector<uint64_t> per_worker(pool.num_threads(), 0);
   for (int round = 0; round < 200; ++round) {
     pool.ParallelFor(32, 3, [&](size_t i, size_t w) {
+      // rst-atomics: test counter; the final read happens after ParallelFor
+      // returns (join barrier), so relaxed increments are safely visible.
       sum.fetch_add(i + 1, std::memory_order_relaxed);
       per_worker[w] += 1;  // worker-private slot, no lock needed
     });
