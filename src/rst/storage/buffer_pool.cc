@@ -149,6 +149,7 @@ Status BufferPool::Unpin(const PageHandle& handle) {
     if (pins == 0) {
       return Status::FailedPrecondition("unpin of non-pinned payload");
     }
+    // rst-atomics: relaxed CAS -- same note as the initial load above.
   } while (!it->second->pin_count.compare_exchange_weak(
       pins, pins - 1, std::memory_order_relaxed));
   return Status::Ok();

@@ -163,6 +163,8 @@ TEST(WorkloadRecorderTest, ConcurrentAppendAndIsOpen) {
   constexpr uint64_t kPerWriter = 64;
   std::atomic<bool> done{false};
   std::thread monitor([&] {
+    // rst-atomics: acquire pairs with the release store after the writers
+    // join; everything the writers did is visible once `done` reads true.
     while (!done.load(std::memory_order_acquire)) {
       EXPECT_TRUE(recorder.is_open());
       (void)recorder.recorded();
@@ -177,6 +179,7 @@ TEST(WorkloadRecorderTest, ConcurrentAppendAndIsOpen) {
     });
   }
   for (std::thread& t : writers) t.join();
+  // rst-atomics: release pairs with the monitor's acquire load above.
   done.store(true, std::memory_order_release);
   monitor.join();
 

@@ -1,0 +1,19 @@
+// An explicit memory_order argument with no nearby // rst-atomics: comment:
+// the reviewer cannot tell a considered relaxed counter from a data race
+// that happens to compile.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::atomic<uint64_t>& Counter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+inline void Bump() {
+  Counter().fetch_add(1, std::memory_order_relaxed);  // expect-finding: atomics-rationale
+}
+
+}  // namespace fixture

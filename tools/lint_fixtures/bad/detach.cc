@@ -1,0 +1,14 @@
+// A detached thread outlives every object it captured; the runtime sampler
+// (obs/runtime.cc) shows the join pattern: stop flag + CondVar, join in the
+// destructor.
+
+#include <thread>
+
+namespace fixture {
+
+inline void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();  // expect-finding: thread-detach
+}
+
+}  // namespace fixture

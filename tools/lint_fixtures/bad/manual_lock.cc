@@ -1,0 +1,26 @@
+// Manual lock()/unlock() pairs leak the lock on every early return and
+// exception path, and the thread-safety analysis cannot pair them with a
+// critical section; RAII guards are mandatory outside common/mutex.h.
+
+namespace fixture {
+
+struct Latch {
+  void lock();
+  void unlock();
+  bool try_lock();
+};
+
+inline int Critical(Latch* latch, int value) {
+  latch->lock();  // expect-finding: manual-lock
+  const int doubled = value * 2;
+  latch->unlock();  // expect-finding: manual-lock
+  return doubled;
+}
+
+inline bool TryCritical(Latch& latch) {
+  if (!latch.try_lock()) return false;  // expect-finding: manual-lock
+  latch.unlock();  // expect-finding: manual-lock
+  return true;
+}
+
+}  // namespace fixture

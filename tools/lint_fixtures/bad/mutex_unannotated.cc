@@ -1,0 +1,21 @@
+// An rst::Mutex that no RST_* annotation ever names protects nothing the
+// analysis can see: the fields it supposedly guards are unmarked, so a
+// mis-locked access compiles silently.
+
+#include "rst/common/mutex.h"
+
+namespace fixture {
+
+class Tally {
+ public:
+  void Add(int n) {
+    rst::MutexLock lock(&mu_);
+    total_ += n;
+  }
+
+ private:
+  mutable rst::Mutex mu_;  // expect-finding: mutex-guarded-by
+  int total_ = 0;          // should be RST_GUARDED_BY(mu_)
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Raw standard-library synchronization primitives are invisible to clang's
+// thread-safety analysis; everything outside src/rst/common/mutex.h must go
+// through the annotated wrappers.
+
+#include <mutex>
+
+namespace fixture {
+
+class Tally {
+ public:
+  void Add(int n) {
+    std::lock_guard<std::mutex> lock(mu_);  // expect-finding: raw-sync-primitive
+    total_ += n;
+  }
+
+ private:
+  std::mutex mu_;  // expect-finding: raw-sync-primitive
+  int total_ = 0;
+};
+
+}  // namespace fixture

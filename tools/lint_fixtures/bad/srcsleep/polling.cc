@@ -1,0 +1,14 @@
+// Fixture mirror for the sleep-in-src rule (this directory stands in for
+// src/): library code must block on CondVar deadlines so shutdown can
+// interrupt the wait, never on bare sleeps.
+
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+inline void PollForWork() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // expect-finding: sleep-in-src
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// A correctly disciplined locked class: annotated wrapper mutex, GUARDED_BY
+// on the data, RAII critical sections, and a justified relaxed atomic. All
+// lock-discipline rules must stay quiet here.
+
+#include <atomic>
+#include <cstdint>
+
+#include "rst/common/mutex.h"
+#include "rst/common/thread_annotations.h"
+
+namespace fixture {
+
+class Tally {
+ public:
+  void Add(uint64_t n) RST_EXCLUDES(mu_) {
+    rst::MutexLock lock(&mu_);
+    total_ += n;
+  }
+
+  uint64_t total() const RST_EXCLUDES(mu_) {
+    // rst-atomics: monitoring counter; carries no ordering relationship
+    // with total_, so relaxed is enough.
+    peeks_.fetch_add(1, std::memory_order_relaxed);
+    rst::MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  mutable rst::Mutex mu_;
+  uint64_t total_ RST_GUARDED_BY(mu_) = 0;
+  mutable std::atomic<uint64_t> peeks_{0};
+};
+
+}  // namespace fixture

@@ -36,6 +36,30 @@ know about:
                             full capture schema (DESIGN.md SS14). ReadJournal
                             tolerates torn tails from crashed captures;
                             fixtures get no such grace
+  raw-sync-primitive        no std::mutex/shared_mutex/condition_variable/
+                            lock_guard/unique_lock/... outside the annotated
+                            wrappers in src/rst/common/mutex.h -- raw
+                            primitives are invisible to clang's thread-safety
+                            analysis (DESIGN.md SS16)
+  mutex-guarded-by          a declared rst::Mutex/SharedMutex whose name is
+                            never referenced by any RST_* thread-safety
+                            annotation in the same file protects nothing the
+                            analysis can see; annotate the data it guards
+  atomics-rationale         every explicit std::memory_order_* argument needs
+                            a `// rst-atomics: <reason>` comment on the same
+                            line or within the 5 lines above it (one
+                            comment covers an adjacent cluster of sites) --
+                            orderings chosen silently rot silently
+  manual-lock               manual .lock()/.unlock()/.try_lock() calls
+                            (exception: the wrappers in common/mutex.h);
+                            use the RAII guards so unlock is exception-safe
+                            and the analysis sees the critical section
+  thread-detach             std::thread::detach() orphans a thread past the
+                            lifetime of everything it references; join it
+  sleep-in-src              sleep_for/sleep_until/usleep/nanosleep inside
+                            src/ -- library code must block on condition
+                            variables or deadlines, never bare sleeps
+                            (tests and bench drivers may sleep)
   bad-suppression           a suppression comment without a reason
 
 Any finding is suppressible on its own line or the line above with
@@ -73,6 +97,12 @@ RULES = [
     "include-hygiene",
     "header-guard",
     "journal-fixture",
+    "raw-sync-primitive",
+    "mutex-guarded-by",
+    "atomics-rationale",
+    "manual-lock",
+    "thread-detach",
+    "sleep-in-src",
     "bad-suppression",
 ]
 
@@ -510,6 +540,138 @@ def check_journal_fixture(f, findings):
         flag(1, "journal fixture is empty")
 
 
+# --- lock discipline (DESIGN.md SS16) -------------------------------------
+#
+# The annotated wrappers in src/rst/common/mutex.h are the single place raw
+# standard-library synchronization primitives (and the manual .lock() /
+# .unlock() calls that implement them) may appear. Everywhere else holds
+# locks through rst::Mutex + RAII guards, so clang's -Wthread-safety
+# analysis sees every acquisition.
+SYNC_WRAPPER_HEADER = os.path.join("src", "rst", "common", "mutex.h")
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"timed_mutex|shared_timed_mutex|condition_variable_any|"
+    r"condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+
+# Longest alternatives first: `try_lock` must not shadow `try_lock_shared`.
+MANUAL_LOCK_RE = re.compile(
+    r"(?:\.|->)\s*(try_lock_shared|unlock_shared|lock_shared|try_lock|"
+    r"unlock|lock)\s*\(")
+
+DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
+
+SLEEP_RE = re.compile(r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(")
+# Library code must block on condition variables or deadlines; tests and
+# bench load drivers may sleep. The fixture mirror lets --self-test
+# exercise the rule.
+SLEEP_BANNED_DIRS = [
+    "src",
+    os.path.join("tools", "lint_fixtures", "bad", "srcsleep"),
+]
+
+# A Mutex/SharedMutex object declaration: `mutable rst::Mutex mu_;`,
+# `Mutex run_mu_ RST_ACQUIRED_BEFORE(...)`, `SharedMutex mu_ = ...`.
+# References (`Mutex&` parameters, `Mutex*`) do not declare a capability and
+# are not matched.
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:rst::)?(?:Mutex|SharedMutex)\s+"
+    r"([A-Za-z_]\w*)\s*(?:;|=|RST_)")
+
+# Argument lists of RST_GUARDED_BY(mu_), RST_REQUIRES(mu_), RST_EXCLUDES(a,
+# b), ... -- any mention inside an annotation proves the analysis can see
+# what the mutex protects.
+ANNOTATION_ARGS_RE = re.compile(r"\bRST_[A-Z_]+\(([^()]*)\)")
+
+ATOMIC_ORDER_RE = re.compile(
+    r"\bstd::memory_order_(?:relaxed|consume|acquire|release|acq_rel|"
+    r"seq_cst)\b")
+ATOMIC_RATIONALE_RE = re.compile(r"//\s*rst-atomics:\s*\S")
+# A rationale covers tokens on its own line and the next few lines; one
+# comment above a CAS loop or a cluster of counter updates covers the whole
+# cluster (coverage chains from site to site while gaps stay inside the
+# window).
+ATOMIC_WINDOW = 5
+
+
+def check_lock_discipline(f, findings, root):
+    rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+    is_wrapper = rel == SYNC_WRAPPER_HEADER.replace(os.sep, "/")
+    sleep_banned = any(
+        rel.startswith(d.replace(os.sep, "/") + "/")
+        for d in SLEEP_BANNED_DIRS)
+    for idx, code in enumerate(f.code_lines):
+        lineno = idx + 1
+        if not is_wrapper:
+            m = RAW_SYNC_RE.search(code)
+            if m:
+                findings.append(Finding(
+                    f.path, lineno, "raw-sync-primitive",
+                    "raw std::%s is invisible to thread-safety analysis; "
+                    "use the annotated wrappers in rst/common/mutex.h"
+                    % m.group(1)))
+            m = MANUAL_LOCK_RE.search(code)
+            if m:
+                findings.append(Finding(
+                    f.path, lineno, "manual-lock",
+                    "manual .%s() call; hold locks through the RAII guards "
+                    "(MutexLock / ReaderMutexLock / WriterMutexLock) so the "
+                    "critical section is exception-safe and analyzable"
+                    % m.group(1)))
+        m = DETACH_RE.search(code)
+        if m:
+            findings.append(Finding(
+                f.path, lineno, "thread-detach",
+                "detach() orphans a thread past the lifetime of everything "
+                "it references; join it (see obs/runtime.cc for the "
+                "stop-flag + CondVar shutdown pattern)"))
+        if sleep_banned:
+            m = SLEEP_RE.search(code)
+            if m:
+                findings.append(Finding(
+                    f.path, lineno, "sleep-in-src",
+                    "%s() in library code; block on a CondVar deadline "
+                    "(WaitUntil/WaitFor) so shutdown can interrupt the wait"
+                    % m.group(1)))
+
+
+def check_mutex_guarded_by(f, findings):
+    refs = set()
+    for code in f.code_lines:
+        for m in ANNOTATION_ARGS_RE.finditer(code):
+            refs.update(re.findall(r"[A-Za-z_]\w*", m.group(1)))
+    for idx, code in enumerate(f.code_lines):
+        m = MUTEX_DECL_RE.match(code)
+        if m and m.group(1) not in refs:
+            findings.append(Finding(
+                f.path, idx + 1, "mutex-guarded-by",
+                "mutex '%s' is never named by any RST_* annotation in this "
+                "file; mark what it protects with RST_GUARDED_BY(%s) (and "
+                "RST_REQUIRES/RST_EXCLUDES on the methods that take it)"
+                % (m.group(1), m.group(1))))
+
+
+def check_atomics_rationale(f, findings):
+    last_covered = None  # 0-based index of the most recent covered site
+    for idx, code in enumerate(f.code_lines):
+        if not ATOMIC_ORDER_RE.search(code):
+            continue
+        lo = max(0, idx - ATOMIC_WINDOW)
+        covered = any(ATOMIC_RATIONALE_RE.search(f.lines[j])
+                      for j in range(lo, idx + 1))
+        if not covered and last_covered is not None and \
+                idx - last_covered <= ATOMIC_WINDOW:
+            covered = True  # same cluster as an already-justified site
+        if covered:
+            last_covered = idx
+        else:
+            findings.append(Finding(
+                f.path, idx + 1, "atomics-rationale",
+                "explicit memory_order without a nearby "
+                "// rst-atomics: <reason> comment; say why this ordering "
+                "is sufficient (what publishes, what acquires)"))
+
+
 def lint_files(paths, root):
     files = []
     for path in paths:
@@ -536,6 +698,9 @@ def lint_files(paths, root):
         check_raw_new_delete(f, findings, root)
         check_include_hygiene(f, findings, root)
         check_header_guard(f, findings, root)
+        check_lock_discipline(f, findings, root)
+        check_mutex_guarded_by(f, findings)
+        check_atomics_rationale(f, findings)
         for lineno in f.bad_suppressions:
             findings.append(Finding(
                 f.path, lineno, "bad-suppression",
